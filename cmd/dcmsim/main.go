@@ -1,0 +1,148 @@
+// Command dcmsim runs a §V-B scaling scenario — DCM or a baseline
+// controller against a bursty workload trace — and prints the Fig. 5-style
+// time series and summary. Run with -h for flags; -compare adds the
+// EC2-AutoScale baseline next to the chosen controller.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcm/internal/experiments"
+	"dcm/internal/metrics"
+	"dcm/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dcmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dcmsim", flag.ContinueOnError)
+	var (
+		controllerName = fs.String("controller", "dcm", "dcm | ec2-autoscale | target-tracking | dcm-predictive | ec2-predictive | dcm-soft-only | none")
+		traceFile      = fs.String("trace", "", `trace CSV file ("seconds,users"); empty = synthetic large-variation trace`)
+		seed           = fs.Uint64("seed", 42, "random seed")
+		period         = fs.Duration("period", 15*time.Second, "control period")
+		prep           = fs.Duration("prep", 15*time.Second, "VM preparation period")
+		think          = fs.Duration("think", 3*time.Second, "client think time")
+		every          = fs.Int("every", 10, "print every N-th second of the series")
+		compare        = fs.Bool("compare", false, "also run the ec2-autoscale baseline and print a comparison")
+		csvOut         = fs.String("csv", "", "also write the per-second series to this CSV file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr *trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err = trace.ParseCSV(*traceFile, f)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := experiments.ScenarioConfig{
+		Seed:          *seed,
+		Kind:          experiments.ControllerKind(*controllerName),
+		Trace:         tr,
+		ThinkTime:     *think,
+		ControlPeriod: *period,
+		PrepDelay:     *prep,
+	}
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		if err := res.WriteSeriesCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-second series to %s\n", *csvOut)
+	}
+
+	fmt.Printf("controller %s, trace %q (%d..%d users)\n\n",
+		cfg.Kind, traceName(tr), minUsers(res.Users), maxUsers(res.Users))
+
+	users := make([]float64, len(res.Users))
+	for i, u := range res.Users {
+		users[i] = float64(u)
+	}
+	fmt.Print(metrics.Chart("users", users, 100, 5))
+	fmt.Print(metrics.Chart("throughput (req/s)", res.Throughput, 100, 5))
+	fmt.Print(metrics.Chart("mean response time (s)", res.MeanRTSec, 100, 5))
+	fmt.Println()
+	fmt.Println(experiments.RenderScenarioSeries(res, *every))
+	fmt.Println("scaling actions:")
+	for _, rec := range res.Actions {
+		status := ""
+		if rec.Err != "" {
+			status = "  ERROR: " + rec.Err
+		}
+		fmt.Printf("  t=%6.0fs %-14s %-4s %s%s\n",
+			rec.At.Seconds(), rec.Action.Type, rec.Action.Tier, rec.Action.Reason, status)
+	}
+	fmt.Println()
+
+	results := []*experiments.ScenarioResult{res}
+	if *compare && cfg.Kind != experiments.ControllerEC2 {
+		baseCfg := cfg
+		baseCfg.Kind = experiments.ControllerEC2
+		base, err := experiments.RunScenario(baseCfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, base)
+	}
+	fmt.Println(experiments.RenderScenarioComparison(results...))
+	return nil
+}
+
+func traceName(tr *trace.Trace) string {
+	if tr == nil {
+		return "large-variation (synthetic)"
+	}
+	return tr.Name()
+}
+
+func minUsers(users []int) int {
+	if len(users) == 0 {
+		return 0
+	}
+	m := users[0]
+	for _, u := range users {
+		if u < m {
+			m = u
+		}
+	}
+	return m
+}
+
+func maxUsers(users []int) int {
+	m := 0
+	for _, u := range users {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcm/internal/trace"
+)
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-controller", "bogus"}); err == nil {
+		t.Fatal("unknown controller accepted")
+	}
+	if err := run([]string{"-trace", "/does/not/exist.csv"}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunShortScenarioFromFile(t *testing.T) {
+	t.Parallel()
+	tr, err := trace.SynthesizeStep("s", 200, 1200, 20e9, 60e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "step.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-controller", "dcm", "-trace", path, "-every", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserBounds(t *testing.T) {
+	t.Parallel()
+	if minUsers(nil) != 0 || maxUsers(nil) != 0 {
+		t.Fatal("empty bounds wrong")
+	}
+	if minUsers([]int{3, 1, 2}) != 1 || maxUsers([]int{3, 1, 2}) != 3 {
+		t.Fatal("bounds wrong")
+	}
+	if traceName(nil) == "" {
+		t.Fatal("nil trace name empty")
+	}
+}

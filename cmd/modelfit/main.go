@@ -1,0 +1,126 @@
+// Command modelfit reproduces the model training of §V-A (Table I): it
+// sweeps the simulated testbed across request-processing concurrencies,
+// fits the concurrency-aware model (Equation 7) by nonlinear least
+// squares, and prints the fitted parameters, R², the optimal concurrency
+// N_b and the predicted maximum throughput next to the paper's values.
+//
+// It can also fit a model to external data: pass -data file.csv with
+// "concurrency,throughput" rows to fit your own measurements.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dcm/internal/experiments"
+	"dcm/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "modelfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("modelfit", flag.ContinueOnError)
+	var (
+		seed    = fs.Uint64("seed", 42, "random seed")
+		measure = fs.Duration("measure", 15*time.Second, "measurement window per concurrency level")
+		dataCSV = fs.String("data", "", `fit external "concurrency,throughput" CSV instead of the simulated testbed`)
+		servers = fs.Int("servers", 1, "number of bottleneck-tier servers during training (K_b)")
+		knownS0 = fs.Float64("s0", 0, "known single-threaded service time in seconds (anchors the gauge; 0 = report gamma=1 gauge)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *dataCSV != "" {
+		return fitExternal(*dataCSV, *servers, *knownS0)
+	}
+
+	tomcat, mysql, err := experiments.Table1(*seed, *measure)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table I reproduction (paper values alongside measured fits):")
+	fmt.Println()
+	fmt.Println(experiments.RenderTable1(tomcat, mysql))
+	fmt.Println("Tomcat training data (concurrency, system throughput):")
+	printObservations(tomcat.Observations)
+	fmt.Println("MySQL training data (concurrency, request-level throughput):")
+	printObservations(mysql.Observations)
+	return nil
+}
+
+func printObservations(obs []model.Observation) {
+	for _, o := range obs {
+		fmt.Printf("  %6.0f  %8.1f\n", o.Concurrency, o.Throughput)
+	}
+	fmt.Println()
+}
+
+func fitExternal(path string, servers int, knownS0 float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	obs, err := parseObservations(f)
+	if err != nil {
+		return err
+	}
+	res, err := model.Train(obs, model.TrainOptions{Servers: servers, KnownS0: knownS0})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted on %d observations:\n", len(obs))
+	fmt.Printf("  S0    = %.4e s\n", res.Params.S0)
+	fmt.Printf("  alpha = %.4e s/thread\n", res.Params.Alpha)
+	fmt.Printf("  beta  = %.4e s/thread^2\n", res.Params.Beta)
+	fmt.Printf("  gamma = %.4f\n", res.Params.Gamma)
+	fmt.Printf("  R^2   = %.4f\n", res.RSquared)
+	fmt.Printf("  N_b   = %d (optimal per-server concurrency)\n", res.OptimalN)
+	fmt.Printf("  X_max = %.1f (predicted maximum throughput)\n", res.MaxThroughput)
+	return nil
+}
+
+func parseObservations(r io.Reader) ([]model.Observation, error) {
+	sc := bufio.NewScanner(r)
+	var obs []model.Observation
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(strings.ToLower(text), "concurrency") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 2 fields, got %d", line, len(fields))
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad concurrency: %w", line, err)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad throughput: %w", line, err)
+		}
+		obs = append(obs, model.Observation{Concurrency: n, Throughput: x})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return obs, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcm/internal/model"
+)
+
+func TestParseObservations(t *testing.T) {
+	t.Parallel()
+	in := "concurrency,throughput\n# comment\n\n1,100\n2.5,180\n"
+	obs, err := parseObservations(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 || obs[1].Concurrency != 2.5 || obs[1].Throughput != 180 {
+		t.Fatalf("obs = %+v", obs)
+	}
+}
+
+func TestParseObservationsErrors(t *testing.T) {
+	t.Parallel()
+	for _, in := range []string{"1,2,3\n", "x,2\n", "1,y\n"} {
+		if _, err := parseObservations(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestFitExternal(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := model.TableI()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	var b strings.Builder
+	b.WriteString("concurrency,throughput\n")
+	for _, n := range []float64{1, 2, 5, 10, 20, 40, 80, 160} {
+		fmt.Fprintf(&b, "%v,%v\n", n, tomcat.Throughput(n, 1))
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fitExternal(path, 1, tomcat.S0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fitExternal(filepath.Join(dir, "missing.csv"), 1, 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunExternalData(t *testing.T) {
+	t.Parallel()
+	_, mysql := model.TableI()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mysql.csv")
+	var b strings.Builder
+	for _, n := range []float64{1, 3, 8, 18, 36, 70, 140} {
+		fmt.Fprintf(&b, "%v,%v\n", n, mysql.Throughput(n, 1))
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path}); err != nil {
+		t.Fatal(err)
+	}
+}

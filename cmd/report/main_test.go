@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-o", dir, "-quick", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "report.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{
+		"Figure 2(a)", "Figure 2(b)", "Table I", "Figure 4(a)",
+		"Figure 4(b)", "Figure 5", "N_b",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, csv := range []string{"fig5-dcm.csv", "fig5-ec2-autoscale.csv"} {
+		st, err := os.Stat(filepath.Join(dir, csv))
+		if err != nil || st.Size() == 0 {
+			t.Errorf("missing %s: %v", csv, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-o", "/dev/null/impossible"}); err == nil {
+		t.Fatal("unwritable dir accepted")
+	}
+}
+
+func TestRunFullReportIncludesAblations(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-o", dir, "-quick", "-full", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "report.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := string(data)
+	for _, want := range []string{"A1:", "A4:", "A5:", "A8:"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("full report missing %q", want)
+		}
+	}
+}

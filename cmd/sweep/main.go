@@ -1,0 +1,91 @@
+// Command sweep runs the steady-state experiments of §II and §V-A:
+//
+//	sweep -experiment fig2a      MySQL throughput vs concurrency (Fig. 2(a))
+//	sweep -experiment fig2b      dynamic scale-out trap (Fig. 2(b))
+//	sweep -experiment fig4a      Tomcat-allocation validation (Fig. 4(a))
+//	sweep -experiment fig4b      DB-connection validation (Fig. 4(b))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcm/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "fig2a", "fig2a | fig2b | fig4a | fig4b")
+		seed       = fs.Uint64("seed", 42, "random seed")
+		measure    = fs.Duration("measure", 20*time.Second, "measurement window per point")
+		users      = fs.Int("users", 3000, "sustained user population (fig2b)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch *experiment {
+	case "fig2a":
+		rows, err := experiments.Fig2aMySQLSweep(*seed, nil, *measure)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 2(a): MySQL performance vs request processing concurrency")
+		fmt.Println()
+		fmt.Print(experiments.RenderFig2a(rows))
+	case "fig2b":
+		res, err := experiments.Fig2bScaleOut(*seed, *users, 60*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Figure 2(b): runtime scale-out 1/1/1 -> 1/2/1 at %d users\n\n", res.Users)
+		fmt.Print(experiments.RenderFig2b(res))
+		fmt.Println("\nper-second throughput around the scaling event (t-10s .. t+30s):")
+		printWindow(res.SeriesDefault, res.ScaleAtSecond, "default  ")
+		printWindow(res.SeriesCorrected, res.ScaleAtSecond, "corrected")
+	case "fig4a":
+		rows, allocs, err := experiments.Fig4a(*seed, nil, *measure)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 4(a): validation under 1/1/1 (throughput, req/s)")
+		fmt.Println()
+		fmt.Print(experiments.RenderFig4(rows, allocs))
+	case "fig4b":
+		rows, allocs, err := experiments.Fig4b(*seed, nil, *measure)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 4(b): validation under 1/2/1 (throughput, req/s)")
+		fmt.Println()
+		fmt.Print(experiments.RenderFig4(rows, allocs))
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func printWindow(series []float64, at int, label string) {
+	lo, hi := at-10, at+30
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(series) {
+		hi = len(series)
+	}
+	fmt.Printf("  %s:", label)
+	for i := lo; i < hi; i++ {
+		fmt.Printf(" %4.0f", series[i])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunFig2aShort(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-experiment", "fig2a", "-measure", "2s"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintWindowBounds(t *testing.T) {
+	t.Parallel()
+	// Must not panic near the series edges.
+	printWindow([]float64{1, 2, 3}, 0, "x")
+	printWindow([]float64{1, 2, 3}, 100, "x")
+	printWindow(nil, 5, "x")
+}

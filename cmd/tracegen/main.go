@@ -1,0 +1,121 @@
+// Command tracegen generates and inspects workload trace files in the
+// "seconds,users" CSV format consumed by dcmsim and the trace-driven
+// workload generator.
+//
+//	tracegen -kind large-variation -o trace.csv    the §V-B stand-in trace
+//	tracegen -kind step ...                        a two-level step
+//	tracegen -kind sine ...                        a sinusoidal diurnal trace
+//	tracegen -inspect trace.csv                    print a trace's statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dcm/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind       = fs.String("kind", "large-variation", "large-variation | step | sine | spikes")
+		out        = fs.String("o", "", "output file (default stdout)")
+		seed       = fs.Uint64("seed", 42, "random seed for jittered traces")
+		inspect    = fs.String("inspect", "", "inspect an existing trace file instead of generating")
+		total      = fs.Duration("total", 10*time.Minute, "trace duration (step, sine)")
+		low        = fs.Int("low", 200, "low user level (step)")
+		high       = fs.Int("high", 2000, "high user level (step)")
+		stepAt     = fs.Duration("step-at", 5*time.Minute, "step time (step)")
+		mean       = fs.Int("mean", 1000, "mean users (sine)")
+		amp        = fs.Int("amplitude", 600, "amplitude (sine)")
+		sinePer    = fs.Duration("period", 4*time.Minute, "period (sine)")
+		sineStep   = fs.Duration("resolution", 5*time.Second, "point spacing (sine)")
+		spikes     = fs.Int("spikes", 5, "number of spikes (spikes)")
+		spikeWidth = fs.Duration("spike-width", 30*time.Second, "spike width (spikes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *inspect != "" {
+		return inspectTrace(*inspect)
+	}
+
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	switch *kind {
+	case "large-variation":
+		tr = trace.SynthesizeLargeVariation(*seed)
+	case "step":
+		tr, err = trace.SynthesizeStep("step", *low, *high, *stepAt, *total)
+	case "sine":
+		tr, err = trace.SynthesizeSine("sine", *mean, *amp, *sinePer, *total, *sineStep)
+	case "spikes":
+		tr, err = trace.SynthesizeSpikes("spikes", *low, *high, *spikes, *spikeWidth, *total, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := tr.WriteCSV(w); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Printf("wrote %q: %v, %d points, users %d..%d (mean %.0f)\n",
+			*out, tr.Duration(), len(tr.Points()), minOf(tr), tr.MaxUsers(), tr.MeanUsers())
+	}
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ParseCSV(path, f)
+	if err != nil {
+		return err
+	}
+	st := trace.ComputeStats(tr)
+	fmt.Printf("trace %q\n", tr.Name())
+	fmt.Printf("  duration:   %v (%d points)\n", tr.Duration(), len(tr.Points()))
+	fmt.Printf("  users:      min %d, mean %.0f, max %d\n", st.Min, st.Mean, st.Max)
+	fmt.Printf("  peak/mean:  %.2fx\n", st.PeakToMean)
+	fmt.Printf("  CoV:        %.2f\n", st.CoV)
+	fmt.Printf("  bursts >2x: %d\n", st.Bursts)
+	return nil
+}
+
+func minOf(tr *trace.Trace) int {
+	m := tr.MaxUsers()
+	for _, p := range tr.Points() {
+		if p.Users < m {
+			m = p.Users
+		}
+	}
+	return m
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndInspectRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.csv")
+	if err := run([]string{"-kind", "large-variation", "-o", path, "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "seconds,users\n") {
+		t.Fatalf("missing header: %q", string(data[:32]))
+	}
+	if err := run([]string{"-inspect", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateStepAndSine(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	for _, kind := range []string{"step", "sine"} {
+		path := filepath.Join(dir, kind+".csv")
+		if err := run([]string{"-kind", kind, "-o", path}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Fatalf("%s: empty output (%v)", kind, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-kind", "bogus"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run([]string{"-inspect", "/does/not/exist.csv"}); err == nil {
+		t.Fatal("missing inspect file accepted")
+	}
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dcm/internal/ntier"
+)
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-users", "0"}); err == nil {
+		t.Fatal("zero users accepted")
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{
+		"-app", "1", "-db", "1", "-app-threads", "20", "-db-conns", "36",
+		"-users", "500", "-measure", "4s",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalysisTracksSimulation: the approximate MVA and the simulation
+// must agree within 15% in the healthy operating regime — the tool's
+// usefulness depends on it.
+func TestAnalysisTracksSimulation(t *testing.T) {
+	t.Parallel()
+	cfg := ntier.DefaultConfig()
+	cfg.AppThreads = 20
+	cfg.DBConnsPerApp = 36
+	for _, users := range []int{300, 1200, 2200} {
+		simX, _, err := simulate(cfg, users, 3*time.Second, 8*time.Second, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mvaX, _, err := analyze(cfg, users, 3*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(simX-mvaX) / simX; rel > 0.15 {
+			t.Errorf("users=%d: sim %v vs mva %v (%.0f%% apart)", users, simX, mvaX, rel*100)
+		}
+	}
+}
+
+// TestAnalysisPredictsTrap: the analytical model must also see the
+// Fig. 2(b) collapse of the 160-connection allocation.
+func TestAnalysisPredictsTrap(t *testing.T) {
+	t.Parallel()
+	good := ntier.DefaultConfig()
+	good.AppServers = 2
+	good.DBConnsPerApp = 20
+	bad := good
+	bad.DBConnsPerApp = 80
+
+	goodX, _, err := analyze(good, 3000, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badX, _, err := analyze(bad, 3000, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badX > 0.6*goodX {
+		t.Fatalf("analysis missed the trap: 80-conn %v vs 20-conn %v", badX, goodX)
+	}
+}

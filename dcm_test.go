@@ -1,0 +1,91 @@
+package dcm
+
+import (
+	"testing"
+	"time"
+
+	"dcm/internal/model"
+)
+
+func TestTableIFacade(t *testing.T) {
+	t.Parallel()
+	tomcat, mysql := TableI()
+	if nb, ok := tomcat.OptimalConcurrencyInt(); !ok || nb != 20 {
+		t.Fatalf("tomcat N_b = %d", nb)
+	}
+	if nb, ok := mysql.OptimalConcurrencyInt(); !ok || nb != 36 {
+		t.Fatalf("mysql N_b = %d", nb)
+	}
+}
+
+func TestPlanAllocationFacade(t *testing.T) {
+	t.Parallel()
+	tomcat, mysql := TableI()
+	alloc, err := PlanAllocation(model.AllocationInput{
+		Tomcat: tomcat, MySQL: mysql,
+		WebServers: 1, AppServers: 2, DBServers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.String() != "1000/20/18" {
+		t.Fatalf("allocation = %s", alloc)
+	}
+}
+
+func TestTrainFacade(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := TableI()
+	var obs []Observation
+	for _, n := range []float64{1, 5, 10, 20, 40, 80, 160} {
+		obs = append(obs, Observation{Concurrency: n, Throughput: tomcat.Throughput(n, 1)})
+	}
+	res, err := Train(obs, model.TrainOptions{KnownS0: tomcat.S0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalN != 20 {
+		t.Fatalf("N_b = %d", res.OptimalN)
+	}
+}
+
+func TestDefaultAppConfigUsable(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultAppConfig()
+	if cfg.AppThreads != 100 || cfg.DBConnsPerApp != 80 || cfg.WebThreads != 1000 {
+		t.Fatalf("default allocation = %d/%d/%d", cfg.WebThreads, cfg.AppThreads, cfg.DBConnsPerApp)
+	}
+}
+
+func TestLargeVariationTraceFacade(t *testing.T) {
+	t.Parallel()
+	tr := LargeVariationTrace(1)
+	if tr.Duration() != 600*time.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+}
+
+// TestRunScenarioFacade is the facade-level end-to-end check: the public
+// entry point runs a complete DCM scenario.
+func TestRunScenarioFacade(t *testing.T) {
+	t.Parallel()
+	tr := LargeVariationTrace(2).Scale(0.5)
+	res, err := RunScenario(ScenarioConfig{Seed: 2, Kind: ControllerDCM, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCompleted == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Summarize().SpikeSeconds > 5 {
+		t.Fatalf("DCM run unstable: %d spike seconds", res.Summarize().SpikeSeconds)
+	}
+}
+
+func TestDefaultPolicyFacade(t *testing.T) {
+	t.Parallel()
+	p := DefaultPolicy()
+	if p.UpperCPU != 0.80 || p.LowerCPU != 0.40 || p.LowerConsecutive != 3 {
+		t.Fatalf("policy = %+v", p)
+	}
+}

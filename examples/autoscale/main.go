@@ -1,0 +1,69 @@
+// Autoscale runs the paper's headline comparison (§V-B, Fig. 5) in
+// miniature: DCM and EC2-AutoScale each manage the same 3-tier system
+// under the same bursty workload trace, and the run prints both
+// controllers' behaviour side by side.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"dcm/internal/experiments"
+	"dcm/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "autoscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A five-minute trace with one large burst: base 400 users, peak 2600.
+	tr, err := trace.Synthesize(trace.SynthesisConfig{
+		Name:     "demo-burst",
+		Duration: 5 * time.Minute,
+		Base:     400,
+		Step:     5 * time.Second,
+		Bursts: []trace.Burst{
+			{Start: 60 * time.Second, Peak: 2200, Ramp: 15 * time.Second, Hold: 90 * time.Second},
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace %q: %v, %d..%d users\n\n", tr.Name(), tr.Duration(), tr.UsersAt(0), tr.MaxUsers())
+
+	var results []*experiments.ScenarioResult
+	for _, kind := range []experiments.ControllerKind{
+		experiments.ControllerDCM,
+		experiments.ControllerEC2,
+	} {
+		res, err := experiments.RunScenario(experiments.ScenarioConfig{
+			Seed:  7,
+			Kind:  kind,
+			Trace: tr,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+
+		fmt.Printf("--- %s ---\n", kind)
+		fmt.Println(experiments.RenderScenarioSeries(res, 30))
+		fmt.Println("scaling events:")
+		for _, ev := range res.VMEvents {
+			fmt.Printf("  t=%5.0fs %-9s %s\n", ev.At.Seconds(), ev.Action, ev.VM)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("summary (the quantitative content of Fig. 5):")
+	fmt.Print(experiments.RenderScenarioComparison(results...))
+	return nil
+}

@@ -1,0 +1,3 @@
+module dcm
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package actuator implements the two actuators of the DCM architecture
+// (§IV, Fig. 3):
+//
+//   - the VM-agent, which starts new VMs (with the paper's 15-second
+//     preparation period) and drains and removes idle ones, rebalancing
+//     the tier's load balancer in both directions;
+//   - the APP-agent, which performs fine-grained runtime adaptation of the
+//     soft-resource allocations (Tomcat thread pools and DB connection
+//     pools) without interrupting in-flight requests.
+package actuator
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/cloud"
+	"dcm/internal/model"
+	"dcm/internal/ntier"
+	"dcm/internal/sim"
+)
+
+// AgentMonitor is the subset of the monitoring fleet the VM-agent needs:
+// it attaches an agent to servers that join and detaches agents from
+// servers that leave. A nil AgentMonitor disables monitoring integration.
+type AgentMonitor interface {
+	Attach(tierName, vmName string) error
+	Detach(vmName string)
+}
+
+// Record is one executed (or failed) actuation, kept for the experiment
+// reports (the scaling-activity marks on Fig. 5(c)–(f)).
+type Record struct {
+	At     time.Duration `json:"at"`
+	Kind   string        `json:"kind"` // "launch", "ready", "drain", "remove", "allocate"
+	Tier   string        `json:"tier,omitempty"`
+	VM     string        `json:"vm,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// ErrBadAgent is returned for invalid agent construction.
+var ErrBadAgent = errors.New("actuator: invalid agent")
+
+// VMAgent performs VM-level scaling against the hypervisor and the
+// application's load balancers.
+type VMAgent struct {
+	eng     *sim.Engine
+	hv      *cloud.Hypervisor
+	app     *ntier.App
+	mon     AgentMonitor
+	pending map[string]int // tier -> launches not yet serving
+	records []Record
+}
+
+// NewVMAgent builds a VM-agent. mon may be nil.
+func NewVMAgent(eng *sim.Engine, hv *cloud.Hypervisor, app *ntier.App, mon AgentMonitor) (*VMAgent, error) {
+	if eng == nil || hv == nil || app == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrBadAgent)
+	}
+	return &VMAgent{
+		eng:     eng,
+		hv:      hv,
+		app:     app,
+		mon:     mon,
+		pending: make(map[string]int),
+	}, nil
+}
+
+// Pending returns the number of VMs launched for tier that are not yet
+// serving.
+func (va *VMAgent) Pending(tier string) int { return va.pending[tier] }
+
+// nextName returns the first "<tier>-<n>" name free in both the
+// application (which names its initial servers the same way) and the
+// hypervisor.
+func (va *VMAgent) nextName(tier string) string {
+	for i := 1; ; i++ {
+		name := fmt.Sprintf("%s-%d", tier, i)
+		if _, err := va.app.Member(tier, name); err == nil {
+			continue
+		}
+		if _, err := va.hv.Get(name); err == nil {
+			continue
+		}
+		return name
+	}
+}
+
+// ScaleOut launches one VM for tier; after the hypervisor's preparation
+// period the new server joins the tier's load balancer with the tier's
+// current soft-resource allocation and gets a monitoring agent. The VM
+// name is returned immediately.
+func (va *VMAgent) ScaleOut(tier string) (string, error) {
+	name := va.nextName(tier)
+	va.pending[tier]++
+	_, err := va.hv.Launch(name, tier, func(vm *cloud.VM) {
+		va.pending[tier]--
+		if _, err := va.app.AddServer(tier, name); err != nil {
+			va.record("ready", tier, name, "join failed: "+err.Error())
+			return
+		}
+		if va.mon != nil {
+			if err := va.mon.Attach(tier, name); err != nil {
+				va.record("ready", tier, name, "monitor attach failed: "+err.Error())
+				return
+			}
+		}
+		va.record("ready", tier, name, "")
+	})
+	if err != nil {
+		va.pending[tier]--
+		return "", fmt.Errorf("actuator: scale out %s: %w", tier, err)
+	}
+	va.record("launch", tier, name, "")
+	return name, nil
+}
+
+// ScaleIn drains and removes one server from tier: the most recently
+// added serving VM is marked draining (no new requests), and once idle it
+// is detached from the balancer and its VM terminated. The victim's name
+// is returned immediately.
+func (va *VMAgent) ScaleIn(tier string) (string, error) {
+	victim := va.pickVictim(tier)
+	if victim == "" {
+		return "", fmt.Errorf("actuator: scale in %s: no removable server", tier)
+	}
+	if err := va.app.StartDrain(tier, victim, func() {
+		if err := va.app.RemoveServer(tier, victim); err != nil {
+			va.record("remove", tier, victim, "remove failed: "+err.Error())
+			return
+		}
+		if va.mon != nil {
+			va.mon.Detach(victim)
+		}
+		if vm, err := va.hv.Get(victim); err == nil {
+			_ = va.hv.Terminate(vm)
+		}
+		va.record("remove", tier, victim, "")
+	}); err != nil {
+		return "", fmt.Errorf("actuator: scale in %s: %w", tier, err)
+	}
+	if vm, err := va.hv.Get(victim); err == nil {
+		_ = va.hv.Drain(vm)
+	}
+	va.record("drain", tier, victim, "")
+	return victim, nil
+}
+
+// pickVictim chooses the last accepting member of the tier (newest first,
+// so the fleet shrinks in reverse launch order).
+func (va *VMAgent) pickVictim(tier string) string {
+	members := va.app.Members(tier)
+	for i := len(members) - 1; i >= 0; i-- {
+		if members[i].Accepting() {
+			return members[i].Name()
+		}
+	}
+	return ""
+}
+
+// Serving returns the number of accepting servers in tier.
+func (va *VMAgent) Serving(tier string) int {
+	n := 0
+	for _, m := range va.app.Members(tier) {
+		if m.Accepting() {
+			n++
+		}
+	}
+	return n
+}
+
+// Records returns a copy of the actuation log.
+func (va *VMAgent) Records() []Record {
+	out := make([]Record, len(va.records))
+	copy(out, va.records)
+	return out
+}
+
+func (va *VMAgent) record(kind, tier, vm, detail string) {
+	va.records = append(va.records, Record{
+		At:     va.eng.Now(),
+		Kind:   kind,
+		Tier:   tier,
+		VM:     vm,
+		Detail: detail,
+	})
+}
+
+// AppAgent applies soft-resource allocations at runtime (§IV-B).
+type AppAgent struct {
+	eng     *sim.Engine
+	app     *ntier.App
+	records []Record
+}
+
+// NewAppAgent builds an APP-agent.
+func NewAppAgent(eng *sim.Engine, app *ntier.App) (*AppAgent, error) {
+	if eng == nil || app == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrBadAgent)
+	}
+	return &AppAgent{eng: eng, app: app}, nil
+}
+
+// Apply reconfigures the system to the target allocation. Only knobs that
+// actually change are touched; in-flight requests are never interrupted
+// (pool shrinks drain gracefully).
+func (aa *AppAgent) Apply(target model.Allocation) {
+	current := aa.app.Allocation()
+	if target == current {
+		return
+	}
+	if target.WebThreadsPerServer > 0 && target.WebThreadsPerServer != current.WebThreadsPerServer {
+		aa.app.SetWebThreads(target.WebThreadsPerServer)
+	}
+	if target.AppThreadsPerServer > 0 && target.AppThreadsPerServer != current.AppThreadsPerServer {
+		aa.app.SetAppThreads(target.AppThreadsPerServer)
+	}
+	if target.DBConnsPerAppServer > 0 && target.DBConnsPerAppServer != current.DBConnsPerAppServer {
+		aa.app.SetDBConnsPerApp(target.DBConnsPerAppServer)
+	}
+	aa.records = append(aa.records, Record{
+		At:     aa.eng.Now(),
+		Kind:   "allocate",
+		Detail: fmt.Sprintf("%s -> %s", current, aa.app.Allocation()),
+	})
+}
+
+// Records returns a copy of the actuation log.
+func (aa *AppAgent) Records() []Record {
+	out := make([]Record, len(aa.records))
+	copy(out, aa.records)
+	return out
+}

@@ -1,0 +1,256 @@
+package actuator
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcm/internal/cloud"
+	"dcm/internal/model"
+	"dcm/internal/ntier"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+)
+
+// fakeMon records attach/detach calls.
+type fakeMon struct {
+	attached map[string]string
+	detached []string
+	failNext bool
+}
+
+func (f *fakeMon) Attach(tier, vm string) error {
+	if f.failNext {
+		f.failNext = false
+		return errors.New("boom")
+	}
+	if f.attached == nil {
+		f.attached = map[string]string{}
+	}
+	f.attached[vm] = tier
+	return nil
+}
+
+func (f *fakeMon) Detach(vm string) { f.detached = append(f.detached, vm) }
+
+var _ AgentMonitor = (*fakeMon)(nil)
+
+func setup(t *testing.T) (*sim.Engine, *cloud.Hypervisor, *ntier.App, *fakeMon, *VMAgent) {
+	t.Helper()
+	eng := sim.NewEngine()
+	hv := cloud.NewHypervisor(eng, 15*time.Second)
+	cfg := ntier.DefaultConfig()
+	cfg.AppThreads = 10
+	cfg.DBConnsPerApp = 10
+	app, err := ntier.New(eng, rng.New(1).Split("app"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := &fakeMon{}
+	va, err := NewVMAgent(eng, hv, app, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, hv, app, mon, va
+}
+
+func TestNewAgentsValidation(t *testing.T) {
+	t.Parallel()
+	eng, hv, app, _, _ := setup(t)
+	if _, err := NewVMAgent(nil, hv, app, nil); !errors.Is(err, ErrBadAgent) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewAppAgent(eng, nil); !errors.Is(err, ErrBadAgent) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScaleOutJoinsAfterPrep(t *testing.T) {
+	t.Parallel()
+	eng, _, app, mon, va := setup(t)
+	name, err := va.ScaleOut(ntier.TierApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va.Pending(ntier.TierApp) != 1 {
+		t.Fatalf("pending = %d", va.Pending(ntier.TierApp))
+	}
+	if app.ServerCount(ntier.TierApp) != 1 {
+		t.Fatal("server joined before preparation period")
+	}
+	if err := eng.Run(14 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if app.ServerCount(ntier.TierApp) != 1 {
+		t.Fatal("server joined early")
+	}
+	if err := eng.Run(16 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if app.ServerCount(ntier.TierApp) != 2 {
+		t.Fatal("server did not join after prep")
+	}
+	if va.Pending(ntier.TierApp) != 0 {
+		t.Fatalf("pending after join = %d", va.Pending(ntier.TierApp))
+	}
+	if mon.attached[name] != ntier.TierApp {
+		t.Fatalf("monitor not attached: %v", mon.attached)
+	}
+	// New server inherits the current soft allocation.
+	m, err := app.Member(ntier.TierApp, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Server().PoolSize() != 10 || m.Pool().Size() != 10 {
+		t.Fatal("new server has wrong soft allocation")
+	}
+}
+
+func TestScaleInDrainsThenRemoves(t *testing.T) {
+	t.Parallel()
+	eng, hv, app, mon, va := setup(t)
+	if _, err := va.ScaleOut(ntier.TierApp); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if va.Serving(ntier.TierApp) != 2 {
+		t.Fatalf("serving = %d", va.Serving(ntier.TierApp))
+	}
+	victim, err := va.ScaleIn(ntier.TierApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Newest server is the victim.
+	if victim != "app-2" {
+		t.Fatalf("victim = %q, want app-2 (newest)", victim)
+	}
+	if va.Serving(ntier.TierApp) != 1 {
+		t.Fatalf("serving during drain = %d", va.Serving(ntier.TierApp))
+	}
+	if err := eng.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if app.ServerCount(ntier.TierApp) != 1 {
+		t.Fatalf("server count after drain = %d", app.ServerCount(ntier.TierApp))
+	}
+	if len(mon.detached) != 1 || mon.detached[0] != victim {
+		t.Fatalf("monitor detach = %v", mon.detached)
+	}
+	vm, err := hv.Get(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != cloud.StateTerminated {
+		t.Fatalf("vm state = %v", vm.State())
+	}
+}
+
+func TestScaleInWaitsForInFlight(t *testing.T) {
+	t.Parallel()
+	eng, _, app, _, va := setup(t)
+	if _, err := va.ScaleOut(ntier.TierApp); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Load both servers continuously.
+	var cycle func()
+	cycle = func() { app.Inject(func(time.Duration, bool) { cycle() }) }
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if err := eng.Run(21 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := va.ScaleIn(ntier.TierApp); err != nil {
+		t.Fatal(err)
+	}
+	// The victim finishes its requests; all requests complete eventually
+	// and the survivor keeps serving.
+	if err := eng.Run(40 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if app.ServerCount(ntier.TierApp) != 1 {
+		t.Fatal("victim not removed after drain")
+	}
+	if app.TotalErrors() != 0 {
+		t.Fatalf("errors during scale-in = %d", app.TotalErrors())
+	}
+	if app.TotalCompletions() == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+func TestScaleInLastServerFails(t *testing.T) {
+	t.Parallel()
+	_, _, _, _, va := setup(t)
+	if _, err := va.ScaleIn(ntier.TierApp); err == nil {
+		t.Fatal("scaled in the last server")
+	}
+}
+
+func TestScaleOutRecordsAudit(t *testing.T) {
+	t.Parallel()
+	eng, _, _, _, va := setup(t)
+	if _, err := va.ScaleOut(ntier.TierDB); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs := va.Records()
+	if len(recs) != 2 || recs[0].Kind != "launch" || recs[1].Kind != "ready" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if recs[1].At != 15*time.Second {
+		t.Fatalf("ready at %v", recs[1].At)
+	}
+}
+
+func TestMonitorAttachFailureRecorded(t *testing.T) {
+	t.Parallel()
+	eng, _, _, mon, va := setup(t)
+	mon.failNext = true
+	if _, err := va.ScaleOut(ntier.TierApp); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	recs := va.Records()
+	last := recs[len(recs)-1]
+	if last.Detail == "" {
+		t.Fatalf("attach failure not recorded: %+v", recs)
+	}
+}
+
+func TestAppAgentApply(t *testing.T) {
+	t.Parallel()
+	eng, _, app, _, _ := setup(t)
+	aa, err := NewAppAgent(eng, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := model.Allocation{WebThreadsPerServer: 500, AppThreadsPerServer: 20, DBConnsPerAppServer: 36}
+	aa.Apply(target)
+	if got := app.Allocation(); got != target {
+		t.Fatalf("allocation = %v, want %v", got, target)
+	}
+	if len(aa.Records()) != 1 {
+		t.Fatalf("records = %+v", aa.Records())
+	}
+	// Idempotent: applying the same target is a no-op.
+	aa.Apply(target)
+	if len(aa.Records()) != 1 {
+		t.Fatal("no-op apply recorded")
+	}
+	// Zero fields leave the knob untouched.
+	aa.Apply(model.Allocation{AppThreadsPerServer: 25})
+	got := app.Allocation()
+	if got.AppThreadsPerServer != 25 || got.WebThreadsPerServer != 500 || got.DBConnsPerAppServer != 36 {
+		t.Fatalf("partial apply = %v", got)
+	}
+}

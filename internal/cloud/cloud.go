@@ -1,0 +1,252 @@
+// Package cloud simulates the IaaS substrate the paper scales on: virtual
+// machines with a provisioning delay, lifecycle states, and an audit log of
+// scaling activities. The VM-agent (§IV-A) starts and stops VMs through
+// this package exactly as it would call a hypervisor API; the paper's
+// 15-second "preparation period" before a VM enters service mode is the
+// default provisioning delay.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/sim"
+)
+
+// State is a VM lifecycle state.
+type State int
+
+// VM lifecycle states.
+const (
+	StateProvisioning State = iota + 1
+	StateReady
+	StateDraining
+	StateTerminated
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case StateProvisioning:
+		return "provisioning"
+	case StateReady:
+		return "ready"
+	case StateDraining:
+		return "draining"
+	case StateTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// VM is one simulated virtual machine.
+type VM struct {
+	name      string
+	tier      string
+	state     State
+	launched  sim.Time
+	readyAt   sim.Time
+	prepEvent *sim.Event
+}
+
+// Name returns the VM name (unique per hypervisor).
+func (v *VM) Name() string { return v.name }
+
+// Tier returns the application tier the VM was launched for.
+func (v *VM) Tier() string { return v.tier }
+
+// State returns the current lifecycle state.
+func (v *VM) State() State { return v.state }
+
+// LaunchedAt returns when the VM was requested.
+func (v *VM) LaunchedAt() sim.Time { return v.launched }
+
+// ReadyAt returns when the VM entered (or will enter) service mode; it is
+// meaningful once the VM has left StateProvisioning.
+func (v *VM) ReadyAt() sim.Time { return v.readyAt }
+
+// Event is one entry in the hypervisor's scaling audit log.
+type Event struct {
+	At     sim.Time `json:"at"`
+	VM     string   `json:"vm"`
+	Tier   string   `json:"tier"`
+	Action string   `json:"action"` // "launch", "ready", "drain", "terminate"
+}
+
+// Errors returned by the hypervisor.
+var (
+	ErrDuplicateVM = errors.New("cloud: vm name already exists")
+	ErrUnknownVM   = errors.New("cloud: unknown vm")
+	ErrBadState    = errors.New("cloud: operation invalid in current state")
+)
+
+// Hypervisor manages simulated VMs on a sim.Engine.
+type Hypervisor struct {
+	eng       *sim.Engine
+	prepDelay time.Duration
+	vms       map[string]*VM
+	events    []Event
+	seq       int
+}
+
+// NewHypervisor returns a hypervisor whose VMs take prepDelay to become
+// ready after launch (the paper uses 15 s). A non-positive prepDelay means
+// VMs are ready immediately (still via a zero-delay event, preserving
+// callback ordering).
+func NewHypervisor(eng *sim.Engine, prepDelay time.Duration) *Hypervisor {
+	if prepDelay < 0 {
+		prepDelay = 0
+	}
+	return &Hypervisor{
+		eng:       eng,
+		prepDelay: prepDelay,
+		vms:       make(map[string]*VM),
+	}
+}
+
+// PrepDelay returns the configured provisioning delay.
+func (h *Hypervisor) PrepDelay() time.Duration { return h.prepDelay }
+
+// NextName generates a unique VM name for a tier ("app-3").
+func (h *Hypervisor) NextName(tier string) string {
+	h.seq++
+	return fmt.Sprintf("%s-%d", tier, h.seq)
+}
+
+// Launch starts a VM for tier. After the preparation period the VM becomes
+// StateReady and onReady (if non-nil) is invoked — the moment the paper's
+// VM-agent attaches the new server to the load balancer.
+func (h *Hypervisor) Launch(name, tier string, onReady func(*VM)) (*VM, error) {
+	if _, exists := h.vms[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateVM, name)
+	}
+	vm := &VM{
+		name:     name,
+		tier:     tier,
+		state:    StateProvisioning,
+		launched: h.eng.Now(),
+		readyAt:  h.eng.Now() + h.prepDelay,
+	}
+	h.vms[name] = vm
+	h.log(vm, "launch")
+	vm.prepEvent = h.eng.Schedule(h.prepDelay, func() {
+		if vm.state != StateProvisioning {
+			return // terminated while provisioning
+		}
+		vm.state = StateReady
+		vm.readyAt = h.eng.Now()
+		h.log(vm, "ready")
+		if onReady != nil {
+			onReady(vm)
+		}
+	})
+	return vm, nil
+}
+
+// Drain marks a ready VM as draining: it stays up but should receive no new
+// work. Draining an already-draining VM is a no-op.
+func (h *Hypervisor) Drain(vm *VM) error {
+	switch vm.state {
+	case StateDraining:
+		return nil
+	case StateReady:
+		vm.state = StateDraining
+		h.log(vm, "drain")
+		return nil
+	default:
+		return fmt.Errorf("%w: drain %q in %v", ErrBadState, vm.name, vm.state)
+	}
+}
+
+// Terminate shuts a VM down from any live state. Terminating a
+// provisioning VM cancels its pending readiness callback.
+func (h *Hypervisor) Terminate(vm *VM) error {
+	if vm.state == StateTerminated {
+		return fmt.Errorf("%w: terminate %q twice", ErrBadState, vm.name)
+	}
+	vm.prepEvent.Cancel()
+	vm.state = StateTerminated
+	h.log(vm, "terminate")
+	return nil
+}
+
+// Get returns the VM with the given name.
+func (h *Hypervisor) Get(name string) (*VM, error) {
+	vm, ok := h.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVM, name)
+	}
+	return vm, nil
+}
+
+// Live returns the VMs of a tier that are not terminated, in launch order.
+// An empty tier selects all tiers.
+func (h *Hypervisor) Live(tier string) []*VM {
+	var out []*VM
+	for _, vm := range h.vms {
+		if vm.state != StateTerminated && (tier == "" || vm.tier == tier) {
+			out = append(out, vm)
+		}
+	}
+	sortVMs(out)
+	return out
+}
+
+// CountReady returns the number of ready (serving) VMs in tier.
+func (h *Hypervisor) CountReady(tier string) int {
+	n := 0
+	for _, vm := range h.vms {
+		if vm.tier == tier && vm.state == StateReady {
+			n++
+		}
+	}
+	return n
+}
+
+// CountLive returns the number of non-terminated VMs in tier, including
+// those still provisioning — the count scaling decisions must consider so
+// a burst does not launch a new VM every control period while the first
+// one boots.
+func (h *Hypervisor) CountLive(tier string) int {
+	n := 0
+	for _, vm := range h.vms {
+		if vm.tier == tier && vm.state != StateTerminated {
+			n++
+		}
+	}
+	return n
+}
+
+// Events returns a copy of the scaling audit log in chronological order.
+func (h *Hypervisor) Events() []Event {
+	out := make([]Event, len(h.events))
+	copy(out, h.events)
+	return out
+}
+
+func (h *Hypervisor) log(vm *VM, action string) {
+	h.events = append(h.events, Event{
+		At:     h.eng.Now(),
+		VM:     vm.name,
+		Tier:   vm.tier,
+		Action: action,
+	})
+}
+
+func sortVMs(vms []*VM) {
+	// Insertion sort by launch time then name; fleets are small.
+	for i := 1; i < len(vms); i++ {
+		for j := i; j > 0 && less(vms[j], vms[j-1]); j-- {
+			vms[j], vms[j-1] = vms[j-1], vms[j]
+		}
+	}
+}
+
+func less(a, b *VM) bool {
+	if a.launched != b.launched {
+		return a.launched < b.launched
+	}
+	return a.name < b.name
+}

@@ -1,0 +1,256 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcm/internal/sim"
+)
+
+func newHV(t *testing.T, prep time.Duration) (*sim.Engine, *Hypervisor) {
+	t.Helper()
+	eng := sim.NewEngine()
+	return eng, NewHypervisor(eng, prep)
+}
+
+func TestLaunchBecomesReadyAfterPrep(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 15*time.Second)
+	var readyAt sim.Time
+	vm, err := hv.Launch("app-1", "app", func(v *VM) { readyAt = eng.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != StateProvisioning {
+		t.Fatalf("state = %v", vm.State())
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != StateReady {
+		t.Fatalf("state after prep = %v", vm.State())
+	}
+	if readyAt != 15*time.Second {
+		t.Fatalf("ready at %v, want 15s", readyAt)
+	}
+	if vm.ReadyAt() != 15*time.Second || vm.LaunchedAt() != 0 {
+		t.Fatalf("timestamps: launched=%v ready=%v", vm.LaunchedAt(), vm.ReadyAt())
+	}
+}
+
+func TestLaunchDuplicateName(t *testing.T) {
+	t.Parallel()
+	_, hv := newHV(t, 0)
+	if _, err := hv.Launch("a", "app", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hv.Launch("a", "app", nil); !errors.Is(err, ErrDuplicateVM) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTerminateDuringProvisioningCancelsReady(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 10*time.Second)
+	called := false
+	vm, err := hv.Launch("a", "app", func(*VM) { called = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(5*time.Second, func() {
+		if err := hv.Terminate(vm); err != nil {
+			t.Errorf("terminate: %v", err)
+		}
+	})
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("onReady fired for terminated VM")
+	}
+	if vm.State() != StateTerminated {
+		t.Fatalf("state = %v", vm.State())
+	}
+}
+
+func TestDrainTransitions(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 0)
+	vm, err := hv.Launch("a", "db", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Draining while provisioning is invalid.
+	if err := hv.Drain(vm); !errors.Is(err, ErrBadState) {
+		t.Fatalf("drain while provisioning: %v", err)
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Drain(vm); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != StateDraining {
+		t.Fatalf("state = %v", vm.State())
+	}
+	// Idempotent.
+	if err := hv.Drain(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Terminate(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Terminate(vm); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double terminate: %v", err)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 10*time.Second)
+	if _, err := hv.Launch("app-1", "app", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hv.Launch("app-2", "app", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hv.Launch("db-1", "db", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := hv.CountLive("app"); got != 2 {
+		t.Fatalf("CountLive(app) = %d", got)
+	}
+	if got := hv.CountReady("app"); got != 0 {
+		t.Fatalf("CountReady before prep = %d", got)
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := hv.CountReady("app"); got != 2 {
+		t.Fatalf("CountReady after prep = %d", got)
+	}
+	if got := hv.CountReady("db"); got != 1 {
+		t.Fatalf("CountReady(db) = %d", got)
+	}
+}
+
+func TestLiveOrderingAndFilter(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 0)
+	if _, err := hv.Launch("app-1", "app", nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(time.Second, func() {
+		if _, err := hv.Launch("app-0", "app", nil); err != nil {
+			t.Errorf("launch: %v", err)
+		}
+	})
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	live := hv.Live("app")
+	if len(live) != 2 || live[0].Name() != "app-1" || live[1].Name() != "app-0" {
+		names := make([]string, len(live))
+		for i, v := range live {
+			names[i] = v.Name()
+		}
+		t.Fatalf("Live order = %v, want launch order", names)
+	}
+	if all := hv.Live(""); len(all) != 2 {
+		t.Fatalf("Live(\"\") = %d VMs", len(all))
+	}
+	vm, err := hv.Get("app-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Terminate(vm); err != nil {
+		t.Fatal(err)
+	}
+	if live := hv.Live("app"); len(live) != 1 {
+		t.Fatalf("terminated VM still live: %d", len(live))
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	t.Parallel()
+	_, hv := newHV(t, 0)
+	if _, err := hv.Get("ghost"); !errors.Is(err, ErrUnknownVM) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEventsLog(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 5*time.Second)
+	vm, err := hv.Launch("a", "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Drain(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Terminate(vm); err != nil {
+		t.Fatal(err)
+	}
+	events := hv.Events()
+	want := []string{"launch", "ready", "drain", "terminate"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v", events)
+	}
+	for i, ev := range events {
+		if ev.Action != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, ev.Action, want[i])
+		}
+		if ev.VM != "a" || ev.Tier != "app" {
+			t.Fatalf("event metadata = %+v", ev)
+		}
+	}
+	if events[1].At != 5*time.Second {
+		t.Fatalf("ready event at %v", events[1].At)
+	}
+}
+
+func TestNextNameUnique(t *testing.T) {
+	t.Parallel()
+	_, hv := newHV(t, 0)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		n := hv.NextName("app")
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNegativePrepDelayClamped(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	hv := NewHypervisor(eng, -time.Second)
+	if hv.PrepDelay() != 0 {
+		t.Fatalf("PrepDelay = %v", hv.PrepDelay())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		s    State
+		want string
+	}{
+		{StateProvisioning, "provisioning"},
+		{StateReady, "ready"},
+		{StateDraining, "draining"},
+		{StateTerminated, "terminated"},
+		{State(0), "state(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}

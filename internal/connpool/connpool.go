@@ -1,0 +1,151 @@
+// Package connpool simulates a database connection pool — the Tomcat-side
+// soft resource that bounds the request-processing concurrency of the
+// downstream MySQL tier (§II-A, §IV-B).
+//
+// The paper modified RUBBoS so all servlets share one global pool per
+// Tomcat "in order to precisely control the number of concurrent requests
+// flowing to the downstream MySQL"; a Pool models exactly that shared pool:
+// FIFO acquisition, blocking waiters, and runtime resizing by the
+// APP-agent.
+package connpool
+
+import (
+	"errors"
+	"fmt"
+
+	"dcm/internal/metrics"
+	"dcm/internal/sim"
+)
+
+// ErrBadSize is returned for non-positive pool sizes at construction.
+var ErrBadSize = errors.New("connpool: size must be >= 1")
+
+// Pool is a counted resource with FIFO waiters. It must only be used from
+// the simulation goroutine.
+type Pool struct {
+	eng     *sim.Engine
+	name    string
+	size    int
+	inUse   int
+	waiters []func(*Conn)
+
+	held   metrics.TimeWeighted
+	waits  metrics.MeanAccumulator
+	grants metrics.Counter
+}
+
+// Conn is one acquired connection.
+type Conn struct {
+	p        *Pool
+	released bool
+}
+
+// New returns a pool with the given size.
+func New(eng *sim.Engine, name string, size int) (*Pool, error) {
+	if eng == nil {
+		return nil, errors.New("connpool: nil engine")
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadSize, size)
+	}
+	return &Pool{eng: eng, name: name, size: size}, nil
+}
+
+// Name returns the pool name.
+func (p *Pool) Name() string { return p.name }
+
+// Size returns the configured pool size.
+func (p *Pool) Size() int { return p.size }
+
+// InUse returns the number of connections currently held.
+func (p *Pool) InUse() int { return p.inUse }
+
+// Waiting returns the number of blocked acquirers.
+func (p *Pool) Waiting() int { return len(p.waiters) }
+
+// Acquire requests a connection; fn runs as soon as one is available, in
+// FIFO order behind earlier waiters.
+func (p *Pool) Acquire(fn func(*Conn)) {
+	if fn == nil {
+		return
+	}
+	at := p.eng.Now()
+	wrapped := func(c *Conn) {
+		p.waits.Observe((p.eng.Now() - at).Seconds())
+		fn(c)
+	}
+	if p.inUse < p.size && len(p.waiters) == 0 {
+		p.grant(wrapped)
+		return
+	}
+	p.waiters = append(p.waiters, wrapped)
+}
+
+func (p *Pool) grant(fn func(*Conn)) {
+	p.inUse++
+	p.grants.Inc(1)
+	p.held.Set(p.eng.Now(), float64(p.inUse))
+	fn(&Conn{p: p})
+}
+
+func (p *Pool) admit() {
+	for p.inUse < p.size && len(p.waiters) > 0 {
+		fn := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		p.grant(fn)
+	}
+}
+
+// Release returns the connection. Releasing twice panics — it would let
+// the pool admit more work than its size allows.
+func (c *Conn) Release() {
+	if c.released {
+		panic("connpool: connection released twice")
+	}
+	c.released = true
+	p := c.p
+	p.inUse--
+	p.held.Set(p.eng.Now(), float64(p.inUse))
+	p.admit()
+}
+
+// Resize changes the pool size at runtime. Growing admits waiters
+// immediately; shrinking is graceful — held connections stay valid and the
+// pool drains to the new size as they are released. Sizes below 1 clamp
+// to 1.
+func (p *Pool) Resize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	p.size = n
+	p.admit()
+}
+
+// Sample reports one monitoring interval of pool metrics.
+type Sample struct {
+	// Grants is the number of acquisitions in the interval.
+	Grants uint64 `json:"grants"`
+	// MeanWaitSeconds is the mean acquisition wait in the interval.
+	MeanWaitSeconds float64 `json:"meanWaitSeconds"`
+	// MeanHeld is the time-weighted mean number of held connections.
+	MeanHeld float64 `json:"meanHeld"`
+	// InUse and Waiting are instantaneous.
+	InUse   int `json:"inUse"`
+	Waiting int `json:"waiting"`
+	// Size is the pool size at sampling time.
+	Size int `json:"size"`
+}
+
+// TakeSample returns the metrics accumulated since the previous call and
+// starts a new interval.
+func (p *Pool) TakeSample() Sample {
+	wait, _ := p.waits.TakeMean()
+	return Sample{
+		Grants:          p.grants.TakeDelta(),
+		MeanWaitSeconds: wait,
+		MeanHeld:        p.held.TakeAverage(p.eng.Now()),
+		InUse:           p.inUse,
+		Waiting:         len(p.waiters),
+		Size:            p.size,
+	}
+}

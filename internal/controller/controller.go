@@ -1,0 +1,495 @@
+// Package controller implements the paper's two scaling controllers:
+//
+//   - EC2AutoScale — the hardware-only baseline of §V-B, which follows the
+//     Amazon EC2 Auto Scaling strategy: add a VM to a tier when its CPU
+//     utilization exceeds an upper threshold during one control period,
+//     and remove one only after the utilization stays below a lower
+//     threshold for several consecutive periods ("quick start but slow
+//     turn off", adopted from the AutoScale work);
+//
+//   - DCM — the paper's contribution: the same VM-level policy plus a
+//     second level that recomputes the near-optimal soft-resource
+//     allocation from the trained concurrency-aware models whenever the
+//     topology (or anything else) has driven the current allocation away
+//     from the optimum (§IV).
+//
+// Controllers are pure decision functions over a SystemView; the actuators
+// (internal/actuator) carry decisions out. That separation makes every
+// policy unit-testable without a running simulation.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/model"
+	"dcm/internal/ntier"
+)
+
+// TierStats aggregates one control period of monitoring data for a tier.
+type TierStats struct {
+	Tier string `json:"tier"`
+	// Ready is the number of VMs serving traffic; Live additionally counts
+	// VMs still in their preparation period.
+	Ready int `json:"ready"`
+	Live  int `json:"live"`
+	// MeanCPU and MaxCPU aggregate the per-VM CPU utilizations.
+	MeanCPU float64 `json:"meanCPU"`
+	MaxCPU  float64 `json:"maxCPU"`
+	// MeanActive is the mean request-processing concurrency per VM.
+	MeanActive float64 `json:"meanActive"`
+	// Throughput is the tier's aggregate completion rate.
+	Throughput float64 `json:"throughput"`
+	// Points are the fine-grained per-VM per-interval operating points
+	// (concurrency, per-server throughput) behind the aggregates — the
+	// "fine-grained measurement data" §III-C's online analysis regresses
+	// on. May be empty when only aggregates are available.
+	Points []model.Observation `json:"points,omitempty"`
+}
+
+// SystemView is everything a controller sees at one control period.
+type SystemView struct {
+	At time.Duration `json:"at"`
+	// Tiers maps tier name to its aggregated stats.
+	Tiers map[string]TierStats `json:"tiers"`
+	// Allocation is the currently applied soft-resource allocation.
+	Allocation model.Allocation `json:"allocation"`
+	// Throughput and response times are whole-system figures.
+	Throughput    float64 `json:"throughput"`
+	MeanRTSeconds float64 `json:"meanRTSeconds"`
+	P95RTSeconds  float64 `json:"p95RTSeconds"`
+}
+
+// ActionType classifies a controller decision.
+type ActionType int
+
+// Decision kinds.
+const (
+	ActionScaleOut ActionType = iota + 1
+	ActionScaleIn
+	ActionSetAllocation
+)
+
+// String returns the action name.
+func (a ActionType) String() string {
+	switch a {
+	case ActionScaleOut:
+		return "scale-out"
+	case ActionScaleIn:
+		return "scale-in"
+	case ActionSetAllocation:
+		return "set-allocation"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Action is one controller decision.
+type Action struct {
+	Type ActionType `json:"type"`
+	// Tier is the target tier for scaling actions.
+	Tier string `json:"tier,omitempty"`
+	// Allocation is the target soft allocation for ActionSetAllocation.
+	Allocation model.Allocation `json:"allocation,omitempty"`
+	// Reason is a human-readable justification, recorded in the decision
+	// log.
+	Reason string `json:"reason"`
+}
+
+// Controller is a scaling policy.
+type Controller interface {
+	// Name identifies the policy in logs and reports.
+	Name() string
+	// Evaluate inspects one control period and returns the actions to take.
+	Evaluate(view SystemView) []Action
+}
+
+// Policy holds the threshold parameters shared by both controllers,
+// matching §V-B.
+type Policy struct {
+	// UpperCPU triggers scale-out when a tier's CPU exceeds it during one
+	// control period (paper: 0.80).
+	UpperCPU float64
+	// LowerCPU and LowerConsecutive trigger scale-in when the tier's CPU
+	// stays below LowerCPU for LowerConsecutive consecutive periods
+	// (paper: 0.40 and 3).
+	LowerCPU         float64
+	LowerConsecutive int
+	// MinServers and MaxServers bound each scalable tier's size.
+	MinServers, MaxServers int
+	// ScalableTiers lists the tiers the VM-level controller manages
+	// (paper: Tomcat and MySQL; Apache is never scaled).
+	ScalableTiers []string
+}
+
+// DefaultPolicy returns the paper's §V-B parameters.
+func DefaultPolicy() Policy {
+	return Policy{
+		UpperCPU:         0.80,
+		LowerCPU:         0.40,
+		LowerConsecutive: 3,
+		MinServers:       1,
+		MaxServers:       10,
+		ScalableTiers:    []string{ntier.TierApp, ntier.TierDB},
+	}
+}
+
+// ErrBadPolicy is returned for invalid policies.
+var ErrBadPolicy = errors.New("controller: invalid policy")
+
+func (p Policy) validate() error {
+	switch {
+	case p.UpperCPU <= 0 || p.UpperCPU > 1:
+		return fmt.Errorf("%w: upper cpu %v", ErrBadPolicy, p.UpperCPU)
+	case p.LowerCPU < 0 || p.LowerCPU >= p.UpperCPU:
+		return fmt.Errorf("%w: lower cpu %v", ErrBadPolicy, p.LowerCPU)
+	case p.LowerConsecutive < 1:
+		return fmt.Errorf("%w: lower consecutive %d", ErrBadPolicy, p.LowerConsecutive)
+	case p.MinServers < 1 || p.MaxServers < p.MinServers:
+		return fmt.Errorf("%w: server bounds %d..%d", ErrBadPolicy, p.MinServers, p.MaxServers)
+	case len(p.ScalableTiers) == 0:
+		return fmt.Errorf("%w: no scalable tiers", ErrBadPolicy)
+	}
+	return nil
+}
+
+// vmLevel is the shared VM-level scaling logic ("resource-usage driven",
+// §IV): both controllers use it verbatim.
+type vmLevel struct {
+	policy Policy
+	lowRun map[string]int // consecutive low-CPU periods per tier
+}
+
+func newVMLevel(policy Policy) (*vmLevel, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	return &vmLevel{policy: policy, lowRun: make(map[string]int)}, nil
+}
+
+// evaluate returns VM-level scaling actions for one period.
+func (v *vmLevel) evaluate(view SystemView) []Action {
+	var actions []Action
+	for _, tierName := range v.policy.ScalableTiers {
+		ts, ok := view.Tiers[tierName]
+		if !ok {
+			continue
+		}
+		switch {
+		case ts.MeanCPU > v.policy.UpperCPU:
+			v.lowRun[tierName] = 0
+			// "Quick start": trigger on a single hot period — but never
+			// stack launches while one VM is already provisioning.
+			if ts.Live > ts.Ready {
+				continue
+			}
+			if ts.Live >= v.policy.MaxServers {
+				continue
+			}
+			actions = append(actions, Action{
+				Type: ActionScaleOut,
+				Tier: tierName,
+				Reason: fmt.Sprintf("cpu %.0f%% > %.0f%% upper bound",
+					ts.MeanCPU*100, v.policy.UpperCPU*100),
+			})
+		case ts.MeanCPU < v.policy.LowerCPU:
+			// "Slow turn off": require consecutive quiet periods, and
+			// never remove a VM while another change is in flight.
+			if ts.Live != ts.Ready {
+				v.lowRun[tierName] = 0
+				continue
+			}
+			v.lowRun[tierName]++
+			if v.lowRun[tierName] < v.policy.LowerConsecutive {
+				continue
+			}
+			v.lowRun[tierName] = 0
+			if ts.Ready <= v.policy.MinServers {
+				continue
+			}
+			actions = append(actions, Action{
+				Type: ActionScaleIn,
+				Tier: tierName,
+				Reason: fmt.Sprintf("cpu < %.0f%% for %d consecutive periods",
+					v.policy.LowerCPU*100, v.policy.LowerConsecutive),
+			})
+		default:
+			v.lowRun[tierName] = 0
+		}
+	}
+	return actions
+}
+
+// scaler is the VM-level decision procedure (reactive or predictive).
+type scaler interface {
+	evaluate(view SystemView) []Action
+}
+
+// EC2AutoScale is the hardware-only baseline controller.
+type EC2AutoScale struct {
+	vm scaler
+}
+
+var _ Controller = (*EC2AutoScale)(nil)
+
+// NewEC2AutoScale builds the baseline controller.
+func NewEC2AutoScale(policy Policy) (*EC2AutoScale, error) {
+	vm, err := newVMLevel(policy)
+	if err != nil {
+		return nil, err
+	}
+	return &EC2AutoScale{vm: vm}, nil
+}
+
+// NewPredictiveEC2AutoScale builds the baseline with Holt-forecast
+// scale-out (see predict.go). horizon is the lookahead in control periods
+// (0 selects the default of 2).
+func NewPredictiveEC2AutoScale(policy Policy, horizon float64) (*EC2AutoScale, error) {
+	vm, err := newPredictiveVMLevel(policy, horizon, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &EC2AutoScale{vm: vm}, nil
+}
+
+// Name implements Controller.
+func (c *EC2AutoScale) Name() string { return "ec2-autoscale" }
+
+// Evaluate implements Controller: VM-level scaling only, soft resources
+// are never touched.
+func (c *EC2AutoScale) Evaluate(view SystemView) []Action {
+	return c.vm.evaluate(view)
+}
+
+// DCMConfig parameterizes the DCM controller.
+type DCMConfig struct {
+	// Policy is the shared VM-level policy.
+	Policy Policy
+	// TomcatModel and MySQLModel are the trained concurrency-aware models
+	// (§III); DCM derives soft allocations from them.
+	TomcatModel, MySQLModel model.Params
+	// Headroom scales N_b up to a practical pool size (§III-C); default 1.
+	Headroom float64
+	// WebThreads is the fixed Apache pool size (default 1000).
+	WebThreads int
+	// OnlineTraining enables §III-C's online estimation: every control
+	// period the controller feeds the monitored (per-server concurrency,
+	// per-server throughput) points into rolling trainers and, once the
+	// operating history spans enough of the curve, replaces the static
+	// models with the freshly regressed ones. The static models remain
+	// the fallback until then — and the safety net if the online fit ever
+	// degenerates.
+	OnlineTraining bool
+	// OnlineRefitPeriods is how many control periods pass between refits
+	// (default 4).
+	OnlineRefitPeriods int
+	// Predictive switches the VM level to Holt-forecast scale-out (see
+	// predict.go): the §VI extension that hides the setup delay behind a
+	// burst's ramp. PredictiveHorizon is the lookahead in control periods
+	// (0 selects 2: one preparation period plus one control period).
+	Predictive        bool
+	PredictiveHorizon float64
+}
+
+// DCM is the paper's two-level controller.
+type DCM struct {
+	vm  scaler
+	cfg DCMConfig
+
+	appTrainers, dbTrainers map[epoch]*model.OnlineTrainer
+	periods                 int
+	onlineTomcat            model.Params
+	onlineMySQL             model.Params
+	haveOnlineTomcat        bool
+	haveOnlineMySQL         bool
+}
+
+// epoch identifies one system configuration. Operating points from
+// different configurations lie on different composite curves (a request's
+// residence in a tier depends on the other tiers' sizes and allocations),
+// so the online regression must never mix them.
+type epoch struct {
+	appReady, dbReady  int
+	appThreads, dbConn int
+}
+
+var _ Controller = (*DCM)(nil)
+
+// NewDCM builds the DCM controller.
+func NewDCM(cfg DCMConfig) (*DCM, error) {
+	vm, err := newVMLevel(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := cfg.TomcatModel.OptimalConcurrency(); !ok {
+		return nil, fmt.Errorf("controller: tomcat model: %w", model.ErrNoOptimum)
+	}
+	if _, ok := cfg.MySQLModel.OptimalConcurrency(); !ok {
+		return nil, fmt.Errorf("controller: mysql model: %w", model.ErrNoOptimum)
+	}
+	if cfg.OnlineRefitPeriods <= 0 {
+		cfg.OnlineRefitPeriods = 4
+	}
+	c := &DCM{vm: vm, cfg: cfg}
+	if cfg.Predictive {
+		pvm, err := newPredictiveVMLevel(cfg.Policy, cfg.PredictiveHorizon, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		c.vm = pvm
+	}
+	if cfg.OnlineTraining {
+		c.appTrainers = make(map[epoch]*model.OnlineTrainer)
+		c.dbTrainers = make(map[epoch]*model.OnlineTrainer)
+	}
+	return c, nil
+}
+
+// Name implements Controller.
+func (c *DCM) Name() string { return "dcm" }
+
+// Evaluate implements Controller: the VM-level decisions of the baseline,
+// plus a soft-resource reallocation whenever the model-derived optimum for
+// the *serving* topology differs from the applied allocation. Because the
+// check runs every control period against ready-server counts, the
+// APP-agent naturally fires right after a VM-level change completes — the
+// ordering §IV prescribes — and also repairs any drift.
+func (c *DCM) Evaluate(view SystemView) []Action {
+	actions := c.vm.evaluate(view)
+	if c.cfg.OnlineTraining {
+		c.observeAndRefit(view)
+	}
+
+	target, err := c.desiredAllocation(view)
+	if err != nil {
+		// Topology not visible yet (e.g. before the first sample lands).
+		return actions
+	}
+	if target != view.Allocation {
+		actions = append(actions, Action{
+			Type:       ActionSetAllocation,
+			Allocation: target,
+			Reason: fmt.Sprintf("re-optimize soft resources for %d/%d/%d serving servers",
+				readyOf(view, ntier.TierWeb), readyOf(view, ntier.TierApp), readyOf(view, ntier.TierDB)),
+		})
+	}
+	return actions
+}
+
+// observeAndRefit implements §III-C's online estimation: per-server
+// (concurrency, throughput) points flow into rolling trainers; every
+// OnlineRefitPeriods periods the models are regressed afresh. A refit only
+// replaces the working model when its optimum lies inside the observed
+// range and the fit quality is reasonable (model.Train's own guards plus
+// an R² floor).
+func (c *DCM) observeAndRefit(view SystemView) {
+	// Saturated operating points are excluded: once a server's concurrency
+	// is pinned at its pool limit, throughput is set by downstream state
+	// and queue dynamics rather than by the server's own law, so the
+	// (n, X) pair moves off the curve.
+	appLimit := float64(view.Allocation.AppThreadsPerServer)
+	appTS := view.Tiers[ntier.TierApp]
+	dbTS := view.Tiers[ntier.TierDB]
+	dbLimit := 0.0
+	if appTS.Ready > 0 && dbTS.Ready > 0 {
+		dbLimit = float64(view.Allocation.DBConnsPerAppServer*appTS.Ready) / float64(dbTS.Ready)
+	}
+	key := epoch{
+		appReady:   appTS.Ready,
+		dbReady:    dbTS.Ready,
+		appThreads: view.Allocation.AppThreadsPerServer,
+		dbConn:     view.Allocation.DBConnsPerAppServer,
+	}
+	appTrainer := c.trainerFor(c.appTrainers, key)
+	dbTrainer := c.trainerFor(c.dbTrainers, key)
+
+	feed := func(trainer *model.OnlineTrainer, ts TierStats, limit float64) {
+		if len(ts.Points) > 0 {
+			// Fine-grained per-VM per-second points: the preferred data.
+			for _, pt := range ts.Points {
+				if limit <= 0 || pt.Concurrency < 0.85*limit {
+					trainer.Observe(pt.Concurrency, pt.Throughput)
+				}
+			}
+			return
+		}
+		// Aggregate fallback (e.g. a deployment exporting only period
+		// means): usable, but skip transitional periods entirely.
+		if ts.Ready > 0 && ts.Live == ts.Ready &&
+			(limit <= 0 || ts.MeanActive < 0.85*limit) {
+			trainer.Observe(ts.MeanActive, ts.Throughput/float64(ts.Ready))
+		}
+	}
+	feed(appTrainer, appTS, appLimit)
+	feed(dbTrainer, dbTS, dbLimit)
+	c.periods++
+	if c.periods%c.cfg.OnlineRefitPeriods != 0 {
+		return
+	}
+	const minR2 = 0.9
+	if res, ok := appTrainer.TryFit(); ok && res.RSquared >= minR2 {
+		c.onlineTomcat = res.Params
+		c.haveOnlineTomcat = true
+	}
+	if res, ok := dbTrainer.TryFit(); ok && res.RSquared >= minR2 {
+		c.onlineMySQL = res.Params
+		c.haveOnlineMySQL = true
+	}
+}
+
+// trainerFor returns (creating if needed) the trainer of one configuration
+// epoch.
+func (c *DCM) trainerFor(m map[epoch]*model.OnlineTrainer, key epoch) *model.OnlineTrainer {
+	t, ok := m[key]
+	if !ok {
+		t = model.NewOnlineTrainer(model.TrainOptions{Servers: 1}, model.OnlineConfig{})
+		m[key] = t
+	}
+	return t
+}
+
+// TrainerCount reports how many configuration epochs have accumulated
+// online observations — diagnostics for tests and tools.
+func (c *DCM) TrainerCount() int { return len(c.appTrainers) }
+
+// Models returns the models the planner currently uses (online fits once
+// available, the configured ones otherwise).
+func (c *DCM) Models() (tomcat, mysql model.Params) {
+	tomcat, mysql = c.cfg.TomcatModel, c.cfg.MySQLModel
+	if c.haveOnlineTomcat {
+		tomcat = c.onlineTomcat
+	}
+	if c.haveOnlineMySQL {
+		mysql = c.onlineMySQL
+	}
+	return tomcat, mysql
+}
+
+// desiredAllocation runs the concurrency-aware planner for the current
+// serving topology.
+func (c *DCM) desiredAllocation(view SystemView) (model.Allocation, error) {
+	web := readyOf(view, ntier.TierWeb)
+	if web == 0 {
+		web = 1 // the web tier is unmanaged; assume its fixed single server
+	}
+	app := readyOf(view, ntier.TierApp)
+	db := readyOf(view, ntier.TierDB)
+	if app == 0 || db == 0 {
+		return model.Allocation{}, errors.New("controller: tier counts unavailable")
+	}
+	tomcat, mysql := c.Models()
+	return model.PlanAllocation(model.AllocationInput{
+		Tomcat:     tomcat,
+		MySQL:      mysql,
+		WebServers: web,
+		AppServers: app,
+		DBServers:  db,
+		Headroom:   c.cfg.Headroom,
+		WebThreads: c.cfg.WebThreads,
+	})
+}
+
+func readyOf(view SystemView, tier string) int {
+	return view.Tiers[tier].Ready
+}

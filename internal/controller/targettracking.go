@@ -1,0 +1,101 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+)
+
+// TargetTracking is a stronger hardware-only baseline than the paper's
+// threshold policy: the modern EC2 Auto Scaling "target tracking" strategy.
+// Each period it computes the capacity that would bring the tier's CPU to
+// the target,
+//
+//	desired = ceil(current · cpu / target)
+//
+// scaling out immediately and scaling in only after the desired capacity
+// has stayed below the current one for LowerConsecutive periods (target
+// tracking's own conservative scale-in). Like EC2AutoScale it never touches
+// soft resources, so comparing it against DCM shows that even a smarter
+// hardware-only policy cannot fix a concurrency misallocation.
+type TargetTracking struct {
+	policy Policy
+	// target is the CPU utilization setpoint (default 0.6).
+	target float64
+	lowRun map[string]int
+}
+
+var _ Controller = (*TargetTracking)(nil)
+
+// NewTargetTracking builds the target-tracking baseline. target is the CPU
+// setpoint in (0, 1); zero selects 0.6.
+func NewTargetTracking(policy Policy, target float64) (*TargetTracking, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	if target == 0 {
+		target = 0.6
+	}
+	if target <= 0 || target >= 1 {
+		return nil, fmt.Errorf("%w: target %v", ErrBadPolicy, target)
+	}
+	return &TargetTracking{
+		policy: policy,
+		target: target,
+		lowRun: make(map[string]int),
+	}, nil
+}
+
+// Name implements Controller.
+func (c *TargetTracking) Name() string { return "target-tracking" }
+
+// Evaluate implements Controller.
+func (c *TargetTracking) Evaluate(view SystemView) []Action {
+	var actions []Action
+	for _, tierName := range c.policy.ScalableTiers {
+		ts, ok := view.Tiers[tierName]
+		if !ok || ts.Ready == 0 {
+			continue
+		}
+		desired := int(math.Ceil(float64(ts.Ready) * ts.MeanCPU / c.target))
+		if desired < c.policy.MinServers {
+			desired = c.policy.MinServers
+		}
+		if desired > c.policy.MaxServers {
+			desired = c.policy.MaxServers
+		}
+		switch {
+		case desired > ts.Ready:
+			c.lowRun[tierName] = 0
+			// One launch per period, and none while a VM is provisioning —
+			// the same pacing the threshold baseline uses.
+			if ts.Live > ts.Ready || ts.Live >= c.policy.MaxServers {
+				continue
+			}
+			actions = append(actions, Action{
+				Type: ActionScaleOut,
+				Tier: tierName,
+				Reason: fmt.Sprintf("target tracking: cpu %.0f%% wants %d servers (have %d)",
+					ts.MeanCPU*100, desired, ts.Ready),
+			})
+		case desired < ts.Ready:
+			if ts.Live != ts.Ready {
+				c.lowRun[tierName] = 0
+				continue
+			}
+			c.lowRun[tierName]++
+			if c.lowRun[tierName] < c.policy.LowerConsecutive {
+				continue
+			}
+			c.lowRun[tierName] = 0
+			actions = append(actions, Action{
+				Type: ActionScaleIn,
+				Tier: tierName,
+				Reason: fmt.Sprintf("target tracking: cpu %.0f%% wants %d servers for %d periods",
+					ts.MeanCPU*100, desired, c.policy.LowerConsecutive),
+			})
+		default:
+			c.lowRun[tierName] = 0
+		}
+	}
+	return actions
+}

@@ -1,0 +1,326 @@
+// Package core implements the DCM framework of §IV (Fig. 3): it wires the
+// fine-grained resource monitor, the intermediate storage server (bus),
+// the optimization controller, and the two actuators around a running
+// n-tier application.
+//
+// Every control period (the paper uses 15 s) the framework consumes the
+// monitoring samples accumulated on the bus, aggregates them into a
+// SystemView, asks the controller for decisions, and carries the decisions
+// out through the VM-agent and APP-agent. The full view history and action
+// log are retained so experiments can reconstruct every time series in
+// Fig. 5.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/actuator"
+	"dcm/internal/bus"
+	"dcm/internal/cloud"
+	"dcm/internal/controller"
+	"dcm/internal/model"
+	"dcm/internal/monitor"
+	"dcm/internal/ntier"
+	"dcm/internal/sim"
+)
+
+// Config parameterizes the framework.
+type Config struct {
+	// ControlPeriod is the controller's evaluation cadence (paper: 15 s).
+	ControlPeriod time.Duration
+	// MonitorInterval is the monitoring agents' cadence (paper: 1 s).
+	MonitorInterval time.Duration
+	// PrepDelay is the VM preparation period (paper: 15 s).
+	PrepDelay time.Duration
+	// BusRetention bounds each bus topic (0 keeps everything; experiments
+	// that inspect raw samples want everything, long production runs
+	// don't).
+	BusRetention int
+}
+
+// withDefaults fills in the paper's parameters.
+func (c Config) withDefaults() Config {
+	if c.ControlPeriod <= 0 {
+		c.ControlPeriod = 15 * time.Second
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = time.Second
+	}
+	if c.PrepDelay < 0 {
+		c.PrepDelay = 0
+	} else if c.PrepDelay == 0 {
+		c.PrepDelay = 15 * time.Second
+	}
+	return c
+}
+
+// ActionRecord is one dispatched controller action.
+type ActionRecord struct {
+	At     time.Duration     `json:"at"`
+	Action controller.Action `json:"action"`
+	// VM is the affected VM for scaling actions.
+	VM string `json:"vm,omitempty"`
+	// Err records a dispatch failure (empty on success).
+	Err string `json:"err,omitempty"`
+}
+
+// ErrBadFramework is returned for invalid construction.
+var ErrBadFramework = errors.New("core: invalid framework")
+
+// Framework is the assembled DCM (or baseline) control plane.
+type Framework struct {
+	eng  *sim.Engine
+	app  *ntier.App
+	ctrl controller.Controller
+	cfg  Config
+
+	b        *bus.Bus
+	hv       *cloud.Hypervisor
+	fleet    *monitor.Fleet
+	vmAgent  *actuator.VMAgent
+	appAgent *actuator.AppAgent
+
+	serverC *bus.Consumer
+	systemC *bus.Consumer
+
+	history []controller.SystemView
+	actions []ActionRecord
+	stop    func()
+}
+
+// New assembles a framework around app with the given controller.
+func New(eng *sim.Engine, app *ntier.App, ctrl controller.Controller, cfg Config) (*Framework, error) {
+	if eng == nil || app == nil || ctrl == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrBadFramework)
+	}
+	cfg = cfg.withDefaults()
+
+	b := bus.New()
+	if cfg.BusRetention > 0 {
+		if err := b.CreateTopic(monitor.TopicServerMetrics, cfg.BusRetention); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := b.CreateTopic(monitor.TopicSystemMetrics, cfg.BusRetention); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	fleet, err := monitor.NewFleet(eng, b, app, cfg.MonitorInterval)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	hv := cloud.NewHypervisor(eng, cfg.PrepDelay)
+	vmAgent, err := actuator.NewVMAgent(eng, hv, app, fleet)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	appAgent, err := actuator.NewAppAgent(eng, app)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Framework{
+		eng:      eng,
+		app:      app,
+		ctrl:     ctrl,
+		cfg:      cfg,
+		b:        b,
+		hv:       hv,
+		fleet:    fleet,
+		vmAgent:  vmAgent,
+		appAgent: appAgent,
+		serverC:  b.NewConsumer(monitor.TopicServerMetrics, 0),
+		systemC:  b.NewConsumer(monitor.TopicSystemMetrics, 0),
+	}, nil
+}
+
+// Accessors for the assembled components.
+
+// Bus returns the intermediate storage server.
+func (f *Framework) Bus() *bus.Bus { return f.b }
+
+// Hypervisor returns the simulated cloud substrate.
+func (f *Framework) Hypervisor() *cloud.Hypervisor { return f.hv }
+
+// Fleet returns the monitoring fleet.
+func (f *Framework) Fleet() *monitor.Fleet { return f.fleet }
+
+// VMAgent returns the VM-level actuator.
+func (f *Framework) VMAgent() *actuator.VMAgent { return f.vmAgent }
+
+// AppAgent returns the soft-resource actuator.
+func (f *Framework) AppAgent() *actuator.AppAgent { return f.appAgent }
+
+// Controller returns the active policy.
+func (f *Framework) Controller() controller.Controller { return f.ctrl }
+
+// Start begins monitoring and the control loop. Start is idempotent.
+func (f *Framework) Start() error {
+	if f.stop != nil {
+		return nil
+	}
+	if err := f.fleet.Start(); err != nil {
+		return fmt.Errorf("core: start fleet: %w", err)
+	}
+	f.stop = f.eng.Ticker(f.cfg.ControlPeriod, f.controlStep)
+	return nil
+}
+
+// Stop halts the control loop and the monitoring fleet.
+func (f *Framework) Stop() {
+	if f.stop != nil {
+		f.stop()
+		f.stop = nil
+	}
+	f.fleet.Stop()
+}
+
+// controlStep runs one control period: consume, aggregate, decide, act.
+func (f *Framework) controlStep() {
+	view := f.buildView()
+	f.history = append(f.history, view)
+	for _, action := range f.ctrl.Evaluate(view) {
+		rec := ActionRecord{At: f.eng.Now(), Action: action}
+		switch action.Type {
+		case controller.ActionScaleOut:
+			vm, err := f.vmAgent.ScaleOut(action.Tier)
+			rec.VM = vm
+			if err != nil {
+				rec.Err = err.Error()
+			}
+		case controller.ActionScaleIn:
+			vm, err := f.vmAgent.ScaleIn(action.Tier)
+			rec.VM = vm
+			if err != nil {
+				rec.Err = err.Error()
+			}
+		case controller.ActionSetAllocation:
+			f.appAgent.Apply(action.Allocation)
+		default:
+			rec.Err = fmt.Sprintf("unknown action type %v", action.Type)
+		}
+		f.actions = append(f.actions, rec)
+	}
+}
+
+// buildView aggregates the bus samples accumulated since the previous
+// control step.
+func (f *Framework) buildView() controller.SystemView {
+	view := controller.SystemView{
+		At:         f.eng.Now(),
+		Tiers:      make(map[string]controller.TierStats, 3),
+		Allocation: f.app.Allocation(),
+	}
+
+	// Which VMs count: only servers currently accepting traffic. Samples
+	// from draining or already-removed servers would bias the tier
+	// averages (e.g. a draining server's idle CPU suggesting scale-in).
+	accepting := make(map[string]string) // vm -> tier
+	for _, tierName := range ntier.Tiers() {
+		ready := 0
+		for _, m := range f.app.Members(tierName) {
+			if m.Accepting() {
+				accepting[m.Name()] = tierName
+				ready++
+			}
+		}
+		view.Tiers[tierName] = controller.TierStats{
+			Tier:  tierName,
+			Ready: ready,
+			Live:  ready + f.vmAgent.Pending(tierName),
+		}
+	}
+
+	type agg struct {
+		cpuSum, activeSum, tpSum float64
+		maxCPU                   float64
+		n                        int
+		points                   []model.Observation
+	}
+	aggs := make(map[string]*agg, 3)
+
+	msgs, err := f.serverC.Poll(0)
+	if err == nil {
+		for _, m := range msgs {
+			s, ok := m.Value.(monitor.ServerSample)
+			if !ok {
+				continue
+			}
+			tierName, ok := accepting[s.VM]
+			if !ok {
+				continue
+			}
+			a := aggs[tierName]
+			if a == nil {
+				a = &agg{}
+				aggs[tierName] = a
+			}
+			a.cpuSum += s.CPUUtil
+			a.activeSum += s.ActiveThreads
+			a.tpSum += s.Throughput
+			if s.CPUUtil > a.maxCPU {
+				a.maxCPU = s.CPUUtil
+			}
+			a.n++
+			// Keep the fine-grained per-VM operating point for online
+			// model estimation (§III-C).
+			a.points = append(a.points, model.Observation{
+				Concurrency: s.ActiveThreads,
+				Throughput:  s.Throughput,
+			})
+		}
+	}
+	periods := f.cfg.ControlPeriod.Seconds() / f.cfg.MonitorInterval.Seconds()
+	for tierName, a := range aggs {
+		ts := view.Tiers[tierName]
+		ts.MeanCPU = a.cpuSum / float64(a.n)
+		ts.MaxCPU = a.maxCPU
+		ts.MeanActive = a.activeSum / float64(a.n)
+		// Each sample's Throughput covers one monitor interval; the tier
+		// rate over the period sums per-VM rates.
+		ts.Throughput = a.tpSum / periods
+		ts.Points = a.points
+		view.Tiers[tierName] = ts
+	}
+
+	var (
+		tpSum, rtSum float64
+		p95          float64
+		n            int
+	)
+	sysMsgs, err := f.systemC.Poll(0)
+	if err == nil {
+		for _, m := range sysMsgs {
+			s, ok := m.Value.(monitor.SystemSample)
+			if !ok {
+				continue
+			}
+			tpSum += s.Throughput
+			rtSum += s.MeanRTSeconds
+			if s.P95RTSeconds > p95 {
+				p95 = s.P95RTSeconds
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		view.Throughput = tpSum / float64(n)
+		view.MeanRTSeconds = rtSum / float64(n)
+		view.P95RTSeconds = p95
+	}
+	return view
+}
+
+// History returns a copy of every control-period view so far.
+func (f *Framework) History() []controller.SystemView {
+	out := make([]controller.SystemView, len(f.history))
+	copy(out, f.history)
+	return out
+}
+
+// Actions returns a copy of the dispatched-action log.
+func (f *Framework) Actions() []ActionRecord {
+	out := make([]ActionRecord, len(f.actions))
+	copy(out, f.actions)
+	return out
+}

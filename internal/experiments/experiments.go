@@ -1,0 +1,67 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§II and §V). Each harness builds the simulated
+// testbed, drives the paper's workload, and returns the rows or series the
+// paper reports; the top-level benchmarks (bench_test.go) print them.
+//
+// DESIGN.md's per-experiment index maps each harness to its experiment ID;
+// EXPERIMENTS.md records paper-reported vs measured values.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dcm/internal/metrics"
+	"dcm/internal/ntier"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+	"dcm/internal/workload"
+)
+
+// Measurement is one steady-state load measurement.
+type Measurement struct {
+	// Throughput is completed requests per second over the measurement
+	// window.
+	Throughput float64 `json:"throughput"`
+	// RT summarizes end-to-end response times in the window.
+	RT metrics.Summary `json:"rt"`
+	// Errors is the number of failed requests.
+	Errors uint64 `json:"errors"`
+}
+
+// steadyState builds an app from cfg, drives it with a closed loop of
+// users (think time think), discards warmup, and measures for measure.
+func steadyState(seed uint64, cfg ntier.Config, users int, think, warmup, measure time.Duration) (Measurement, error) {
+	eng := sim.NewEngine()
+	root := rng.New(seed)
+	app, err := ntier.New(eng, root.Split("app"), cfg)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("experiments: %w", err)
+	}
+	wl, err := workload.NewClosedLoop(eng, root.Split("wl"), app, workload.ClosedLoopConfig{
+		Users:     users,
+		ThinkTime: think,
+	})
+	if err != nil {
+		return Measurement{}, fmt.Errorf("experiments: %w", err)
+	}
+	wl.Start()
+	if err := eng.Run(warmup); err != nil {
+		return Measurement{}, fmt.Errorf("experiments: warmup: %w", err)
+	}
+	app.TakeStats() // discard warmup interval
+	if err := eng.Run(warmup + measure); err != nil {
+		return Measurement{}, fmt.Errorf("experiments: measure: %w", err)
+	}
+	st := app.TakeStats()
+	return Measurement{
+		Throughput: float64(st.Completions) / measure.Seconds(),
+		RT:         st.RT,
+		Errors:     st.Errors,
+	}, nil
+}
+
+// fmtF renders a float for the report tables.
+func fmtF(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dcm/internal/metrics"
+	"dcm/internal/ntier"
+	"dcm/internal/rng"
+	"dcm/internal/server"
+	"dcm/internal/sim"
+	"dcm/internal/workload"
+)
+
+// Fig2aRow is one point of Fig. 2(a): MySQL performance at a fixed request
+// processing concurrency (workload concurrency matched to the pool size,
+// exactly as §II-B stresses MySQL with Jmeter).
+type Fig2aRow struct {
+	Concurrency int     `json:"concurrency"`
+	QueriesPerS float64 `json:"queriesPerS"`
+	MeanRTms    float64 `json:"meanRTms"`
+}
+
+// DefaultFig2aConcurrencies mirrors the paper's 5→600 sweep.
+func DefaultFig2aConcurrencies() []int {
+	return []int{5, 10, 20, 30, 36, 40, 60, 80, 120, 160, 240, 320, 480, 600}
+}
+
+// Fig2aMySQLSweep stresses a standalone MySQL server at each concurrency
+// level with a matching thread pool and zero-think closed-loop load —
+// reproducing Fig. 2(a). The expected shape: throughput peaks near N≈40
+// and declines steeply afterwards while per-query latency grows
+// superlinearly.
+func Fig2aMySQLSweep(seed uint64, concurrencies []int, measure time.Duration) ([]Fig2aRow, error) {
+	if len(concurrencies) == 0 {
+		concurrencies = DefaultFig2aConcurrencies()
+	}
+	if measure <= 0 {
+		measure = 20 * time.Second
+	}
+	cfg := ntier.DefaultConfig()
+	rows := make([]Fig2aRow, 0, len(concurrencies))
+	for _, n := range concurrencies {
+		row, err := fig2aPoint(seed, cfg, n, measure)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func fig2aPoint(seed uint64, cfg ntier.Config, n int, measure time.Duration) (Fig2aRow, error) {
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, rng.New(seed).Split(fmt.Sprintf("db/%d", n)), server.Config{
+		Name:       "mysql",
+		Model:      cfg.DBModel,
+		PoolSize:   n, // matching thread pool, as in §II-B
+		ThrashKnee: cfg.DBThrashKnee,
+		ThrashCoef: cfg.DBThrashCoef,
+		ThrashCap:  cfg.DBThrashCap,
+	})
+	if err != nil {
+		return Fig2aRow{}, fmt.Errorf("experiments: fig2a: %w", err)
+	}
+	var rts metrics.MeanAccumulator
+	var cycle func()
+	cycle = func() {
+		start := eng.Now()
+		srv.Acquire(func(sess *server.Session) {
+			sess.Exec(func() {
+				rts.Observe((eng.Now() - start).Seconds())
+				sess.Release()
+				cycle()
+			})
+		})
+	}
+	for i := 0; i < n; i++ {
+		cycle()
+	}
+	warmup := 5 * time.Second
+	if err := eng.Run(warmup); err != nil {
+		return Fig2aRow{}, fmt.Errorf("experiments: fig2a warmup: %w", err)
+	}
+	srv.TakeSample()
+	rts.TakeMean()
+	if err := eng.Run(warmup + measure); err != nil {
+		return Fig2aRow{}, fmt.Errorf("experiments: fig2a measure: %w", err)
+	}
+	s := srv.TakeSample()
+	mean, _ := rts.TakeMean()
+	return Fig2aRow{
+		Concurrency: n,
+		QueriesPerS: float64(s.Completions) / measure.Seconds(),
+		MeanRTms:    mean * 1000,
+	}, nil
+}
+
+// Fig2bResult reproduces Fig. 2(b) as the paper describes it: a 1/1/1
+// system under sustained high workload scales its Tomcat tier out at
+// runtime. Without soft-resource adaptation the new Tomcat brings its own
+// default 80-connection pool, the maximum concurrency reaching MySQL
+// doubles to 160, and the join transient kicks MySQL into its collapsed
+// regime — throughput *decreases* although hardware was added.
+// Reallocating the connection pools to 40 per Tomcat at the moment of
+// scaling (the fix §II-B prescribes) avoids the trap entirely.
+type Fig2bResult struct {
+	Users int `json:"users"`
+	// XBefore is steady-state throughput of 1/1/1 before the scale-out.
+	XBefore float64 `json:"xBefore"`
+	// XAfterDefault and XAfterCorrected are steady-state throughput after
+	// the second Tomcat joined, without and with conn-pool reallocation.
+	XAfterDefault   float64 `json:"xAfterDefault"`
+	XAfterCorrected float64 `json:"xAfterCorrected"`
+	// SeriesDefault and SeriesCorrected are per-second throughput across
+	// the scaling event (the figure's time axis; the event is at the
+	// midpoint... one phase in).
+	SeriesDefault   []float64 `json:"seriesDefault"`
+	SeriesCorrected []float64 `json:"seriesCorrected"`
+	// ScaleAtSecond is the index in the series where the second Tomcat
+	// joined.
+	ScaleAtSecond int `json:"scaleAtSecond"`
+}
+
+// Fig2bScaleOut runs the dynamic scale-out experiment at the given
+// sustained user population (default 3000, which saturates the 1/1/1
+// system). phase is how long each phase runs (default 60 s).
+func Fig2bScaleOut(seed uint64, users int, phase time.Duration) (Fig2bResult, error) {
+	if users <= 0 {
+		users = 3000
+	}
+	if phase <= 0 {
+		phase = 60 * time.Second
+	}
+	res := Fig2bResult{Users: users, ScaleAtSecond: int(phase.Seconds())}
+
+	runOnce := func(correct bool) (before, after float64, series []float64, err error) {
+		eng := sim.NewEngine()
+		root := rng.New(seed)
+		cfg := ntier.DefaultConfig() // 1/1/1, 1000/100/80
+		app, err := ntier.New(eng, root.Split("app"), cfg)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("experiments: fig2b: %w", err)
+		}
+		wl, err := workload.NewClosedLoop(eng, root.Split("wl"), app, workload.ClosedLoopConfig{
+			Users:     users,
+			ThinkTime: 3 * time.Second,
+		})
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("experiments: fig2b: %w", err)
+		}
+		wl.Start()
+		stopSeries := eng.Ticker(time.Second, func() {
+			st := app.TakeStats()
+			series = append(series, float64(st.Completions))
+		})
+		defer stopSeries()
+
+		// Phase A: settle and measure 1/1/1.
+		if err := eng.Run(phase); err != nil {
+			return 0, 0, nil, fmt.Errorf("experiments: fig2b phase A: %w", err)
+		}
+		before = meanTail(series, int(phase.Seconds())/2)
+
+		// Scale out: the second Tomcat joins at runtime. The corrected
+		// variant reallocates the DB connection pools at the same moment,
+		// exactly as §II-B prescribes (40 total at MySQL).
+		if correct {
+			// §II-B's fix: 20 connections per Tomcat, so the maximum
+			// concurrency reaching MySQL is 40.
+			app.SetDBConnsPerApp(20)
+		}
+		if _, err := app.AddServer(ntier.TierApp, ""); err != nil {
+			return 0, 0, nil, fmt.Errorf("experiments: fig2b scale out: %w", err)
+		}
+
+		// Phase B: measure the scaled system's steady state.
+		if err := eng.Run(3 * phase); err != nil {
+			return 0, 0, nil, fmt.Errorf("experiments: fig2b phase B: %w", err)
+		}
+		after = meanTail(series, int(phase.Seconds()))
+		return before, after, series, nil
+	}
+
+	var err error
+	res.XBefore, res.XAfterDefault, res.SeriesDefault, err = runOnce(false)
+	if err != nil {
+		return res, err
+	}
+	_, res.XAfterCorrected, res.SeriesCorrected, err = runOnce(true)
+	if err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// meanTail averages the last n values of series.
+func meanTail(series []float64, n int) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	if n <= 0 || n > len(series) {
+		n = len(series)
+	}
+	sum := 0.0
+	for _, v := range series[len(series)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// RenderFig2a renders the sweep as an aligned table.
+func RenderFig2a(rows []Fig2aRow) string {
+	tb := metrics.NewTable("concurrency", "queries/s", "mean RT (ms)")
+	for _, r := range rows {
+		tb.AddRow(fmt.Sprintf("%d", r.Concurrency), fmtF(r.QueriesPerS, 1), fmtF(r.MeanRTms, 2))
+	}
+	return tb.String()
+}
+
+// RenderFig2b renders the dynamic scale-out comparison.
+func RenderFig2b(r Fig2bResult) string {
+	tb := metrics.NewTable("phase", "throughput (req/s)")
+	tb.AddRow("1/1/1 before scale-out", fmtF(r.XBefore, 1))
+	tb.AddRow("1/2/1 default 80 conns each", fmtF(r.XAfterDefault, 1))
+	tb.AddRow("1/2/1 corrected 20 conns each", fmtF(r.XAfterCorrected, 1))
+	return tb.String()
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dcm/internal/metrics"
+	"dcm/internal/ntier"
+)
+
+// Allocation labels a soft-resource setting under comparison.
+type Allocation struct {
+	// Label is the paper's #W_T/#A_T/#A_C notation.
+	Label string `json:"label"`
+	// AppThreads and DBConnsPerApp are the per-server values.
+	AppThreads    int `json:"appThreads"`
+	DBConnsPerApp int `json:"dbConnsPerApp"`
+	// Optimal marks the model-predicted allocation.
+	Optimal bool `json:"optimal"`
+}
+
+// Fig4Row is one workload level of Fig. 4: system throughput under each
+// candidate allocation.
+type Fig4Row struct {
+	Users int `json:"users"`
+	// Throughput maps allocation label to requests/s.
+	Throughput map[string]float64 `json:"throughput"`
+	// MeanRTms maps allocation label to mean response time.
+	MeanRTms map[string]float64 `json:"meanRTms"`
+}
+
+// DefaultFig4Users sweeps the user population as Fig. 4 does.
+func DefaultFig4Users() []int {
+	return []int{200, 600, 1000, 1500, 2000, 2500, 3000}
+}
+
+// Fig4aAllocations returns the five representative Tomcat thread-pool
+// allocations of Fig. 4(a), including the model's optimum (1000/20/80) and
+// the default (1000/100/80).
+func Fig4aAllocations() []Allocation {
+	return []Allocation{
+		{Label: "1000/2/80", AppThreads: 2, DBConnsPerApp: 80},
+		{Label: "1000/10/80", AppThreads: 10, DBConnsPerApp: 80},
+		{Label: "1000/20/80", AppThreads: 20, DBConnsPerApp: 80, Optimal: true},
+		{Label: "1000/100/80", AppThreads: 100, DBConnsPerApp: 80},
+		{Label: "1000/400/80", AppThreads: 400, DBConnsPerApp: 80},
+	}
+}
+
+// Fig4bAllocations returns the five representative DB-connection-pool
+// allocations of Fig. 4(b) for the 1/2/1 system: the optimum gives each of
+// the two Tomcats half of the MySQL tier's optimal concurrency
+// (1000/100/18), and the default keeps 80 connections per Tomcat.
+func Fig4bAllocations() []Allocation {
+	return []Allocation{
+		{Label: "1000/100/2", AppThreads: 100, DBConnsPerApp: 2},
+		{Label: "1000/100/4", AppThreads: 100, DBConnsPerApp: 4},
+		{Label: "1000/100/18", AppThreads: 100, DBConnsPerApp: 18, Optimal: true},
+		{Label: "1000/100/40", AppThreads: 100, DBConnsPerApp: 40},
+		{Label: "1000/100/80", AppThreads: 100, DBConnsPerApp: 80},
+	}
+}
+
+// Fig4Validation measures the RUBBoS-client workload (3 s think time)
+// against each allocation at each user level. appServers selects the
+// topology: 1 reproduces Fig. 4(a), 2 reproduces Fig. 4(b).
+func Fig4Validation(seed uint64, appServers int, allocations []Allocation, users []int, measure time.Duration) ([]Fig4Row, error) {
+	if appServers < 1 {
+		return nil, fmt.Errorf("experiments: fig4: app servers %d", appServers)
+	}
+	if len(users) == 0 {
+		users = DefaultFig4Users()
+	}
+	if measure <= 0 {
+		measure = 20 * time.Second
+	}
+	const think = 3 * time.Second
+	warmup := 10 * time.Second
+
+	rows := make([]Fig4Row, 0, len(users))
+	for _, u := range users {
+		row := Fig4Row{
+			Users:      u,
+			Throughput: make(map[string]float64, len(allocations)),
+			MeanRTms:   make(map[string]float64, len(allocations)),
+		}
+		for _, alloc := range allocations {
+			cfg := ntier.DefaultConfig()
+			cfg.AppServers = appServers
+			cfg.AppThreads = alloc.AppThreads
+			cfg.DBConnsPerApp = alloc.DBConnsPerApp
+			m, err := steadyState(seed, cfg, u, think, warmup, measure)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 %s at %d users: %w", alloc.Label, u, err)
+			}
+			row.Throughput[alloc.Label] = m.Throughput
+			row.MeanRTms[alloc.Label] = m.RT.Mean * 1000
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4a runs the Fig. 4(a) validation (1/1/1, Tomcat thread pool sweep).
+func Fig4a(seed uint64, users []int, measure time.Duration) ([]Fig4Row, []Allocation, error) {
+	allocs := Fig4aAllocations()
+	rows, err := Fig4Validation(seed, 1, allocs, users, measure)
+	return rows, allocs, err
+}
+
+// Fig4b runs the Fig. 4(b) validation (1/2/1, DB connection pool sweep).
+func Fig4b(seed uint64, users []int, measure time.Duration) ([]Fig4Row, []Allocation, error) {
+	allocs := Fig4bAllocations()
+	rows, err := Fig4Validation(seed, 2, allocs, users, measure)
+	return rows, allocs, err
+}
+
+// PlateauThroughput returns each allocation's throughput at the highest
+// user level — the saturated plateau the paper's claim ("the optimal
+// allocation outperforms the others") is about.
+func PlateauThroughput(rows []Fig4Row) map[string]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	last := rows[len(rows)-1]
+	out := make(map[string]float64, len(last.Throughput))
+	for k, v := range last.Throughput {
+		out[k] = v
+	}
+	return out
+}
+
+// RenderFig4 renders the validation as an aligned table.
+func RenderFig4(rows []Fig4Row, allocs []Allocation) string {
+	header := make([]string, 0, len(allocs)+1)
+	header = append(header, "users")
+	for _, a := range allocs {
+		label := a.Label
+		if a.Optimal {
+			label += " (opt)"
+		}
+		header = append(header, label)
+	}
+	tb := metrics.NewTable(header...)
+	for _, r := range rows {
+		cells := make([]string, 0, len(allocs)+1)
+		cells = append(cells, fmt.Sprintf("%d", r.Users))
+		for _, a := range allocs {
+			cells = append(cells, fmtF(r.Throughput[a.Label], 1))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb.String()
+}

@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/cloud"
+	"dcm/internal/controller"
+	"dcm/internal/core"
+	"dcm/internal/metrics"
+	"dcm/internal/model"
+	"dcm/internal/monitor"
+	"dcm/internal/ntier"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+	"dcm/internal/trace"
+	"dcm/internal/workload"
+)
+
+// ControllerKind selects the scaling policy of a scenario.
+type ControllerKind string
+
+// Scenario controllers.
+const (
+	// ControllerDCM is the paper's two-level controller.
+	ControllerDCM ControllerKind = "dcm"
+	// ControllerEC2 is the hardware-only baseline.
+	ControllerEC2 ControllerKind = "ec2-autoscale"
+	// ControllerDCMSoftOnly is the A1 ablation: the APP-agent alone, with
+	// VM-level scaling disabled (MaxServers = 1).
+	ControllerDCMSoftOnly ControllerKind = "dcm-soft-only"
+	// ControllerNone runs with no controller actions at all (static
+	// baseline).
+	ControllerNone ControllerKind = "none"
+	// ControllerDCMPredictive is DCM with Holt-forecast scale-out (the §VI
+	// "predictive approaches" extension).
+	ControllerDCMPredictive ControllerKind = "dcm-predictive"
+	// ControllerEC2Predictive is the hardware-only baseline with the same
+	// forecaster.
+	ControllerEC2Predictive ControllerKind = "ec2-predictive"
+	// ControllerTargetTracking is the modern EC2 target-tracking policy —
+	// a stronger hardware-only baseline that still never touches soft
+	// resources.
+	ControllerTargetTracking ControllerKind = "target-tracking"
+)
+
+// ScenarioConfig parameterizes a Fig. 5-style run.
+type ScenarioConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Kind selects the controller.
+	Kind ControllerKind
+	// Trace is the user-population trace; nil selects the synthetic
+	// "large variation" trace (§V-B).
+	Trace *trace.Trace
+	// ThinkTime is the client think time (paper: 3 s mean).
+	ThinkTime time.Duration
+	// ControlPeriod and PrepDelay default to the paper's 15 s each.
+	ControlPeriod, PrepDelay time.Duration
+	// Policy overrides the threshold policy (zero value selects
+	// controller.DefaultPolicy()).
+	Policy *controller.Policy
+	// TomcatModel and MySQLModel are the trained models for DCM; zero
+	// values select TrainedModels().
+	TomcatModel, MySQLModel model.Params
+	// OnlineTraining enables §III-C's online re-estimation inside the DCM
+	// controller (see controller.DCMConfig.OnlineTraining).
+	OnlineTraining bool
+	// InitialAllocation is #W_T/#A_T/#A_C at the start (paper Fig. 5:
+	// 1000/200/40).
+	InitialAllocation model.Allocation
+	// Tail extends the run past the trace end (default 30 s).
+	Tail time.Duration
+	// NoiseSigma adds service-time noise (default 0: deterministic).
+	NoiseSigma float64
+	// ServletMix serves the heterogeneous RUBBoS request classes
+	// (ntier.DefaultServlets) instead of the uniform calibration class.
+	ServletMix bool
+	// Bursty, when non-nil, replaces the trace-driven workload with the
+	// Markov-modulated burstiness-injection model of Mi et al. ([23]);
+	// Horizon then bounds the run (default 600 s).
+	Bursty  *workload.BurstyConfig
+	Horizon time.Duration
+}
+
+// ScenarioResult holds the per-second series Fig. 5 plots plus the
+// decision and scaling logs.
+type ScenarioResult struct {
+	Kind ControllerKind `json:"kind"`
+	// Seconds is the time axis; all series are aligned to it.
+	Seconds []float64 `json:"seconds"`
+	// Users is the trace's population.
+	Users []int `json:"users"`
+	// Throughput, MeanRT and P95RT are per-second system series
+	// (Fig. 5(a)(b)).
+	Throughput []float64 `json:"throughput"`
+	MeanRTSec  []float64 `json:"meanRTSec"`
+	P95RTSec   []float64 `json:"p95RTSec"`
+	// AppResSec and DBResSec attribute latency to tiers per second: app
+	// thread occupancy per request and per-query DB time.
+	AppResSec []float64 `json:"appResSec"`
+	DBResSec  []float64 `json:"dbResSec"`
+	// TierCounts and TierCPU are per-second per-tier series
+	// (Fig. 5(c)–(f)). Counts include provisioning VMs.
+	TierCounts map[string][]int     `json:"tierCounts"`
+	TierCPU    map[string][]float64 `json:"tierCPU"`
+	// Actions is the controller's dispatched-action log; VMEvents is the
+	// hypervisor's audit log (the scaling marks on the figures).
+	Actions  []core.ActionRecord `json:"actions"`
+	VMEvents []cloud.Event       `json:"vmEvents"`
+	// TotalCompleted and TotalErrors are lifetime request counts.
+	TotalCompleted uint64 `json:"totalCompleted"`
+	TotalErrors    uint64 `json:"totalErrors"`
+	// FinalAllocation is the soft allocation at the end of the run.
+	FinalAllocation model.Allocation `json:"finalAllocation"`
+}
+
+// RunScenario executes one §V-B scenario.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Trace == nil {
+		cfg.Trace = trace.SynthesizeLargeVariation(cfg.Seed)
+	}
+	if cfg.ThinkTime <= 0 {
+		cfg.ThinkTime = 3 * time.Second
+	}
+	if cfg.Tail <= 0 {
+		cfg.Tail = 30 * time.Second
+	}
+	if cfg.InitialAllocation == (model.Allocation{}) {
+		cfg.InitialAllocation = model.Allocation{
+			WebThreadsPerServer: 1000,
+			AppThreadsPerServer: 200,
+			DBConnsPerAppServer: 40,
+		}
+	}
+
+	eng := sim.NewEngine()
+	root := rng.New(cfg.Seed)
+
+	appCfg := ntier.DefaultConfig()
+	appCfg.WebThreads = cfg.InitialAllocation.WebThreadsPerServer
+	appCfg.AppThreads = cfg.InitialAllocation.AppThreadsPerServer
+	appCfg.DBConnsPerApp = cfg.InitialAllocation.DBConnsPerAppServer
+	appCfg.NoiseSigma = cfg.NoiseSigma
+	if cfg.ServletMix {
+		appCfg.Servlets = ntier.DefaultServlets()
+	}
+	app, err := ntier.New(eng, root.Split("app"), appCfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario app: %w", err)
+	}
+
+	ctrl, err := buildController(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.New(eng, app, ctrl, core.Config{
+		ControlPeriod:   cfg.ControlPeriod,
+		MonitorInterval: time.Second,
+		PrepDelay:       cfg.PrepDelay,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scenario framework: %w", err)
+	}
+	if err := fw.Start(); err != nil {
+		return nil, fmt.Errorf("experiments: scenario start: %w", err)
+	}
+
+	var stopWorkload func()
+	if cfg.Bursty != nil {
+		bl, err := workload.NewBurstyLoop(eng, root.Split("wl"), app, *cfg.Bursty)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario workload: %w", err)
+		}
+		bl.Start()
+		stopWorkload = bl.Stop
+	} else {
+		wl, err := workload.NewTraceDriven(eng, root.Split("wl"), app, cfg.Trace, cfg.ThinkTime, time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario workload: %w", err)
+		}
+		wl.Start()
+		stopWorkload = wl.Stop
+	}
+
+	horizon := cfg.Trace.Duration() + cfg.Tail
+	if cfg.Bursty != nil {
+		horizon = cfg.Horizon
+		if horizon <= 0 {
+			horizon = 600 * time.Second
+		}
+	}
+	res := &ScenarioResult{
+		Kind:       cfg.Kind,
+		TierCounts: map[string][]int{},
+		TierCPU:    map[string][]float64{},
+	}
+	// Per-second topology sampler (server counts incl. provisioning VMs).
+	stopSampler := eng.Ticker(time.Second, func() {
+		for _, tierName := range ntier.Tiers() {
+			count := app.ServerCount(tierName) + fw.VMAgent().Pending(tierName)
+			res.TierCounts[tierName] = append(res.TierCounts[tierName], count)
+		}
+	})
+	if err := eng.Run(horizon); err != nil {
+		return nil, fmt.Errorf("experiments: scenario run: %w", err)
+	}
+	stopSampler()
+	stopWorkload()
+	fw.Stop()
+
+	if err := collectSeries(fw, res, horizon); err != nil {
+		return nil, err
+	}
+	res.Users = make([]int, len(res.Seconds))
+	for i, s := range res.Seconds {
+		if cfg.Bursty != nil {
+			res.Users[i] = cfg.Bursty.Users
+		} else {
+			res.Users[i] = cfg.Trace.UsersAt(time.Duration(s * float64(time.Second)))
+		}
+	}
+	res.Actions = fw.Actions()
+	res.VMEvents = fw.Hypervisor().Events()
+	res.TotalCompleted = app.TotalCompletions()
+	res.TotalErrors = app.TotalErrors()
+	res.FinalAllocation = app.Allocation()
+	return res, nil
+}
+
+// buildController constructs the scenario's policy.
+func buildController(cfg ScenarioConfig) (controller.Controller, error) {
+	policy := controller.DefaultPolicy()
+	if cfg.Policy != nil {
+		policy = *cfg.Policy
+	}
+	tomcat, mysql := cfg.TomcatModel, cfg.MySQLModel
+	if tomcat == (model.Params{}) || mysql == (model.Params{}) {
+		tomcat, mysql = TrainedModels()
+	}
+	switch cfg.Kind {
+	case ControllerEC2:
+		return controller.NewEC2AutoScale(policy)
+	case ControllerEC2Predictive:
+		return controller.NewPredictiveEC2AutoScale(policy, 0)
+	case ControllerTargetTracking:
+		return controller.NewTargetTracking(policy, 0)
+	case ControllerDCM, ControllerDCMPredictive:
+		return controller.NewDCM(controller.DCMConfig{
+			Policy:         policy,
+			TomcatModel:    tomcat,
+			MySQLModel:     mysql,
+			OnlineTraining: cfg.OnlineTraining,
+			Predictive:     cfg.Kind == ControllerDCMPredictive,
+		})
+	case ControllerDCMSoftOnly:
+		policy.MaxServers = 1
+		policy.MinServers = 1
+		return controller.NewDCM(controller.DCMConfig{
+			Policy:      policy,
+			TomcatModel: tomcat,
+			MySQLModel:  mysql,
+		})
+	case ControllerNone:
+		policy.MaxServers = 1
+		policy.MinServers = 1
+		return controller.NewEC2AutoScale(policy)
+	default:
+		return nil, fmt.Errorf("experiments: unknown controller kind %q", cfg.Kind)
+	}
+}
+
+// collectSeries reconstructs the per-second series from the bus logs.
+func collectSeries(fw *core.Framework, res *ScenarioResult, horizon time.Duration) error {
+	sysMsgs, err := fw.Bus().Fetch(monitor.TopicSystemMetrics, 0, 0)
+	if err != nil {
+		return fmt.Errorf("experiments: collect system series: %w", err)
+	}
+	for _, m := range sysMsgs {
+		s, ok := m.Value.(monitor.SystemSample)
+		if !ok {
+			continue
+		}
+		res.Seconds = append(res.Seconds, s.At.Seconds())
+		res.Throughput = append(res.Throughput, s.Throughput)
+		res.MeanRTSec = append(res.MeanRTSec, s.MeanRTSeconds)
+		res.P95RTSec = append(res.P95RTSec, s.P95RTSeconds)
+		res.AppResSec = append(res.AppResSec, s.MeanAppResidence)
+		res.DBResSec = append(res.DBResSec, s.MeanDBResidence)
+	}
+
+	srvMsgs, err := fw.Bus().Fetch(monitor.TopicServerMetrics, 0, 0)
+	if err != nil {
+		return fmt.Errorf("experiments: collect server series: %w", err)
+	}
+	type key struct {
+		sec  int
+		tier string
+	}
+	sums := make(map[key]float64)
+	counts := make(map[key]int)
+	for _, m := range srvMsgs {
+		s, ok := m.Value.(monitor.ServerSample)
+		if !ok {
+			continue
+		}
+		k := key{sec: int(s.At.Seconds()) - 1, tier: s.Tier}
+		sums[k] += s.CPUUtil
+		counts[k]++
+	}
+	n := len(res.Seconds)
+	for _, tierName := range ntier.Tiers() {
+		series := make([]float64, n)
+		for i := range series {
+			k := key{sec: i, tier: tierName}
+			if c := counts[k]; c > 0 {
+				series[i] = sums[k] / float64(c)
+			}
+		}
+		res.TierCPU[tierName] = series
+	}
+	// Trim the topology series to the same length.
+	for tierName, s := range res.TierCounts {
+		if len(s) > n {
+			res.TierCounts[tierName] = s[:n]
+		}
+	}
+	_ = horizon
+	return nil
+}
+
+// ScenarioSummary condenses a run for comparison.
+type ScenarioSummary struct {
+	Kind ControllerKind `json:"kind"`
+	// MeanRT and MaxRT summarize the per-second mean response times.
+	MeanRTSec float64 `json:"meanRTSec"`
+	MaxRTSec  float64 `json:"maxRTSec"`
+	// P95OfP95 is the 95th percentile of the per-second P95 series — the
+	// tail behaviour users experience during bursts.
+	P95OfP95Sec float64 `json:"p95OfP95Sec"`
+	// SpikeSeconds counts seconds whose mean RT exceeds 1 s (the paper's
+	// "large response time spike" criterion).
+	SpikeSeconds int `json:"spikeSeconds"`
+	// VMSeconds is the total VM time consumed across the scalable tiers
+	// (the cost side of the paper's "high resource efficiency" goal).
+	VMSeconds float64 `json:"vmSeconds"`
+	// RequestsPerVMSecond is TotalCompleted / VMSeconds — the resource
+	// efficiency figure of merit.
+	RequestsPerVMSecond float64 `json:"requestsPerVMSecond"`
+	// DegradedSeconds counts seconds whose mean RT exceeds 0.5 s.
+	DegradedSeconds int `json:"degradedSeconds"`
+	// TotalCompleted is the lifetime request count.
+	TotalCompleted uint64 `json:"totalCompleted"`
+	// MaxAppServers and MaxDBServers record the scaling envelope.
+	MaxAppServers int `json:"maxAppServers"`
+	MaxDBServers  int `json:"maxDBServers"`
+}
+
+// Summarize reduces a scenario result to its headline numbers.
+func (r *ScenarioResult) Summarize() ScenarioSummary {
+	s := ScenarioSummary{Kind: r.Kind, TotalCompleted: r.TotalCompleted}
+	var rts []float64
+	for _, rt := range r.MeanRTSec {
+		rts = append(rts, rt)
+		if rt > 1.0 {
+			s.SpikeSeconds++
+		}
+		if rt > 0.5 {
+			s.DegradedSeconds++
+		}
+	}
+	sum := metrics.Summarize(rts)
+	s.MeanRTSec = sum.Mean
+	s.MaxRTSec = sum.Max
+	s.P95OfP95Sec = metricsP95(r.P95RTSec)
+	for _, c := range r.TierCounts[ntier.TierApp] {
+		if c > s.MaxAppServers {
+			s.MaxAppServers = c
+		}
+	}
+	for _, c := range r.TierCounts[ntier.TierDB] {
+		if c > s.MaxDBServers {
+			s.MaxDBServers = c
+		}
+	}
+	for _, tierName := range []string{ntier.TierApp, ntier.TierDB} {
+		for _, c := range r.TierCounts[tierName] {
+			s.VMSeconds += float64(c) // one sample per second
+		}
+	}
+	if s.VMSeconds > 0 {
+		s.RequestsPerVMSecond = float64(r.TotalCompleted) / s.VMSeconds
+	}
+	return s
+}
+
+func metricsP95(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	return metrics.Summarize(values).P95
+}
+
+// ErrNoData is returned by renderers on empty results.
+var ErrNoData = errors.New("experiments: no data")
+
+// RenderScenarioComparison renders the DCM-vs-baseline headline table
+// (the quantitative content of Fig. 5).
+func RenderScenarioComparison(results ...*ScenarioResult) string {
+	tb := metrics.NewTable("controller", "mean RT (s)", "max RT (s)", "p95 RT (s)",
+		"spikes >1s", "completed", "max app", "max db", "VM-hours", "req/VM-s")
+	for _, r := range results {
+		s := r.Summarize()
+		tb.AddRow(string(s.Kind), fmtF(s.MeanRTSec, 3), fmtF(s.MaxRTSec, 3),
+			fmtF(s.P95OfP95Sec, 3), fmt.Sprintf("%d", s.SpikeSeconds),
+			fmt.Sprintf("%d", s.TotalCompleted),
+			fmt.Sprintf("%d", s.MaxAppServers), fmt.Sprintf("%d", s.MaxDBServers),
+			fmtF(s.VMSeconds/3600, 2), fmtF(s.RequestsPerVMSecond, 0))
+	}
+	return tb.String()
+}
+
+// RenderScenarioSeries renders one run's per-second series (downsampled)
+// as the textual analogue of Fig. 5's six panels.
+func RenderScenarioSeries(r *ScenarioResult, every int) string {
+	if every < 1 {
+		every = 10
+	}
+	tb := metrics.NewTable("t(s)", "users", "X(req/s)", "meanRT(s)", "p95RT(s)",
+		"app#", "appCPU", "db#", "dbCPU")
+	for i := 0; i < len(r.Seconds); i += every {
+		tb.AddRow(
+			fmtF(r.Seconds[i], 0),
+			fmt.Sprintf("%d", r.Users[i]),
+			fmtF(r.Throughput[i], 0),
+			fmtF(r.MeanRTSec[i], 3),
+			fmtF(r.P95RTSec[i], 3),
+			fmt.Sprintf("%d", r.TierCounts[ntier.TierApp][i]),
+			fmtF(r.TierCPU[ntier.TierApp][i], 2),
+			fmt.Sprintf("%d", r.TierCounts[ntier.TierDB][i]),
+			fmtF(r.TierCPU[ntier.TierDB][i], 2),
+		)
+	}
+	return tb.String()
+}

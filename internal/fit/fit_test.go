@@ -1,0 +1,320 @@
+package fit
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcm/internal/rng"
+)
+
+func TestSolveLinearKnown(t *testing.T) {
+	t.Parallel()
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3
+	a, err := NewMatrix(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearPivoting(t *testing.T) {
+	t.Parallel()
+	// Zero on the initial pivot position forces a row swap.
+	a, err := NewMatrix(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	t.Parallel()
+	a, err := NewMatrix(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	t.Parallel()
+	a, err := NewMatrix(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	sq, err := NewMatrix(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveLinear(sq, []float64{1}); err == nil {
+		t.Fatal("rhs mismatch accepted")
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	t.Parallel()
+	a, err := NewMatrix(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	b := []float64{1, 2}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 4 || b[0] != 1 {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestSolveLinearRandomProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(6)
+		a, err := NewMatrix(n, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.Uniform(-5, 5))
+			}
+			// Diagonal dominance guarantees solvability.
+			a.Set(i, i, a.At(i, i)+10)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.Uniform(-3, 3)
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a.At(i, j) * want[j]
+			}
+		}
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMatrixInvalid(t *testing.T) {
+	t.Parallel()
+	if _, err := NewMatrix(0, 3); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewMatrix(3, -1); err == nil {
+		t.Fatal("negative cols accepted")
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	t.Parallel()
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Fatalf("fit = %v, %v", slope, intercept)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("r2 = %v", r2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	t.Parallel()
+	if _, _, _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, _, _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, _, err := LinearRegression([]float64{2, 2}, []float64{1, 5}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("constant x: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	t.Parallel()
+	ys := []float64{1, 2, 3}
+	if r := RSquared(ys, ys); r != 1 {
+		t.Fatalf("perfect fit r2 = %v", r)
+	}
+	if r := RSquared(ys, []float64{2, 2, 2}); r != 0 {
+		t.Fatalf("mean-only fit r2 = %v", r)
+	}
+	if r := RSquared(nil, nil); r != 0 {
+		t.Fatalf("empty r2 = %v", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{5, 5}); r != 1 {
+		t.Fatalf("constant exact r2 = %v", r)
+	}
+	if r := RSquared([]float64{5, 5}, []float64{5, 6}); r != 0 {
+		t.Fatalf("constant inexact r2 = %v", r)
+	}
+}
+
+// expModel is a simple two-parameter test model: a * exp(b x).
+func expModel(x float64, p []float64) float64 { return p[0] * math.Exp(p[1]*x) }
+
+func TestLevMarExponential(t *testing.T) {
+	t.Parallel()
+	truth := []float64{2.5, -0.7}
+	var xs, ys []float64
+	for x := 0.0; x <= 5; x += 0.25 {
+		xs = append(xs, x)
+		ys = append(ys, expModel(x, truth))
+	}
+	res, err := LevMar(Problem{Model: expModel, X: xs, Y: ys}, []float64{1, -0.1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-truth[0]) > 1e-5 || math.Abs(res.Params[1]-truth[1]) > 1e-5 {
+		t.Fatalf("params = %v, want %v", res.Params, truth)
+	}
+	if res.RSquared < 0.999999 {
+		t.Fatalf("r2 = %v", res.RSquared)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+func TestLevMarNoisy(t *testing.T) {
+	t.Parallel()
+	truth := []float64{4, -0.3}
+	r := rng.New(5)
+	var xs, ys []float64
+	for x := 0.0; x <= 10; x += 0.1 {
+		xs = append(xs, x)
+		ys = append(ys, expModel(x, truth)*(1+r.Normal(0, 0.01)))
+	}
+	res, err := LevMar(Problem{Model: expModel, X: xs, Y: ys}, []float64{1, -1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-truth[0]) > 0.1 || math.Abs(res.Params[1]-truth[1]) > 0.02 {
+		t.Fatalf("params = %v, want ~%v", res.Params, truth)
+	}
+	if res.RSquared < 0.99 {
+		t.Fatalf("r2 = %v", res.RSquared)
+	}
+}
+
+func TestLevMarBounds(t *testing.T) {
+	t.Parallel()
+	// Fit y = p0 * x with the truth outside the allowed box.
+	lin := func(x float64, p []float64) float64 { return p[0] * x }
+	xs := []float64{1, 2, 3}
+	ys := []float64{5, 10, 15} // truth p0 = 5
+	res, err := LevMar(Problem{
+		Model: lin, X: xs, Y: ys,
+		Lower: []float64{0}, Upper: []float64{3},
+	}, []float64{1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params[0] > 3+1e-12 {
+		t.Fatalf("bound violated: %v", res.Params)
+	}
+}
+
+func TestLevMarErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := LevMar(Problem{Model: expModel}, []float64{1, 1}, Options{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+	if _, err := LevMar(Problem{X: []float64{1}, Y: []float64{1}}, []float64{1}, Options{}); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	bad := Problem{Model: expModel, X: []float64{1}, Y: []float64{1}, Lower: []float64{0}}
+	if _, err := LevMar(bad, []float64{1, 1}, Options{}); err == nil {
+		t.Fatal("bounds length mismatch accepted")
+	}
+	nan := func(x float64, p []float64) float64 { return math.NaN() }
+	if _, err := LevMar(Problem{Model: nan, X: []float64{1}, Y: []float64{1}}, []float64{1}, Options{}); !errors.Is(err, ErrBadGuess) {
+		t.Fatalf("err = %v, want ErrBadGuess", err)
+	}
+}
+
+func TestMultiStartPicksBest(t *testing.T) {
+	t.Parallel()
+	// A model with a local minimum: y = sin(p0 x); one start is near the
+	// global optimum, one is far away.
+	model := func(x float64, p []float64) float64 { return math.Sin(p[0] * x) }
+	truth := 1.3
+	var xs, ys []float64
+	for x := 0.1; x <= 3; x += 0.1 {
+		xs = append(xs, x)
+		ys = append(ys, model(x, []float64{truth}))
+	}
+	res, err := MultiStart(Problem{Model: model, X: xs, Y: ys},
+		[][]float64{{8.0}, {1.0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params[0]-truth) > 1e-4 {
+		t.Fatalf("multistart missed global optimum: %v", res.Params)
+	}
+}
+
+func TestMultiStartAllFail(t *testing.T) {
+	t.Parallel()
+	nan := func(x float64, p []float64) float64 { return math.NaN() }
+	_, err := MultiStart(Problem{Model: nan, X: []float64{1}, Y: []float64{1}},
+		[][]float64{{1}, {2}}, Options{})
+	if err == nil {
+		t.Fatal("no error when every start fails")
+	}
+	if _, err := MultiStart(Problem{}, nil, Options{}); err == nil {
+		t.Fatal("no error for zero guesses")
+	}
+}

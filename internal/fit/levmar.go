@@ -1,0 +1,268 @@
+// Package fit implements the numerical estimation used to train the
+// concurrency-aware model: dense linear solves, ordinary least squares, and
+// a Levenberg–Marquardt nonlinear least-squares solver with numeric
+// Jacobians, box constraints and multi-start.
+//
+// The paper (§V-A) fits Equation 7 with "the Least-Square Fitting method";
+// this package is the from-scratch stdlib-only equivalent.
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a parametric function f(x; θ).
+type Model func(x float64, params []float64) float64
+
+// Problem describes a nonlinear least-squares fit of Model to (X, Y) pairs.
+type Problem struct {
+	// Model is the function to fit.
+	Model Model
+	// X, Y are the observations. They must be the same length and non-empty.
+	X, Y []float64
+	// Lower, Upper optionally bound each parameter (nil means unbounded).
+	Lower, Upper []float64
+}
+
+// Options tunes the Levenberg–Marquardt iteration. The zero value selects
+// sensible defaults.
+type Options struct {
+	// MaxIterations bounds the LM iterations (default 200).
+	MaxIterations int
+	// Tolerance is the relative SSE improvement below which the fit stops
+	// (default 1e-12).
+	Tolerance float64
+	// InitialLambda is the starting damping factor (default 1e-3).
+	InitialLambda float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-12
+	}
+	if o.InitialLambda <= 0 {
+		o.InitialLambda = 1e-3
+	}
+	return o
+}
+
+// Result reports a completed fit.
+type Result struct {
+	// Params are the fitted parameters.
+	Params []float64
+	// SSE is the residual sum of squares.
+	SSE float64
+	// RSquared is the coefficient of determination.
+	RSquared float64
+	// Iterations is the number of LM iterations performed.
+	Iterations int
+	// Converged reports whether the tolerance was reached before the
+	// iteration budget was exhausted.
+	Converged bool
+}
+
+// Errors returned by LevMar.
+var (
+	ErrNoData    = errors.New("fit: no observations")
+	ErrBadGuess  = errors.New("fit: initial guess has non-finite residuals")
+	ErrDiverged  = errors.New("fit: diverged")
+	errBadBounds = errors.New("fit: bounds length mismatch")
+)
+
+// LevMar fits p.Model to the observations starting from guess, using the
+// Levenberg–Marquardt algorithm with a forward-difference Jacobian.
+func LevMar(p Problem, guess []float64, opts Options) (Result, error) {
+	if len(p.X) == 0 || len(p.X) != len(p.Y) {
+		return Result{}, ErrNoData
+	}
+	if p.Model == nil {
+		return Result{}, errors.New("fit: nil model")
+	}
+	if p.Lower != nil && len(p.Lower) != len(guess) {
+		return Result{}, errBadBounds
+	}
+	if p.Upper != nil && len(p.Upper) != len(guess) {
+		return Result{}, errBadBounds
+	}
+	opts = opts.withDefaults()
+
+	params := make([]float64, len(guess))
+	copy(params, guess)
+	clampParams(params, p.Lower, p.Upper)
+
+	sse, ok := sumSquares(p, params)
+	if !ok {
+		return Result{}, ErrBadGuess
+	}
+
+	nParams := len(params)
+	lambda := opts.InitialLambda
+	res := Result{Params: params, SSE: sse}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		jac, residuals, ok := jacobian(p, params)
+		if !ok {
+			return res, ErrDiverged
+		}
+
+		// Normal equations: (JᵀJ + λ·diag(JᵀJ)) δ = Jᵀr
+		jtj, err := NewMatrix(nParams, nParams)
+		if err != nil {
+			return res, err
+		}
+		jtr := make([]float64, nParams)
+		for i := range p.X {
+			for a := 0; a < nParams; a++ {
+				jtr[a] += jac[i][a] * residuals[i]
+				for b := a; b < nParams; b++ {
+					jtj.Set(a, b, jtj.At(a, b)+jac[i][a]*jac[i][b])
+				}
+			}
+		}
+		for a := 0; a < nParams; a++ {
+			for b := 0; b < a; b++ {
+				jtj.Set(a, b, jtj.At(b, a))
+			}
+		}
+
+		improved := false
+		for attempt := 0; attempt < 30; attempt++ {
+			damped := jtj.Clone()
+			for a := 0; a < nParams; a++ {
+				d := damped.At(a, a)
+				if d == 0 {
+					d = 1e-12
+				}
+				damped.Set(a, a, d*(1+lambda))
+			}
+			delta, err := SolveLinear(damped, jtr)
+			if err != nil {
+				lambda *= 10
+				continue
+			}
+			trial := make([]float64, nParams)
+			for a := range trial {
+				trial[a] = params[a] + delta[a]
+			}
+			clampParams(trial, p.Lower, p.Upper)
+			trialSSE, ok := sumSquares(p, trial)
+			if ok && trialSSE < sse {
+				rel := (sse - trialSSE) / math.Max(sse, 1e-300)
+				params, sse = trial, trialSSE
+				lambda = math.Max(lambda/10, 1e-12)
+				improved = true
+				if rel < opts.Tolerance {
+					res.Converged = true
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+		res.Params, res.SSE = params, sse
+		if !improved || res.Converged {
+			res.Converged = true
+			break
+		}
+	}
+
+	preds := make([]float64, len(p.X))
+	for i, x := range p.X {
+		preds[i] = p.Model(x, params)
+	}
+	res.RSquared = RSquared(p.Y, preds)
+	return res, nil
+}
+
+// MultiStart runs LevMar from each guess and returns the best result by SSE.
+// It fails only if every start fails.
+func MultiStart(p Problem, guesses [][]float64, opts Options) (Result, error) {
+	if len(guesses) == 0 {
+		return Result{}, errors.New("fit: no starting guesses")
+	}
+	var (
+		best    Result
+		haveAny bool
+		lastErr error
+	)
+	for i, g := range guesses {
+		r, err := LevMar(p, g, opts)
+		if err != nil {
+			lastErr = fmt.Errorf("fit: start %d: %w", i, err)
+			continue
+		}
+		if !haveAny || r.SSE < best.SSE {
+			best, haveAny = r, true
+		}
+	}
+	if !haveAny {
+		return Result{}, lastErr
+	}
+	return best, nil
+}
+
+// jacobian computes the forward-difference Jacobian and residual vector
+// (y - f(x)). ok is false if any value is non-finite.
+func jacobian(p Problem, params []float64) (jac [][]float64, residuals []float64, ok bool) {
+	n := len(p.X)
+	m := len(params)
+	jac = make([][]float64, n)
+	residuals = make([]float64, n)
+	base := make([]float64, n)
+	for i, x := range p.X {
+		base[i] = p.Model(x, params)
+		residuals[i] = p.Y[i] - base[i]
+		if !isFinite(base[i]) {
+			return nil, nil, false
+		}
+		jac[i] = make([]float64, m)
+	}
+	perturbed := make([]float64, m)
+	for a := 0; a < m; a++ {
+		copy(perturbed, params)
+		h := 1e-7 * math.Max(math.Abs(params[a]), 1e-7)
+		perturbed[a] += h
+		for i, x := range p.X {
+			v := p.Model(x, perturbed)
+			if !isFinite(v) {
+				return nil, nil, false
+			}
+			jac[i][a] = (v - base[i]) / h
+		}
+	}
+	return jac, residuals, true
+}
+
+func sumSquares(p Problem, params []float64) (sse float64, ok bool) {
+	for i, x := range p.X {
+		d := p.Y[i] - p.Model(x, params)
+		if !isFinite(d) {
+			return 0, false
+		}
+		sse += d * d
+	}
+	return sse, true
+}
+
+func clampParams(params, lower, upper []float64) {
+	for i := range params {
+		if lower != nil && params[i] < lower[i] {
+			params[i] = lower[i]
+		}
+		if upper != nil && params[i] > upper[i] {
+			params[i] = upper[i]
+		}
+	}
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,169 @@
+// Package lb simulates the HAProxy load balancers the paper places in
+// front of the Tomcat and MySQL tiers (§IV-A): it spreads requests across
+// the ready servers of a tier and supports runtime changes to the backend
+// set, which is how the VM-agent rebalances load after scaling.
+package lb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Backend is one balanceable server.
+type Backend interface {
+	// Name identifies the backend.
+	Name() string
+	// Accepting reports whether the backend takes new work (draining and
+	// provisioning backends return false).
+	Accepting() bool
+	// Load returns the backend's current number of in-flight requests,
+	// used by the least-connections policy.
+	Load() int
+}
+
+// Policy selects among ready backends.
+type Policy int
+
+// Balancing policies.
+const (
+	// RoundRobin rotates through ready backends — HAProxy's default.
+	RoundRobin Policy = iota + 1
+	// LeastConnections picks the ready backend with the fewest in-flight
+	// requests, breaking ties round-robin.
+	LeastConnections
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "roundrobin"
+	case LeastConnections:
+		return "leastconn"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Errors returned by the balancer.
+var (
+	ErrNoBackends = errors.New("lb: no ready backends")
+	ErrDuplicate  = errors.New("lb: duplicate backend")
+	ErrUnknown    = errors.New("lb: unknown backend")
+)
+
+// Balancer distributes work over a mutable set of backends. The zero value
+// is not usable; construct with New. Balancer is not safe for concurrent
+// use (the simulation is single-threaded).
+type Balancer struct {
+	policy   Policy
+	backends []Backend
+	next     int
+	picks    map[string]uint64
+}
+
+// New returns a balancer with the given policy.
+func New(policy Policy) *Balancer {
+	if policy != LeastConnections {
+		policy = RoundRobin
+	}
+	return &Balancer{policy: policy, picks: make(map[string]uint64)}
+}
+
+// Policy returns the balancing policy.
+func (b *Balancer) Policy() Policy { return b.policy }
+
+// Add registers a backend.
+func (b *Balancer) Add(backend Backend) error {
+	for _, existing := range b.backends {
+		if existing.Name() == backend.Name() {
+			return fmt.Errorf("%w: %q", ErrDuplicate, backend.Name())
+		}
+	}
+	b.backends = append(b.backends, backend)
+	return nil
+}
+
+// Remove deregisters the named backend. In-flight requests on it are not
+// affected; it simply receives no new picks.
+func (b *Balancer) Remove(name string) error {
+	for i, existing := range b.backends {
+		if existing.Name() == name {
+			b.backends = append(b.backends[:i], b.backends[i+1:]...)
+			if b.next > i {
+				b.next--
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrUnknown, name)
+}
+
+// Backends returns the registered backends in registration order.
+func (b *Balancer) Backends() []Backend {
+	out := make([]Backend, len(b.backends))
+	copy(out, b.backends)
+	return out
+}
+
+// Len returns the number of registered backends.
+func (b *Balancer) Len() int { return len(b.backends) }
+
+// ReadyCount returns the number of accepting backends.
+func (b *Balancer) ReadyCount() int {
+	n := 0
+	for _, backend := range b.backends {
+		if backend.Accepting() {
+			n++
+		}
+	}
+	return n
+}
+
+// Pick selects a ready backend according to the policy.
+func (b *Balancer) Pick() (Backend, error) {
+	n := len(b.backends)
+	if n == 0 {
+		return nil, ErrNoBackends
+	}
+	switch b.policy {
+	case LeastConnections:
+		var best Backend
+		// Scan starting at the rotation point so ties rotate.
+		for i := 0; i < n; i++ {
+			cand := b.backends[(b.next+i)%n]
+			if !cand.Accepting() {
+				continue
+			}
+			if best == nil || cand.Load() < best.Load() {
+				best = cand
+			}
+		}
+		if best == nil {
+			return nil, ErrNoBackends
+		}
+		b.next = (b.next + 1) % n
+		b.picks[best.Name()]++
+		return best, nil
+	default: // RoundRobin
+		for i := 0; i < n; i++ {
+			cand := b.backends[b.next%n]
+			b.next = (b.next + 1) % n
+			if cand.Accepting() {
+				b.picks[cand.Name()]++
+				return cand, nil
+			}
+		}
+		return nil, ErrNoBackends
+	}
+}
+
+// PickCounts returns a copy of the per-backend pick counters (including
+// backends that have since been removed).
+func (b *Balancer) PickCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(b.picks))
+	for k, v := range b.picks {
+		out[k] = v
+	}
+	return out
+}

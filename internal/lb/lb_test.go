@@ -1,0 +1,275 @@
+package lb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// fake is a controllable backend.
+type fake struct {
+	name      string
+	accepting bool
+	load      int
+}
+
+func (f *fake) Name() string    { return f.name }
+func (f *fake) Accepting() bool { return f.accepting }
+func (f *fake) Load() int       { return f.load }
+
+var _ Backend = (*fake)(nil)
+
+func TestRoundRobinRotation(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	for _, n := range []string{"a", "b", "c"} {
+		if err := b.Add(&fake{name: n, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for i := 0; i < 6; i++ {
+		picked, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, picked.Name())
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v", got)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDraining(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	down := &fake{name: "down", accepting: false}
+	up := &fake{name: "up", accepting: true}
+	if err := b.Add(down); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(up); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		picked, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if picked.Name() != "up" {
+			t.Fatalf("picked draining backend on iteration %d", i)
+		}
+	}
+}
+
+func TestPickNoBackends(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	if _, err := b.Pick(); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := b.Add(&fake{name: "x", accepting: false}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Pick(); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("all-draining err = %v", err)
+	}
+}
+
+func TestLeastConnections(t *testing.T) {
+	t.Parallel()
+	b := New(LeastConnections)
+	heavy := &fake{name: "heavy", accepting: true, load: 10}
+	light := &fake{name: "light", accepting: true, load: 2}
+	if err := b.Add(heavy); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(light); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		picked, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if picked.Name() != "light" {
+			t.Fatal("least-connections picked the heavier backend")
+		}
+	}
+}
+
+func TestLeastConnectionsSkipsDraining(t *testing.T) {
+	t.Parallel()
+	b := New(LeastConnections)
+	idle := &fake{name: "idle", accepting: false, load: 0}
+	busy := &fake{name: "busy", accepting: true, load: 100}
+	if err := b.Add(idle); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(busy); err != nil {
+		t.Fatal(err)
+	}
+	picked, err := b.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if picked.Name() != "idle" && picked.Name() != "busy" {
+		t.Fatalf("picked %q", picked.Name())
+	}
+	if picked.Name() == "idle" {
+		t.Fatal("picked draining backend")
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	if err := b.Add(&fake{name: "a", accepting: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(&fake{name: "a", accepting: true}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	for _, n := range []string{"a", "b"} {
+		if err := b.Add(&fake{name: n, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	picked, err := b.Pick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if picked.Name() != "b" {
+		t.Fatalf("picked %q after removal", picked.Name())
+	}
+	if err := b.Remove("ghost"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("remove unknown err = %v", err)
+	}
+}
+
+func TestRemoveDuringRotationStaysFair(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	for _, n := range []string{"a", "b", "c"} {
+		if err := b.Add(&fake{name: n, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance rotation past "a".
+	if _, err := b.Pick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		p, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[p.Name()]++
+	}
+	if counts["b"] != 5 || counts["c"] != 5 {
+		t.Fatalf("unfair after removal: %v", counts)
+	}
+}
+
+func TestReadyCountAndBackends(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	if err := b.Add(&fake{name: "a", accepting: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(&fake{name: "b", accepting: false}); err != nil {
+		t.Fatal(err)
+	}
+	if b.ReadyCount() != 1 {
+		t.Fatalf("ReadyCount = %d", b.ReadyCount())
+	}
+	bs := b.Backends()
+	if len(bs) != 2 || bs[0].Name() != "a" {
+		t.Fatalf("Backends = %v", bs)
+	}
+}
+
+func TestPickCounts(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	for _, n := range []string{"a", "b"} {
+		if err := b.Add(&fake{name: n, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := b.Pick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := b.PickCounts()
+	if counts["a"] != 2 || counts["b"] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestUnknownPolicyFallsBackToRoundRobin(t *testing.T) {
+	t.Parallel()
+	b := New(Policy(99))
+	if b.Policy() != RoundRobin {
+		t.Fatalf("policy = %v", b.Policy())
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	t.Parallel()
+	if RoundRobin.String() != "roundrobin" || LeastConnections.String() != "leastconn" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(7).String() != "policy(7)" {
+		t.Fatalf("unknown policy string = %q", Policy(7).String())
+	}
+}
+
+// TestRoundRobinFairnessProperty: over n*k picks of n ready backends, each
+// backend is picked exactly k times.
+func TestRoundRobinFairnessProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		k := int(kRaw%16) + 1
+		b := New(RoundRobin)
+		for i := 0; i < n; i++ {
+			if err := b.Add(&fake{name: string(rune('a' + i)), accepting: true}); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n*k; i++ {
+			if _, err := b.Pick(); err != nil {
+				return false
+			}
+		}
+		for _, c := range b.PickCounts() {
+			if c != uint64(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

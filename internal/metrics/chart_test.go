@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	t.Parallel()
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty input produced output")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length = %d runes", utf8.RuneCountInString(s))
+	}
+	// Monotone input: first rune is the lowest tick, last the highest.
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Fatalf("sparkline = %q", s)
+	}
+}
+
+func TestSparklineConstantInput(t *testing.T) {
+	t.Parallel()
+	s := Sparkline([]float64{5, 5, 5}, 0)
+	if utf8.RuneCountInString(s) != 3 {
+		t.Fatalf("constant sparkline = %q", s)
+	}
+}
+
+func TestSparklineDownsamplesKeepingSpikes(t *testing.T) {
+	t.Parallel()
+	values := make([]float64, 100)
+	values[57] = 100 // lone spike
+	s := Sparkline(values, 10)
+	if utf8.RuneCountInString(s) != 10 {
+		t.Fatalf("width = %d", utf8.RuneCountInString(s))
+	}
+	if !strings.ContainsRune(s, '█') {
+		t.Fatalf("downsampling lost the spike: %q", s)
+	}
+}
+
+func TestChartShape(t *testing.T) {
+	t.Parallel()
+	out := Chart("load", []float64{1, 2, 3, 4, 5}, 0, 4)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 4 rows + axis
+	if len(lines) != 6 {
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "load" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[len(lines)-1], "└") {
+		t.Fatalf("missing axis: %q", lines[len(lines)-1])
+	}
+	// The tallest column must appear in the top row.
+	if !strings.Contains(lines[1], "█") {
+		t.Fatalf("top row empty:\n%s", out)
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	t.Parallel()
+	if out := Chart("x", nil, 0, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart = %q", out)
+	}
+	// Constant series and tiny height must not panic.
+	_ = Chart("c", []float64{2, 2, 2}, 0, 1)
+}
+
+func TestDownsampleMaxProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(values []float64, widthRaw uint8) bool {
+		width := int(widthRaw%32) + 1
+		for _, v := range values {
+			if v != v { // NaN
+				return true
+			}
+		}
+		out := downsampleMax(values, width)
+		if len(values) <= width {
+			if len(out) != len(values) {
+				return false
+			}
+		} else if len(out) != width {
+			return false
+		}
+		// The global maximum always survives downsampling.
+		if len(values) > 0 {
+			_, hiIn := minMax(values)
+			_, hiOut := minMax(out)
+			return hiIn == hiOut
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// TableI returns the paper's published model parameters (Table I), used as
+// the default calibration of the simulated Tomcat and MySQL servers and as
+// ground truth for model-recovery tests.
+//
+//	           Tomcat     MySQL
+//	S0         2.84e-02   7.19e-03
+//	alpha      9.87e-03   5.04e-03
+//	beta       4.54e-05   1.65e-06
+//	gamma      11.03      4.45
+func TableI() (tomcat, mysql Params) {
+	tomcat = Params{S0: 2.84e-2, Alpha: 9.87e-3, Beta: 4.54e-5, Gamma: 11.03}
+	mysql = Params{S0: 7.19e-3, Alpha: 5.04e-3, Beta: 1.65e-6, Gamma: 4.45}
+	return tomcat, mysql
+}
+
+// AllocationInput describes the current hardware configuration and the
+// trained tier models from which DCM derives soft-resource allocations.
+type AllocationInput struct {
+	// Tomcat and MySQL are the trained concurrency models of the two
+	// concurrency-sensitive tiers.
+	Tomcat, MySQL Params
+	// WebServers, AppServers, DBServers are the current #W/#A/#D.
+	WebServers, AppServers, DBServers int
+	// Headroom scales the theoretical N_b up to a practical pool size,
+	// because "not all threads will be in Active state during the
+	// operation" (§III-C). 1.0 uses N_b directly; defaults to 1.0.
+	Headroom float64
+	// WebThreads is the (generous) Apache thread pool size; Apache is never
+	// the concurrency-sensitive tier in the paper. Defaults to 1000.
+	WebThreads int
+}
+
+// Allocation is a complete soft-resource plan: the #W_T/#A_T/#A_C setting
+// of §II-A, expressed per server.
+type Allocation struct {
+	// WebThreadsPerServer is the Apache thread pool size per web server.
+	WebThreadsPerServer int `json:"webThreadsPerServer"`
+	// AppThreadsPerServer is the Tomcat thread pool (STP) size per app
+	// server: the APP-agent's first control knob (§IV-B).
+	AppThreadsPerServer int `json:"appThreadsPerServer"`
+	// DBConnsPerAppServer is the Tomcat DB connection pool size per app
+	// server: the APP-agent's second control knob, which bounds MySQL's
+	// request-processing concurrency from upstream (§IV-B).
+	DBConnsPerAppServer int `json:"dbConnsPerAppServer"`
+}
+
+// String renders the allocation in the paper's #W_T/#A_T/#A_C notation.
+func (a Allocation) String() string {
+	return fmt.Sprintf("%d/%d/%d",
+		a.WebThreadsPerServer, a.AppThreadsPerServer, a.DBConnsPerAppServer)
+}
+
+// PlanAllocation computes the near-optimal soft-resource allocation for the
+// given hardware configuration:
+//
+//   - each Tomcat's thread pool is set to N_b(Tomcat)·headroom, so the tier
+//     processes at its per-server optimum;
+//   - the Tomcat DB connection pools are sized so the *total* concurrency
+//     reaching the MySQL tier is N_b(MySQL)·K_db, split evenly across the
+//     K_app Tomcats (the "each Tomcat shares half of the optimal connection
+//     pool size" rule behind the 1000/100/18 setting in Fig. 4(b)).
+//
+// Every pool is at least 1 so a tier can never be starved completely.
+func PlanAllocation(in AllocationInput) (Allocation, error) {
+	if in.AppServers < 1 || in.DBServers < 1 || in.WebServers < 1 {
+		return Allocation{}, fmt.Errorf("model: invalid topology %d/%d/%d",
+			in.WebServers, in.AppServers, in.DBServers)
+	}
+	headroom := in.Headroom
+	if headroom <= 0 {
+		headroom = 1.0
+	}
+	webThreads := in.WebThreads
+	if webThreads <= 0 {
+		webThreads = 1000
+	}
+
+	appN, ok := in.Tomcat.OptimalConcurrency()
+	if !ok {
+		return Allocation{}, fmt.Errorf("model: tomcat model: %w", ErrNoOptimum)
+	}
+	dbN, ok := in.MySQL.OptimalConcurrency()
+	if !ok {
+		return Allocation{}, fmt.Errorf("model: mysql model: %w", ErrNoOptimum)
+	}
+
+	appThreads := int(math.Round(appN * headroom))
+	dbTotal := dbN * headroom * float64(in.DBServers)
+	dbPerApp := int(math.Round(dbTotal / float64(in.AppServers)))
+
+	return Allocation{
+		WebThreadsPerServer: webThreads,
+		AppThreadsPerServer: maxInt(1, appThreads),
+		DBConnsPerAppServer: maxInt(1, dbPerApp),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

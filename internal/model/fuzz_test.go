@@ -1,0 +1,43 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzTrain checks the fitter never panics and that every successful fit
+// reports finite, physical parameters with an optimum inside the observed
+// range.
+func FuzzTrain(f *testing.F) {
+	f.Add(uint64(1), 0.01, 0.001, 0.0001, 0.0)
+	f.Add(uint64(2), 0.5, 0.0, 0.0, 0.1)
+	f.Add(uint64(3), 1e-6, 1e-9, 1e-12, 0.5)
+	f.Fuzz(func(t *testing.T, seed uint64, s0, alpha, beta, noise float64) {
+		if !(s0 > 1e-9 && s0 < 10) || alpha < 0 || alpha > 10 || beta < 0 || beta > 1 ||
+			noise < 0 || noise > 0.5 {
+			return
+		}
+		p := Params{S0: s0, Alpha: alpha, Beta: beta, Gamma: 1}
+		var obs []Observation
+		for _, n := range []float64{1, 2, 5, 10, 25, 60, 150} {
+			x := p.Throughput(n, 1) * (1 + noise*math.Sin(float64(seed)+n))
+			if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+				return
+			}
+			obs = append(obs, Observation{Concurrency: n, Throughput: x})
+		}
+		res, err := Train(obs, TrainOptions{})
+		if err != nil {
+			return // rejection is allowed; panics and junk are not
+		}
+		if res.Params.S0 <= 0 || res.Params.Beta < 0 || res.Params.Alpha < 0 {
+			t.Fatalf("unphysical fit: %+v", res.Params)
+		}
+		if math.IsNaN(res.RSquared) || math.IsInf(res.RSquared, 0) {
+			t.Fatalf("bad R2: %v", res.RSquared)
+		}
+		if res.OptimalN < 1 || float64(res.OptimalN) > 151 {
+			t.Fatalf("optimum outside observed range: %d", res.OptimalN)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"testing"
+
+	"dcm/internal/rng"
+)
+
+func feedCurve(t *OnlineTrainer, p Params, levels []float64, noise float64, seed uint64) {
+	r := rng.New(seed)
+	for _, n := range levels {
+		x := p.Throughput(n, 1)
+		if noise > 0 {
+			x *= 1 + r.Normal(0, noise)
+		}
+		t.Observe(n, x)
+	}
+}
+
+func TestOnlineTrainerRecoversOptimum(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := TableI()
+	ot := NewOnlineTrainer(TrainOptions{}, OnlineConfig{})
+	feedCurve(ot, tomcat, []float64{2, 4, 7, 11, 16, 22, 30, 45, 70, 100, 150}, 0.01, 3)
+	res, ok := ot.TryFit()
+	if !ok {
+		t.Fatal("identifiable data did not fit")
+	}
+	if res.OptimalN < 17 || res.OptimalN > 23 {
+		t.Fatalf("online N_b = %d, want ~20", res.OptimalN)
+	}
+	if _, ok := ot.Latest(); !ok {
+		t.Fatal("Latest not recorded")
+	}
+}
+
+func TestOnlineTrainerRefusesNarrowBand(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := TableI()
+	ot := NewOnlineTrainer(TrainOptions{}, OnlineConfig{})
+	// Many samples, but all in a narrow operating band: not identifiable.
+	feedCurve(ot, tomcat, []float64{18, 19, 20, 21, 22, 19.5, 20.5, 18.5, 21.5, 20.2}, 0, 1)
+	if ot.Identifiable() {
+		t.Fatal("narrow band reported identifiable")
+	}
+	if _, ok := ot.TryFit(); ok {
+		t.Fatal("narrow band produced a fit")
+	}
+	if _, ok := ot.Latest(); ok {
+		t.Fatal("Latest set without a successful fit")
+	}
+}
+
+func TestOnlineTrainerRefusesFewDistinctLevels(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := TableI()
+	ot := NewOnlineTrainer(TrainOptions{}, OnlineConfig{MinDistinct: 6})
+	// Wide spread but only 3 distinct levels.
+	for i := 0; i < 20; i++ {
+		feedCurve(ot, tomcat, []float64{2, 20, 100}, 0, uint64(i))
+	}
+	if ot.Identifiable() {
+		t.Fatal("3 levels reported identifiable")
+	}
+}
+
+func TestOnlineTrainerIgnoresBadSamples(t *testing.T) {
+	t.Parallel()
+	ot := NewOnlineTrainer(TrainOptions{}, OnlineConfig{})
+	ot.Observe(0, 100)  // concurrency outside domain
+	ot.Observe(-2, 100) // negative concurrency
+	ot.Observe(10, 0)   // idle period
+	ot.Observe(10, -5)
+	if ot.Len() != 0 {
+		t.Fatalf("bad samples retained: %d", ot.Len())
+	}
+	ot.Observe(0.5, 100) // fractional low-load points are valid
+	if ot.Len() != 1 {
+		t.Fatalf("fractional sample dropped: %d", ot.Len())
+	}
+}
+
+func TestOnlineTrainerRingEviction(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := TableI()
+	ot := NewOnlineTrainer(TrainOptions{}, OnlineConfig{Capacity: 16})
+	for i := 0; i < 100; i++ {
+		feedCurve(ot, tomcat, []float64{2, 5, 10, 20, 50, 100}, 0.005, uint64(i))
+	}
+	if ot.Len() != 16 {
+		t.Fatalf("ring size = %d, want 16", ot.Len())
+	}
+	res, ok := ot.TryFit()
+	if !ok {
+		t.Fatal("no fit from rolling window")
+	}
+	if res.OptimalN < 16 || res.OptimalN > 24 {
+		t.Fatalf("N_b from rolling window = %d", res.OptimalN)
+	}
+}
+
+func TestOnlineTrainerKeepsLastGoodFit(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := TableI()
+	ot := NewOnlineTrainer(TrainOptions{}, OnlineConfig{Capacity: 11})
+	feedCurve(ot, tomcat, []float64{2, 4, 7, 11, 16, 22, 30, 45, 70, 100, 150}, 0, 1)
+	first, ok := ot.TryFit()
+	if !ok {
+		t.Fatal("initial fit failed")
+	}
+	// Flood the ring with a narrow band: next TryFit fails but Latest holds.
+	for i := 0; i < 11; i++ {
+		ot.Observe(20, tomcat.Throughput(20, 1))
+	}
+	if _, ok := ot.TryFit(); ok {
+		t.Fatal("narrow window produced a fit")
+	}
+	latest, ok := ot.Latest()
+	if !ok || latest.OptimalN != first.OptimalN {
+		t.Fatalf("last good fit lost: %+v", latest)
+	}
+}

@@ -1,0 +1,203 @@
+// Package monitor implements the fine-grained resource monitor of the DCM
+// architecture (§IV, Fig. 3): one agent per VM collects system-level
+// metrics (CPU utilization) and application-level metrics (throughput,
+// response time, active thread count) every second and publishes them to
+// the intermediate storage server (internal/bus), from which the
+// optimization controller consumes them at its own rate.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/bus"
+	"dcm/internal/ntier"
+	"dcm/internal/sim"
+)
+
+// Topics the monitor publishes to.
+const (
+	// TopicServerMetrics carries per-VM ServerSample messages.
+	TopicServerMetrics = "metrics.server"
+	// TopicSystemMetrics carries whole-system SystemSample messages.
+	TopicSystemMetrics = "metrics.system"
+)
+
+// ServerSample is one per-VM measurement interval, the unit the paper's
+// monitoring agents ship to Kafka every second.
+type ServerSample struct {
+	At   time.Duration `json:"at"`
+	VM   string        `json:"vm"`
+	Tier string        `json:"tier"`
+	// CPUUtil is the VM's CPU busy fraction in the interval.
+	CPUUtil float64 `json:"cpuUtil"`
+	// Throughput is the server's completed bursts per second.
+	Throughput float64 `json:"throughput"`
+	// MeanServiceSeconds is the mean burst duration.
+	MeanServiceSeconds float64 `json:"meanServiceSeconds"`
+	// ActiveThreads is the time-weighted mean request-processing
+	// concurrency — the paper's "active threads number".
+	ActiveThreads float64 `json:"activeThreads"`
+	// QueueLen is the instantaneous thread-pool queue length.
+	QueueLen int `json:"queueLen"`
+	// PoolSize is the thread pool size at sampling time.
+	PoolSize int `json:"poolSize"`
+	// ConnPoolSize and ConnWaiting describe the server's DB connection
+	// pool (app tier only; zero elsewhere).
+	ConnPoolSize int `json:"connPoolSize"`
+	ConnWaiting  int `json:"connWaiting"`
+}
+
+// SystemSample is one whole-system measurement interval.
+type SystemSample struct {
+	At time.Duration `json:"at"`
+	// Throughput is completed requests per second.
+	Throughput float64 `json:"throughput"`
+	// MeanRTSeconds and P95RTSeconds summarize end-to-end response times.
+	MeanRTSeconds float64 `json:"meanRTSeconds"`
+	P95RTSeconds  float64 `json:"p95RTSeconds"`
+	MaxRTSeconds  float64 `json:"maxRTSeconds"`
+	// MeanAppResidence and MeanDBResidence attribute latency to tiers
+	// (see ntier.Stats).
+	MeanAppResidence float64 `json:"meanAppResidence"`
+	MeanDBResidence  float64 `json:"meanDBResidence"`
+	// Errors is failed requests in the interval.
+	Errors uint64 `json:"errors"`
+	// InFlight is the instantaneous number of requests in the system.
+	InFlight int `json:"inFlight"`
+}
+
+// ErrBadFleet is returned for invalid fleet construction or attachment.
+var ErrBadFleet = errors.New("monitor: invalid fleet")
+
+// Fleet manages the monitoring agents of a running application: one agent
+// per attached server plus one system-level agent.
+type Fleet struct {
+	eng      *sim.Engine
+	b        *bus.Bus
+	app      *ntier.App
+	interval time.Duration
+
+	agents  map[string]func() // vm name -> stop
+	sysTop  func()
+	started bool
+}
+
+// NewFleet creates a monitoring fleet publishing to b every interval
+// (default 1 s, the paper's agent cadence).
+func NewFleet(eng *sim.Engine, b *bus.Bus, app *ntier.App, interval time.Duration) (*Fleet, error) {
+	if eng == nil || b == nil || app == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrBadFleet)
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Fleet{
+		eng:      eng,
+		b:        b,
+		app:      app,
+		interval: interval,
+		agents:   make(map[string]func()),
+	}, nil
+}
+
+// Interval returns the sampling cadence.
+func (f *Fleet) Interval() time.Duration { return f.interval }
+
+// Start installs an agent on every current server plus the system agent.
+// Start is idempotent.
+func (f *Fleet) Start() error {
+	if f.started {
+		return nil
+	}
+	f.started = true
+	for _, tierName := range ntier.Tiers() {
+		for _, m := range f.app.Members(tierName) {
+			if err := f.Attach(tierName, m.Name()); err != nil {
+				return err
+			}
+		}
+	}
+	f.sysTop = f.eng.Ticker(f.interval, f.publishSystem)
+	return nil
+}
+
+// Attach installs a monitoring agent on one server — called by the
+// VM-agent when a newly launched VM joins the system. Attaching twice is
+// an error.
+func (f *Fleet) Attach(tierName, vmName string) error {
+	if _, exists := f.agents[vmName]; exists {
+		return fmt.Errorf("%w: agent for %q already attached", ErrBadFleet, vmName)
+	}
+	member, err := f.app.Member(tierName, vmName)
+	if err != nil {
+		return fmt.Errorf("monitor: attach: %w", err)
+	}
+	stop := f.eng.Ticker(f.interval, func() {
+		srv := member.Server()
+		s := srv.TakeSample()
+		sample := ServerSample{
+			At:                 f.eng.Now(),
+			VM:                 vmName,
+			Tier:               tierName,
+			CPUUtil:            s.Utilization,
+			Throughput:         float64(s.Completions) / f.interval.Seconds(),
+			MeanServiceSeconds: s.MeanExecSeconds,
+			ActiveThreads:      s.MeanConcurrency,
+			QueueLen:           s.QueueLen,
+			PoolSize:           s.PoolSize,
+		}
+		if pool := member.Pool(); pool != nil {
+			ps := pool.TakeSample()
+			sample.ConnPoolSize = ps.Size
+			sample.ConnWaiting = ps.Waiting
+		}
+		// A full bus is a monitoring failure, not an application failure:
+		// drop the sample.
+		_, _ = f.b.Publish(TopicServerMetrics, vmName, sample)
+	})
+	f.agents[vmName] = stop
+	return nil
+}
+
+// Detach removes the agent of a departing VM. Detaching an unknown VM is
+// a no-op (the VM may have been terminated before its agent attached).
+func (f *Fleet) Detach(vmName string) {
+	if stop, ok := f.agents[vmName]; ok {
+		stop()
+		delete(f.agents, vmName)
+	}
+}
+
+// AgentCount returns the number of attached per-VM agents.
+func (f *Fleet) AgentCount() int { return len(f.agents) }
+
+func (f *Fleet) publishSystem() {
+	st := f.app.TakeStats()
+	sample := SystemSample{
+		At:               f.eng.Now(),
+		Throughput:       float64(st.Completions) / f.interval.Seconds(),
+		MeanRTSeconds:    st.MeanRTSeconds,
+		P95RTSeconds:     st.RT.P95,
+		MaxRTSeconds:     st.RT.Max,
+		MeanAppResidence: st.MeanAppResidence,
+		MeanDBResidence:  st.MeanDBResidence,
+		Errors:           st.Errors,
+		InFlight:         st.InFlight,
+	}
+	_, _ = f.b.Publish(TopicSystemMetrics, "system", sample)
+}
+
+// Stop halts all agents.
+func (f *Fleet) Stop() {
+	for name, stop := range f.agents {
+		stop()
+		delete(f.agents, name)
+	}
+	if f.sysTop != nil {
+		f.sysTop()
+		f.sysTop = nil
+	}
+	f.started = false
+}

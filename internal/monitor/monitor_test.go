@@ -1,0 +1,220 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dcm/internal/bus"
+	"dcm/internal/ntier"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *bus.Bus, *ntier.App, *Fleet) {
+	t.Helper()
+	eng := sim.NewEngine()
+	b := bus.New()
+	cfg := ntier.DefaultConfig()
+	cfg.AppThreads = 10
+	cfg.DBConnsPerApp = 10
+	app, err := ntier.New(eng, rng.New(1).Split("app"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewFleet(eng, b, app, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, b, app, fleet
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	t.Parallel()
+	eng, b, app, _ := setup(t)
+	if _, err := NewFleet(nil, b, app, 0); !errors.Is(err, ErrBadFleet) {
+		t.Fatalf("nil engine: %v", err)
+	}
+	if _, err := NewFleet(eng, nil, app, 0); !errors.Is(err, ErrBadFleet) {
+		t.Fatalf("nil bus: %v", err)
+	}
+	f, err := NewFleet(eng, b, app, -time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Interval() != time.Second {
+		t.Fatalf("interval default = %v", f.Interval())
+	}
+}
+
+func TestFleetPublishesPerServerSamples(t *testing.T) {
+	t.Parallel()
+	eng, b, app, fleet := setup(t)
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.AgentCount() != 3 {
+		t.Fatalf("agents = %d, want 3 (one per server)", fleet.AgentCount())
+	}
+	// Generate load so samples carry data.
+	var cycle func()
+	cycle = func() { app.Inject(func(time.Duration, bool) { cycle() }) }
+	for i := 0; i < 5; i++ {
+		cycle()
+	}
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.Fetch(TopicServerMetrics, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 30 {
+		t.Fatalf("server samples = %d, want 3 servers x 10 seconds", len(msgs))
+	}
+	byTier := map[string]int{}
+	for _, m := range msgs {
+		s, ok := m.Value.(ServerSample)
+		if !ok {
+			t.Fatalf("payload type %T", m.Value)
+		}
+		byTier[s.Tier]++
+		if s.VM == "" || s.At == 0 {
+			t.Fatalf("sample missing metadata: %+v", s)
+		}
+		if s.Tier == ntier.TierApp && s.ConnPoolSize != 10 {
+			t.Fatalf("app sample conn pool = %d", s.ConnPoolSize)
+		}
+	}
+	if byTier["web"] != 10 || byTier["app"] != 10 || byTier["db"] != 10 {
+		t.Fatalf("samples by tier = %v", byTier)
+	}
+	// The loaded app server must show nonzero throughput and utilization.
+	var sawBusyApp bool
+	for _, m := range msgs {
+		if s, ok := m.Value.(ServerSample); ok {
+			if s.Tier == ntier.TierApp && s.Throughput > 0 && s.CPUUtil > 0 {
+				sawBusyApp = true
+			}
+		}
+	}
+	if !sawBusyApp {
+		t.Fatal("no busy app-tier sample observed under load")
+	}
+}
+
+func TestFleetPublishesSystemSamples(t *testing.T) {
+	t.Parallel()
+	eng, b, app, fleet := setup(t)
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var cycle func()
+	cycle = func() { app.Inject(func(time.Duration, bool) { cycle() }) }
+	cycle()
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.Fetch(TopicSystemMetrics, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 5 {
+		t.Fatalf("system samples = %d", len(msgs))
+	}
+	s, ok := msgs[2].Value.(SystemSample)
+	if !ok {
+		t.Fatalf("payload type %T", msgs[2].Value)
+	}
+	if s.Throughput <= 0 || s.MeanRTSeconds <= 0 {
+		t.Fatalf("system sample = %+v", s)
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	t.Parallel()
+	eng, b, _, fleet := setup(t)
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.Fetch(TopicServerMetrics, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 6 {
+		t.Fatalf("double start duplicated agents: %d samples", len(msgs))
+	}
+}
+
+func TestAttachDetach(t *testing.T) {
+	t.Parallel()
+	eng, b, app, fleet := setup(t)
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.AddServer(ntier.TierApp, "app-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Attach(ntier.TierApp, "app-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Attach(ntier.TierApp, "app-2"); !errors.Is(err, ErrBadFleet) {
+		t.Fatalf("double attach: %v", err)
+	}
+	if err := fleet.Attach(ntier.TierApp, "ghost"); err == nil {
+		t.Fatal("attached to unknown server")
+	}
+	if fleet.AgentCount() != 4 {
+		t.Fatalf("agents = %d", fleet.AgentCount())
+	}
+	if err := eng.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fleet.Detach("app-2")
+	fleet.Detach("app-2") // no-op
+	if fleet.AgentCount() != 3 {
+		t.Fatalf("agents after detach = %d", fleet.AgentCount())
+	}
+	before := b.EndOffset(TopicServerMetrics)
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := b.Fetch(TopicServerMetrics, before, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range msgs {
+		if m.Key == "app-2" {
+			t.Fatal("detached agent still publishing")
+		}
+	}
+}
+
+func TestStopHaltsPublishing(t *testing.T) {
+	t.Parallel()
+	eng, b, _, fleet := setup(t)
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fleet.Stop()
+	if fleet.AgentCount() != 0 {
+		t.Fatalf("agents after stop = %d", fleet.AgentCount())
+	}
+	before := b.EndOffset(TopicServerMetrics)
+	beforeSys := b.EndOffset(TopicSystemMetrics)
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.EndOffset(TopicServerMetrics) != before || b.EndOffset(TopicSystemMetrics) != beforeSys {
+		t.Fatal("fleet published after Stop")
+	}
+}

@@ -1,0 +1,37 @@
+package mva_test
+
+import (
+	"fmt"
+
+	"dcm/internal/model"
+	"dcm/internal/mva"
+)
+
+// ExampleSolve sizes a closed system analytically: the paper's Tomcat
+// model as a load-dependent station with a 20-thread pool and RUBBoS-style
+// 3 s think time.
+func ExampleSolve() {
+	tomcat, _ := model.TableI()
+	net := mva.Network{
+		ThinkTime: 3,
+		Stations: []mva.Station{
+			mva.PooledStation("tomcat", 1, 20, func(j int) float64 {
+				return tomcat.ServiceTime(float64(j)) / tomcat.Gamma
+			}),
+		},
+	}
+	results, err := mva.Solve(net, 3000)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, n := range []int{500, 1500, 3000} {
+		r := results[n-1]
+		fmt.Printf("N=%4d  X=%6.0f req/s  R=%6.0f ms\n",
+			n, r.Throughput, r.ResponseTime*1000)
+	}
+	// Output:
+	// N= 500  X=   166 req/s  R=     3 ms
+	// N=1500  X=   499 req/s  R=     5 ms
+	// N=3000  X=   946 req/s  R=   171 ms
+}

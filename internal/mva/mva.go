@@ -1,0 +1,173 @@
+// Package mva implements exact Mean Value Analysis for closed,
+// single-class queueing networks with load-dependent stations and a delay
+// (think-time) station — the classic Reiser–Lavenberg recursion.
+//
+// It exists as an independent oracle for the simulator: a simulated server
+// is a load-dependent station with per-visit completion rate
+// μ(j) = min(j, C)/S*(min(j, C)) (C the thread pool, S* the Equation 5 law
+// plus thrash), and a closed-loop client population is exactly the
+// closed-network customer set with think time Z. Where the network is
+// product-form — any single-station system, in particular — MVA is exact,
+// so the test suite can check the discrete-event simulation against
+// queueing theory with no shared code.
+package mva
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Station is one load-dependent service station.
+type Station struct {
+	// Name identifies the station in results.
+	Name string
+	// Visits is the visit ratio V (visits per system-level interaction).
+	Visits float64
+	// Rate returns the station's completion rate (per-visit completions
+	// per second) when j jobs are present, for j >= 1. It must be
+	// positive.
+	Rate func(j int) float64
+}
+
+// Network is a closed network: stations plus a think-time delay station.
+type Network struct {
+	// ThinkTime is the delay station's mean think time Z in seconds
+	// (0 for a zero-think closed loop).
+	ThinkTime float64
+	// Stations are the queueing stations.
+	Stations []Station
+}
+
+// Result holds the MVA solution for one population size.
+type Result struct {
+	// Population is N.
+	Population int
+	// Throughput is the system-level interaction rate X(N) per second.
+	Throughput float64
+	// ResponseTime is the total residence time per interaction, excluding
+	// think time (seconds).
+	ResponseTime float64
+	// StationJobs is the mean number of jobs at each station.
+	StationJobs []float64
+	// StationResidence is each station's residence time per interaction
+	// (V_i · R_i, seconds).
+	StationResidence []float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrBadNetwork    = errors.New("mva: invalid network")
+	ErrBadPopulation = errors.New("mva: population must be >= 1")
+)
+
+// Solve runs the exact load-dependent MVA recursion for populations
+// 1..n and returns the result for each (index i holds population i+1).
+func Solve(net Network, n int) ([]Result, error) {
+	if n < 1 {
+		return nil, ErrBadPopulation
+	}
+	if net.ThinkTime < 0 {
+		return nil, fmt.Errorf("%w: negative think time", ErrBadNetwork)
+	}
+	m := len(net.Stations)
+	if m == 0 {
+		return nil, fmt.Errorf("%w: no stations", ErrBadNetwork)
+	}
+	for i, st := range net.Stations {
+		if st.Visits <= 0 {
+			return nil, fmt.Errorf("%w: station %d visits %v", ErrBadNetwork, i, st.Visits)
+		}
+		if st.Rate == nil {
+			return nil, fmt.Errorf("%w: station %d has no rate function", ErrBadNetwork, i)
+		}
+	}
+
+	// mu[i][j] is station i's rate with j jobs present (j = 1..n).
+	mu := make([][]float64, m)
+	for i, st := range net.Stations {
+		mu[i] = make([]float64, n+1)
+		for j := 1; j <= n; j++ {
+			r := st.Rate(j)
+			if r <= 0 {
+				return nil, fmt.Errorf("%w: station %d rate(%d) = %v", ErrBadNetwork, i, j, r)
+			}
+			mu[i][j] = r
+		}
+	}
+
+	// p[i][j] is the marginal probability of j jobs at station i for the
+	// previous population; initialized for N = 0 (everything empty).
+	p := make([][]float64, m)
+	for i := range p {
+		p[i] = make([]float64, n+1)
+		p[i][0] = 1
+	}
+
+	results := make([]Result, 0, n)
+	for pop := 1; pop <= n; pop++ {
+		// Residence time per visit at each station (Reiser–Lavenberg):
+		// R_i = Σ_{j=1..pop} (j / μ_i(j)) · p_i(j−1 | pop−1)
+		residencePerVisit := make([]float64, m)
+		total := net.ThinkTime
+		for i := range net.Stations {
+			r := 0.0
+			for j := 1; j <= pop; j++ {
+				r += float64(j) / mu[i][j] * p[i][j-1]
+			}
+			residencePerVisit[i] = r
+			total += net.Stations[i].Visits * r
+		}
+		x := float64(pop) / total
+
+		// Update the marginal probabilities for this population.
+		next := make([][]float64, m)
+		for i := range net.Stations {
+			next[i] = make([]float64, n+1)
+			sum := 0.0
+			for j := 1; j <= pop; j++ {
+				next[i][j] = x * net.Stations[i].Visits / mu[i][j] * p[i][j-1]
+				sum += next[i][j]
+			}
+			next[i][0] = 1 - sum
+			if next[i][0] < 0 {
+				// Numerical guard; exact MVA keeps this non-negative.
+				next[i][0] = 0
+			}
+		}
+		p = next
+
+		res := Result{
+			Population:       pop,
+			Throughput:       x,
+			ResponseTime:     total - net.ThinkTime,
+			StationJobs:      make([]float64, m),
+			StationResidence: make([]float64, m),
+		}
+		for i := range net.Stations {
+			res.StationResidence[i] = net.Stations[i].Visits * residencePerVisit[i]
+			res.StationJobs[i] = x * res.StationResidence[i]
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// PooledStation builds the load-dependent rate function of a simulated
+// server: service law S(j) (seconds per request at concurrency j), with at
+// most pool requests in service — beyond that the station completes work
+// at its pool-capped rate while the excess queues.
+func PooledStation(name string, visits float64, pool int, service func(j int) float64) Station {
+	return Station{
+		Name:   name,
+		Visits: visits,
+		Rate: func(j int) float64 {
+			if j > pool {
+				j = pool
+			}
+			if j < 1 {
+				j = 1
+			}
+			return float64(j) / service(j)
+		},
+	}
+}

@@ -1,0 +1,251 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dcm/internal/metrics"
+	"dcm/internal/model"
+	"dcm/internal/ntier"
+	"dcm/internal/rng"
+	"dcm/internal/server"
+	"dcm/internal/sim"
+)
+
+func TestSolveValidation(t *testing.T) {
+	t.Parallel()
+	good := Network{Stations: []Station{{Name: "s", Visits: 1, Rate: func(int) float64 { return 1 }}}}
+	if _, err := Solve(good, 0); err == nil {
+		t.Fatal("population 0 accepted")
+	}
+	if _, err := Solve(Network{}, 1); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	if _, err := Solve(Network{ThinkTime: -1, Stations: good.Stations}, 1); err == nil {
+		t.Fatal("negative think accepted")
+	}
+	bad := Network{Stations: []Station{{Name: "s", Visits: 0, Rate: func(int) float64 { return 1 }}}}
+	if _, err := Solve(bad, 1); err == nil {
+		t.Fatal("zero visits accepted")
+	}
+	badRate := Network{Stations: []Station{{Name: "s", Visits: 1, Rate: func(int) float64 { return 0 }}}}
+	if _, err := Solve(badRate, 1); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	nilRate := Network{Stations: []Station{{Name: "s", Visits: 1}}}
+	if _, err := Solve(nilRate, 1); err == nil {
+		t.Fatal("nil rate accepted")
+	}
+}
+
+// TestMM1AgainstClosedForm: a single fixed-rate station (M/M/1-like FCFS
+// with deterministic-rate MVA semantics) in a closed network has the
+// classic machine-repairman solution; spot-check small populations by
+// hand-computed recursion values.
+func TestSingleFixedRateStation(t *testing.T) {
+	t.Parallel()
+	// Rate 10/s regardless of queue, think time 0.
+	net := Network{Stations: []Station{{
+		Name: "s", Visits: 1, Rate: func(int) float64 { return 10 },
+	}}}
+	results, err := Solve(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a single station and no think time, all jobs queue there:
+	// X(n) = 10 for every n (the station is always busy), R(n) = n/10.
+	for _, r := range results {
+		if math.Abs(r.Throughput-10) > 1e-9 {
+			t.Fatalf("X(%d) = %v, want 10", r.Population, r.Throughput)
+		}
+		if math.Abs(r.ResponseTime-float64(r.Population)/10) > 1e-9 {
+			t.Fatalf("R(%d) = %v", r.Population, r.ResponseTime)
+		}
+	}
+}
+
+func TestDelayOnlyNetwork(t *testing.T) {
+	t.Parallel()
+	// A very fast station with a long think time: X ≈ N/Z.
+	net := Network{
+		ThinkTime: 10,
+		Stations: []Station{{
+			Name: "s", Visits: 1, Rate: func(j int) float64 { return 1e6 * float64(j) },
+		}},
+	}
+	results, err := Solve(net, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		want := float64(r.Population) / 10
+		if math.Abs(r.Throughput-want)/want > 1e-3 {
+			t.Fatalf("X(%d) = %v, want ~%v", r.Population, r.Throughput, want)
+		}
+	}
+}
+
+func TestLittleLawConsistency(t *testing.T) {
+	t.Parallel()
+	// Jobs at stations plus jobs thinking must equal the population.
+	net := Network{
+		ThinkTime: 0.5,
+		Stations: []Station{
+			PooledStation("a", 1, 4, func(j int) float64 { return 0.01 * float64(j) }),
+			PooledStation("b", 2, 8, func(j int) float64 { return 0.002 + 0.001*float64(j) }),
+		},
+	}
+	results, err := Solve(net, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		inStations := 0.0
+		for _, q := range r.StationJobs {
+			inStations += q
+		}
+		thinking := r.Throughput * 0.5
+		if math.Abs(inStations+thinking-float64(r.Population)) > 1e-6 {
+			t.Fatalf("Little violated at N=%d: %v + %v != %d",
+				r.Population, inStations, thinking, r.Population)
+		}
+	}
+}
+
+func TestThroughputMonotoneAndBounded(t *testing.T) {
+	t.Parallel()
+	tomcat, _ := model.TableI()
+	net := Network{
+		ThinkTime: 1,
+		Stations: []Station{
+			PooledStation("app", 1, 50, func(j int) float64 { return tomcat.ServiceTime(float64(j)) }),
+		},
+	}
+	results, err := Solve(net, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, r := range results {
+		if r.Throughput > peak {
+			peak = r.Throughput
+		}
+	}
+	// The station's best rate is at N_b=20: 20/S*(20).
+	capRate := 20 / tomcat.ServiceTime(20)
+	if peak > capRate*1.001 {
+		t.Fatalf("peak %v exceeds station capacity %v", peak, capRate)
+	}
+	if peak < capRate*0.93 {
+		t.Fatalf("peak %v far below capacity %v", peak, capRate)
+	}
+}
+
+// simulateClosedStation runs the discrete-event simulator for the same
+// single-station closed system MVA solves exactly.
+func simulateClosedStation(t *testing.T, params model.Params, pool, users int, think time.Duration, thrashKnee int, thrashCoef float64) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	srv, err := server.New(eng, rng.New(17).Split("s"), server.Config{
+		Name:       "station",
+		Model:      params,
+		PoolSize:   pool,
+		ThrashKnee: thrashKnee,
+		ThrashCoef: thrashCoef,
+		// MVA with load-dependent stations is exact for exponential
+		// service (BCMP); match that assumption here.
+		Distribution: server.DistExponential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17).Split("think")
+	var done metrics.Counter
+	var cycle func()
+	cycle = func() {
+		srv.Acquire(func(sess *server.Session) {
+			sess.Exec(func() {
+				sess.Release()
+				done.Inc(1)
+				z := time.Duration(r.Exp(think.Seconds()) * float64(time.Second))
+				eng.Schedule(z, cycle)
+			})
+		})
+	}
+	for i := 0; i < users; i++ {
+		delay := time.Duration(r.Uniform(0, float64(time.Second)))
+		eng.Schedule(delay, cycle)
+	}
+	warmup := 10 * time.Second
+	if err := eng.Run(warmup); err != nil {
+		t.Fatal(err)
+	}
+	done.TakeDelta()
+	const measure = 120 * time.Second
+	if err := eng.Run(warmup + measure); err != nil {
+		t.Fatal(err)
+	}
+	return float64(done.TakeDelta()) / measure.Seconds()
+}
+
+// TestMVAMatchesSimulation is the cross-validation: for a single-station
+// closed system — where load-dependent MVA is exact — the discrete-event
+// simulator must agree with queueing theory across populations, both below
+// and beyond the station's optimum, including the thrash regime.
+func TestMVAMatchesSimulation(t *testing.T) {
+	t.Parallel()
+	cfg := ntier.DefaultConfig()
+	db := cfg.DBModel
+	const (
+		pool  = 120
+		think = 250 * time.Millisecond
+	)
+	serviceFn := func(j int) float64 {
+		s := db.ServiceTime(float64(j))
+		if j > cfg.DBThrashKnee {
+			over := float64(j - cfg.DBThrashKnee)
+			s += cfg.DBThrashCoef * over * over
+		}
+		return s
+	}
+	net := Network{
+		ThinkTime: think.Seconds(),
+		Stations:  []Station{PooledStation("db", 1, pool, serviceFn)},
+	}
+	results, err := Solve(net, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, users := range []int{10, 60, 200} {
+		want := results[users-1].Throughput
+		got := simulateClosedStation(t, db, pool, users, think, cfg.DBThrashKnee, cfg.DBThrashCoef)
+		if rel := math.Abs(got-want) / want; rel > 0.06 {
+			t.Errorf("N=%d: simulation %v vs MVA %v (%.1f%% off)", users, got, want, rel*100)
+		}
+	}
+
+	// Beyond the thrash knee the station is bistable and the comparison
+	// changes meaning: the ergodic MVA average is dominated by the
+	// congested basin, while a finite-horizon simulation started idle
+	// stays metastably in the efficient one. Assert exactly that
+	// relationship rather than agreement — the theory says congestion is
+	// reachable, the simulation says it is not reached.
+	const users = 400
+	want := results[users-1].Throughput
+	got := simulateClosedStation(t, db, pool, users, think, cfg.DBThrashKnee, cfg.DBThrashCoef)
+	if got < want {
+		t.Errorf("metastable regime: simulation %v below ergodic MVA %v", got, want)
+	}
+}
+
+func TestPooledStationClamps(t *testing.T) {
+	t.Parallel()
+	st := PooledStation("p", 1, 4, func(j int) float64 { return 0.01 * float64(j) })
+	if r4, r9 := st.Rate(4), st.Rate(9); r4 != r9 {
+		t.Fatalf("rate beyond pool not capped: %v vs %v", r4, r9)
+	}
+	if st.Rate(0) != st.Rate(1) {
+		t.Fatal("rate below 1 not clamped")
+	}
+}

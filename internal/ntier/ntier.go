@@ -1,0 +1,710 @@
+// Package ntier assembles simulated component servers into the 3-tier
+// RUBBoS-style web application of the paper (Fig. 1(c)): an Apache web
+// tier, a Tomcat application tier, and a MySQL database tier, with HAProxy
+// load balancers in front of the scalable tiers and one shared DB
+// connection pool per Tomcat.
+//
+// A request follows the paper's flow (§III-A): it occupies an Apache worker
+// thread, which dispatches to a Tomcat server; the Tomcat thread runs the
+// servlet's CPU work and then issues QueriesPerRequest sequential MySQL
+// queries, each through the Tomcat's DB connection pool — the pool that
+// bounds MySQL's request-processing concurrency from upstream (§IV-B).
+// Threads are held across downstream calls, exactly as in the real stack.
+package ntier
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/connpool"
+	"dcm/internal/lb"
+	"dcm/internal/metrics"
+	"dcm/internal/model"
+	"dcm/internal/rng"
+	"dcm/internal/server"
+	"dcm/internal/sim"
+)
+
+// Tier names.
+const (
+	TierWeb = "web"
+	TierApp = "app"
+	TierDB  = "db"
+)
+
+// Tiers lists the tier names front to back.
+func Tiers() []string { return []string{TierWeb, TierApp, TierDB} }
+
+// Config describes the application's service-time laws and initial soft
+// and hard resource allocation.
+type Config struct {
+	// WebModel, AppModel, DBModel are the Equation 5 burst laws: per
+	// request for web and app, per query for the DB.
+	WebModel, AppModel, DBModel model.Params
+	// WebThreads, AppThreads are per-server thread pool sizes (#W_T, #A_T).
+	WebThreads, AppThreads int
+	// DBConnsPerApp is each Tomcat's DB connection pool size (#A_C).
+	DBConnsPerApp int
+	// DBMaxConns is MySQL's own connection limit, normally generous: the
+	// paper controls MySQL concurrency from upstream pools instead.
+	DBMaxConns int
+	// QueriesPerRequest is the DB visit ratio V_db (the paper's example
+	// workload issues 2 queries per HTTP request). It is used by the
+	// single-class flow; a non-empty Servlets mix overrides it per class.
+	QueriesPerRequest int
+	// Servlets, when non-empty, enables the multi-class request mix
+	// (§II-A's RUBBoS servlets): each request is drawn from the mix and
+	// carries its class's CPU demand and query behaviour. Empty keeps the
+	// single uniform class the calibration uses.
+	Servlets []Servlet
+	// WebServers, AppServers, DBServers are the initial #W/#A/#D.
+	WebServers, AppServers, DBServers int
+	// NoiseSigma adds mean-one lognormal noise to every burst.
+	NoiseSigma float64
+	// DBThrashKnee, DBThrashCoef and DBThrashCap give the database servers
+	// the super-quadratic collapse past the knee that real MySQL exhibits
+	// (see server.Config); they are what make over-concurrency at the DB
+	// tier genuinely harmful, as in Fig. 2, and create the bistable
+	// collapsed state the scale-out trap locks into.
+	DBThrashKnee int
+	DBThrashCoef float64
+	DBThrashCap  float64
+	// Policy selects the load-balancing policy (default round-robin).
+	Policy lb.Policy
+}
+
+// DefaultConfig returns the calibrated simulator configuration:
+// a 1/1/1 topology with the paper's default 1000/100/80 soft allocation.
+//
+// The burst laws are calibrated against Table I so that the *measured*
+// behaviour of the simulated system reproduces the paper's numbers:
+//
+//   - the MySQL per-query law keeps Table I's exact shape (scaling every
+//     parameter by one factor preserves N_b = 36 and the relative
+//     throughput curve) at a scale where the MySQL tier saturates at
+//     ≈1000 requests/s — high enough not to mask the Tomcat tier's
+//     optimum in the 1/1/1 configuration;
+//   - the Tomcat per-request CPU law is tuned so the *composite*
+//     throughput-vs-threads curve measured at the Tomcat tier (CPU burst
+//     plus two in-thread MySQL visits, exactly what §V-A's training run
+//     observes) peaks near N_b ≈ 20 at ≈946 requests/s — Table I's values;
+//   - the Apache law is a fast pass-through that never bottlenecks, as in
+//     the paper (the web tier is never scaled).
+func DefaultConfig() Config {
+	return Config{
+		WebModel: model.Params{S0: 4e-4, Alpha: 5e-7, Beta: 1e-10, Gamma: 1},
+		AppModel: model.Params{S0: 1.0e-4, Alpha: 2.6e-4, Beta: 1.5e-5, Gamma: 1},
+		DBModel:  model.Params{S0: 6.867e-4, Alpha: 4.814e-4, Beta: 1.576e-7, Gamma: 1},
+
+		WebThreads:        1000,
+		AppThreads:        100,
+		DBConnsPerApp:     80,
+		DBMaxConns:        2000,
+		QueriesPerRequest: 2,
+		WebServers:        1,
+		AppServers:        1,
+		DBServers:         1,
+
+		DBThrashKnee: 40,
+		DBThrashCoef: 1.3e-5,
+
+		// HAProxy is configured with least-connections balancing, the
+		// standard choice for long-lived backend requests and what lets a
+		// newly added server absorb a tier's backlog after scaling
+		// (§IV-A's "rebalance the load to the tiers after scaling").
+		Policy: lb.LeastConnections,
+	}
+}
+
+// Errors returned by the application.
+var (
+	ErrBadConfig     = errors.New("ntier: invalid config")
+	ErrUnknownTier   = errors.New("ntier: unknown tier")
+	ErrUnknownServer = errors.New("ntier: unknown server")
+	ErrLastServer    = errors.New("ntier: cannot remove the last server of a tier")
+)
+
+// Member is one server of a tier, together with its tier-specific soft
+// resources (app members own a DB connection pool).
+type Member struct {
+	srv  *server.Server
+	pool *connpool.Pool // non-nil for app members only
+}
+
+// Name returns the member's server name.
+func (m *Member) Name() string { return m.srv.Name() }
+
+// Accepting reports whether the member takes new work (lb.Backend).
+func (m *Member) Accepting() bool { return m.srv.Accepting() }
+
+// Load returns queued plus active requests (lb.Backend).
+func (m *Member) Load() int { return m.srv.Active() + m.srv.QueueLen() }
+
+// Server returns the underlying simulated server.
+func (m *Member) Server() *server.Server { return m.srv }
+
+// Pool returns the member's DB connection pool (nil except for app
+// members).
+func (m *Member) Pool() *connpool.Pool { return m.pool }
+
+var _ lb.Backend = (*Member)(nil)
+
+// tier groups a balancer with its members.
+type tier struct {
+	name     string
+	balancer *lb.Balancer
+	members  map[string]*Member
+}
+
+// App is the assembled n-tier application.
+type App struct {
+	eng *sim.Engine
+	rnd *rng.Rand
+	cfg Config
+
+	tiers map[string]*tier
+
+	completions metrics.Counter
+	errored     metrics.Counter
+	rts         metrics.MeanAccumulator
+	appRes      metrics.MeanAccumulator
+	dbRes       metrics.MeanAccumulator
+	rtWindow    []float64
+	inFlight    int
+	nameSeq     map[string]int
+
+	servletWeight float64
+	servletStats  map[string]*servletAccum
+
+	traceRemaining int
+	traces         []*RequestTrace
+}
+
+// New builds the application with cfg's initial topology. rnd must be a
+// dedicated stream.
+func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
+	if eng == nil || rnd == nil {
+		return nil, fmt.Errorf("%w: nil engine or rng", ErrBadConfig)
+	}
+	if cfg.WebServers < 1 || cfg.AppServers < 1 || cfg.DBServers < 1 {
+		return nil, fmt.Errorf("%w: topology %d/%d/%d", ErrBadConfig,
+			cfg.WebServers, cfg.AppServers, cfg.DBServers)
+	}
+	if cfg.WebThreads < 1 || cfg.AppThreads < 1 || cfg.DBConnsPerApp < 1 || cfg.DBMaxConns < 1 {
+		return nil, fmt.Errorf("%w: soft allocation %d/%d/%d (db max %d)", ErrBadConfig,
+			cfg.WebThreads, cfg.AppThreads, cfg.DBConnsPerApp, cfg.DBMaxConns)
+	}
+	if cfg.QueriesPerRequest < 0 {
+		return nil, fmt.Errorf("%w: %d queries per request", ErrBadConfig, cfg.QueriesPerRequest)
+	}
+	for _, m := range []model.Params{cfg.WebModel, cfg.AppModel, cfg.DBModel} {
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+	}
+	servletWeight := 0.0
+	if len(cfg.Servlets) > 0 {
+		// Copy the mix so later caller mutations cannot skew the weights.
+		servlets := make([]Servlet, len(cfg.Servlets))
+		copy(servlets, cfg.Servlets)
+		cfg.Servlets = servlets
+		var err error
+		if servletWeight, err = validateServlets(cfg.Servlets); err != nil {
+			return nil, err
+		}
+	}
+
+	a := &App{
+		eng:           eng,
+		rnd:           rnd,
+		cfg:           cfg,
+		tiers:         make(map[string]*tier, 3),
+		nameSeq:       make(map[string]int, 3),
+		servletWeight: servletWeight,
+		servletStats:  make(map[string]*servletAccum, len(cfg.Servlets)),
+	}
+	for i := range cfg.Servlets {
+		a.servletStats[cfg.Servlets[i].Name] = &servletAccum{}
+	}
+	for _, name := range Tiers() {
+		a.tiers[name] = &tier{
+			name:     name,
+			balancer: lb.New(cfg.Policy),
+			members:  make(map[string]*Member),
+		}
+	}
+	for i := 0; i < cfg.WebServers; i++ {
+		if _, err := a.AddServer(TierWeb, ""); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.AppServers; i++ {
+		if _, err := a.AddServer(TierApp, ""); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.DBServers; i++ {
+		if _, err := a.AddServer(TierDB, ""); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Config returns the application's current configuration (soft-resource
+// fields reflect runtime adjustments).
+func (a *App) Config() Config { return a.cfg }
+
+// tierOf resolves a tier by name.
+func (a *App) tierOf(name string) (*tier, error) {
+	t, ok := a.tiers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTier, name)
+	}
+	return t, nil
+}
+
+// AddServer creates a new server in the tier with the tier's current
+// per-server soft allocation and registers it with the load balancer. An
+// empty name auto-generates one ("app-2"). It returns the new member.
+func (a *App) AddServer(tierName, name string) (*Member, error) {
+	t, err := a.tierOf(tierName)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		a.nameSeq[tierName]++
+		name = fmt.Sprintf("%s-%d", tierName, a.nameSeq[tierName])
+	}
+	if _, exists := t.members[name]; exists {
+		return nil, fmt.Errorf("ntier: server %q already exists in %s", name, tierName)
+	}
+
+	srvCfg := server.Config{
+		Name:       name,
+		NoiseSigma: a.cfg.NoiseSigma,
+	}
+	switch tierName {
+	case TierWeb:
+		srvCfg.Model, srvCfg.PoolSize = a.cfg.WebModel, a.cfg.WebThreads
+	case TierApp:
+		// Held threads (including those blocked on the DB) contend: a
+		// Tomcat thread pins memory, sockets and scheduler state whether
+		// or not it is runnable, which is why oversized Tomcat pools hurt
+		// even when most threads wait on MySQL (§II).
+		srvCfg.Model, srvCfg.PoolSize = a.cfg.AppModel, a.cfg.AppThreads
+	case TierDB:
+		srvCfg.Model, srvCfg.PoolSize = a.cfg.DBModel, a.cfg.DBMaxConns
+		srvCfg.ThrashKnee, srvCfg.ThrashCoef = a.cfg.DBThrashKnee, a.cfg.DBThrashCoef
+		srvCfg.ThrashCap = a.cfg.DBThrashCap
+		// Every open upstream connection costs coherency work whether or
+		// not a query is in flight (§II's point that #A_C × #A bounds and
+		// burdens MySQL's concurrency).
+		srvCfg.BetaOnConfigured = true
+	}
+	srv, err := server.New(a.eng, a.rnd.Split("server/"+name), srvCfg)
+	if err != nil {
+		return nil, fmt.Errorf("ntier: add %s server: %w", tierName, err)
+	}
+	m := &Member{srv: srv}
+	if tierName == TierApp {
+		p, err := connpool.New(a.eng, name+"/dbpool", a.cfg.DBConnsPerApp)
+		if err != nil {
+			return nil, fmt.Errorf("ntier: add app server: %w", err)
+		}
+		m.pool = p
+	}
+	if err := t.balancer.Add(m); err != nil {
+		return nil, fmt.Errorf("ntier: register %q: %w", name, err)
+	}
+	t.members[name] = m
+	a.refreshDBConfigured()
+	return m, nil
+}
+
+// refreshDBConfigured re-derives each DB server's configured concurrency:
+// the total allocated upstream connections divided over the accepting DB
+// servers. Called on every topology or connection-pool change.
+func (a *App) refreshDBConfigured() {
+	apps := 0
+	for _, m := range a.tiers[TierApp].members {
+		if m.srv.Accepting() {
+			apps++
+		}
+	}
+	dbs := 0
+	for _, m := range a.tiers[TierDB].members {
+		if m.srv.Accepting() {
+			dbs++
+		}
+	}
+	if dbs == 0 {
+		return
+	}
+	perDB := (a.cfg.DBConnsPerApp*apps + dbs - 1) / dbs
+	for _, m := range a.tiers[TierDB].members {
+		m.srv.SetConfiguredConcurrency(perDB)
+	}
+}
+
+// Member returns the named server of a tier.
+func (a *App) Member(tierName, name string) (*Member, error) {
+	t, err := a.tierOf(tierName)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := t.members[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
+	}
+	return m, nil
+}
+
+// Members returns the tier's members in balancer registration order.
+func (a *App) Members(tierName string) []*Member {
+	t, err := a.tierOf(tierName)
+	if err != nil {
+		return nil
+	}
+	backends := t.balancer.Backends()
+	out := make([]*Member, 0, len(backends))
+	for _, b := range backends {
+		if m, ok := t.members[b.Name()]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ServerCount returns the number of servers in the tier (including
+// draining ones still attached).
+func (a *App) ServerCount(tierName string) int {
+	t, err := a.tierOf(tierName)
+	if err != nil {
+		return 0
+	}
+	return len(t.members)
+}
+
+// StartDrain marks a server as draining (no new work) and invokes
+// onDrained once it is idle, after which the server may be removed.
+// Draining the last accepting server of a tier is rejected — it would
+// black-hole all traffic.
+func (a *App) StartDrain(tierName, name string, onDrained func()) error {
+	t, err := a.tierOf(tierName)
+	if err != nil {
+		return err
+	}
+	m, ok := t.members[name]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
+	}
+	if m.srv.Accepting() && t.balancer.ReadyCount() <= 1 {
+		return fmt.Errorf("%w: %s", ErrLastServer, tierName)
+	}
+	m.srv.SetAccepting(false)
+	var poll func()
+	poll = func() {
+		if m.srv.Active() == 0 && m.srv.QueueLen() == 0 && (m.pool == nil || m.pool.InUse() == 0) {
+			if onDrained != nil {
+				onDrained()
+			}
+			return
+		}
+		a.eng.Schedule(100*time.Millisecond, poll)
+	}
+	a.eng.Schedule(0, poll)
+	return nil
+}
+
+// RemoveServer detaches a drained server from the tier. Removing a server
+// that is still accepting or busy is an error; callers should StartDrain
+// first.
+func (a *App) RemoveServer(tierName, name string) error {
+	t, err := a.tierOf(tierName)
+	if err != nil {
+		return err
+	}
+	m, ok := t.members[name]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
+	}
+	if m.srv.Accepting() {
+		return fmt.Errorf("ntier: remove %s/%s: still accepting (drain first)", tierName, name)
+	}
+	if m.srv.Active() > 0 || m.srv.QueueLen() > 0 {
+		return fmt.Errorf("ntier: remove %s/%s: still busy", tierName, name)
+	}
+	if err := t.balancer.Remove(name); err != nil {
+		return fmt.Errorf("ntier: remove %s/%s: %w", tierName, name, err)
+	}
+	delete(t.members, name)
+	a.refreshDBConfigured()
+	return nil
+}
+
+// FailServer crashes a server abruptly (failure injection): it is removed
+// from the load balancer immediately, queued requests fail, and in-flight
+// requests on it are lost. Unlike StartDrain, failing the last server of a
+// tier is allowed — crashes do not ask permission — after which requests
+// needing that tier fail until a replacement joins.
+func (a *App) FailServer(tierName, name string) error {
+	t, err := a.tierOf(tierName)
+	if err != nil {
+		return err
+	}
+	m, ok := t.members[name]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
+	}
+	if err := t.balancer.Remove(name); err != nil {
+		return fmt.Errorf("ntier: fail %s/%s: %w", tierName, name, err)
+	}
+	delete(t.members, name)
+	m.srv.Kill()
+	a.refreshDBConfigured()
+	return nil
+}
+
+// SetWebThreads resizes every web server's thread pool and updates the
+// allocation used for future servers.
+func (a *App) SetWebThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.cfg.WebThreads = n
+	for _, m := range a.tiers[TierWeb].members {
+		m.srv.SetPoolSize(n)
+	}
+}
+
+// SetAppThreads resizes every app server's thread pool (the APP-agent's
+// Tomcat STP knob, §IV-B) and updates the allocation for future servers.
+func (a *App) SetAppThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.cfg.AppThreads = n
+	for _, m := range a.tiers[TierApp].members {
+		m.srv.SetPoolSize(n)
+	}
+}
+
+// SetDBConnsPerApp resizes every app server's DB connection pool (the
+// APP-agent's MySQL-concurrency knob, §IV-B) and updates the allocation
+// for future servers.
+func (a *App) SetDBConnsPerApp(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.cfg.DBConnsPerApp = n
+	for _, m := range a.tiers[TierApp].members {
+		if m.pool != nil {
+			m.pool.Resize(n)
+		}
+	}
+	a.refreshDBConfigured()
+}
+
+// Allocation returns the current soft-resource allocation in the paper's
+// #W_T/#A_T/#A_C form.
+func (a *App) Allocation() model.Allocation {
+	return model.Allocation{
+		WebThreadsPerServer: a.cfg.WebThreads,
+		AppThreadsPerServer: a.cfg.AppThreads,
+		DBConnsPerAppServer: a.cfg.DBConnsPerApp,
+	}
+}
+
+// InFlight returns the number of requests currently inside the system.
+func (a *App) InFlight() int { return a.inFlight }
+
+// TotalCompletions returns the lifetime number of completed requests.
+func (a *App) TotalCompletions() uint64 { return a.completions.Total() }
+
+// TotalErrors returns the lifetime number of failed requests (no backend
+// available).
+func (a *App) TotalErrors() uint64 { return a.errored.Total() }
+
+// Inject sends one HTTP request through the system. done (optional) is
+// invoked on completion with the end-to-end response time and whether the
+// request succeeded. With a servlet mix configured, the request's class is
+// drawn by weight.
+func (a *App) Inject(done func(rt time.Duration, ok bool)) {
+	start := a.eng.Now()
+	a.inFlight++
+	var servlet *Servlet
+	if len(a.cfg.Servlets) > 0 {
+		servlet = a.pickServlet()
+	}
+	tr := a.beginTrace(servlet)
+	finish := func(ok bool) {
+		a.inFlight--
+		rt := a.eng.Now() - start
+		if ok {
+			a.completions.Inc(1)
+			a.rts.Observe(rt.Seconds())
+			a.rtWindow = append(a.rtWindow, rt.Seconds())
+		} else {
+			a.errored.Inc(1)
+		}
+		if servlet != nil {
+			acc := a.servletStats[servlet.Name]
+			if ok {
+				acc.completions.Inc(1)
+				acc.rtSum += rt.Seconds()
+			} else {
+				acc.errored.Inc(1)
+			}
+		}
+		if tr != nil {
+			tr.Total = rt
+			tr.OK = ok
+		}
+		if done != nil {
+			done(rt, ok)
+		}
+	}
+
+	webBackend, err := a.tiers[TierWeb].balancer.Pick()
+	if err != nil {
+		finish(false)
+		return
+	}
+	web, ok := a.tiers[TierWeb].members[webBackend.Name()]
+	if !ok {
+		finish(false)
+		return
+	}
+	webStart := a.eng.Now()
+	web.srv.Acquire(func(webSess *server.Session) {
+		if webSess == nil {
+			finish(false)
+			return
+		}
+		webSess.Exec(func() {
+			a.dispatchApp(servlet, tr, func(ok bool) {
+				webSess.Release()
+				a.span(tr, "web", web.Name(), webStart)
+				finish(ok && !webSess.Killed())
+			})
+		})
+	})
+}
+
+// dispatchApp runs the application-tier stage of a request. servlet is nil
+// for the single-class flow; tr is nil unless the request is traced.
+func (a *App) dispatchApp(servlet *Servlet, tr *RequestTrace, done func(ok bool)) {
+	appBackend, err := a.tiers[TierApp].balancer.Pick()
+	if err != nil {
+		done(false)
+		return
+	}
+	app, ok := a.tiers[TierApp].members[appBackend.Name()]
+	if !ok {
+		done(false)
+		return
+	}
+	appDemand, queries, queryDemand := 1.0, a.cfg.QueriesPerRequest, 1.0
+	if servlet != nil {
+		appDemand, queries, queryDemand = servlet.AppDemand, servlet.Queries, servlet.QueryDemand
+	}
+	appStart := a.eng.Now()
+	app.srv.Acquire(func(appSess *server.Session) {
+		if appSess == nil {
+			done(false)
+			return
+		}
+		appSess.ExecDemand(appDemand, func() {
+			a.runQueries(app, tr, 0, queries, queryDemand, func(ok bool) {
+				appSess.Release()
+				a.appRes.Observe((a.eng.Now() - appStart).Seconds())
+				a.span(tr, "app", app.Name(), appStart)
+				done(ok && !appSess.Killed())
+			})
+		})
+	})
+}
+
+// runQueries issues the request's MySQL queries sequentially through the
+// app member's connection pool.
+func (a *App) runQueries(app *Member, tr *RequestTrace, issued, queries int, queryDemand float64, done func(ok bool)) {
+	if issued >= queries {
+		done(true)
+		return
+	}
+	queryStart := a.eng.Now()
+	app.pool.Acquire(func(conn *connpool.Conn) {
+		dbBackend, err := a.tiers[TierDB].balancer.Pick()
+		if err != nil {
+			conn.Release()
+			done(false)
+			return
+		}
+		db, ok := a.tiers[TierDB].members[dbBackend.Name()]
+		if !ok {
+			conn.Release()
+			done(false)
+			return
+		}
+		db.srv.Acquire(func(dbSess *server.Session) {
+			if dbSess == nil {
+				conn.Release()
+				done(false)
+				return
+			}
+			dbSess.ExecDemand(queryDemand, func() {
+				killed := dbSess.Killed()
+				dbSess.Release()
+				conn.Release()
+				a.dbRes.Observe((a.eng.Now() - queryStart).Seconds())
+				a.span(tr, fmt.Sprintf("db-query-%d", issued+1), db.Name(), queryStart)
+				if killed {
+					done(false)
+					return
+				}
+				a.runQueries(app, tr, issued+1, queries, queryDemand, done)
+			})
+		})
+	})
+}
+
+// Stats is one monitoring interval of whole-system metrics.
+type Stats struct {
+	// Completions and Errors are counts in the interval.
+	Completions uint64 `json:"completions"`
+	Errors      uint64 `json:"errors"`
+	// MeanRTSeconds is the mean response time of requests completed in the
+	// interval.
+	MeanRTSeconds float64 `json:"meanRTSeconds"`
+	// MeanAppResidence is the mean time a request occupied an app-tier
+	// thread (queue wait + servlet CPU + its DB visits); MeanDBResidence
+	// is the mean per-query time including connection-pool wait. Together
+	// they attribute end-to-end latency to tiers.
+	MeanAppResidence float64 `json:"meanAppResidence"`
+	MeanDBResidence  float64 `json:"meanDBResidence"`
+	// RT is the full response-time summary for the interval.
+	RT metrics.Summary `json:"rt"`
+	// InFlight is the instantaneous number of requests in the system.
+	InFlight int `json:"inFlight"`
+}
+
+// TakeStats returns system metrics accumulated since the previous call and
+// starts a new interval.
+func (a *App) TakeStats() Stats {
+	mean, _ := a.rts.TakeMean()
+	appMean, _ := a.appRes.TakeMean()
+	dbMean, _ := a.dbRes.TakeMean()
+	st := Stats{
+		Completions:      a.completions.TakeDelta(),
+		Errors:           a.errored.TakeDelta(),
+		MeanRTSeconds:    mean,
+		MeanAppResidence: appMean,
+		MeanDBResidence:  dbMean,
+		RT:               metrics.Summarize(a.rtWindow),
+		InFlight:         a.inFlight,
+	}
+	a.rtWindow = a.rtWindow[:0]
+	return st
+}

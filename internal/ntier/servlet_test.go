@@ -1,0 +1,168 @@
+package ntier
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+)
+
+func TestDefaultServletsNormalized(t *testing.T) {
+	t.Parallel()
+	mix := DefaultServlets()
+	if len(mix) != 10 {
+		t.Fatalf("mix size = %d", len(mix))
+	}
+	if _, err := validateServlets(mix); err != nil {
+		t.Fatal(err)
+	}
+	meanDemand, meanQueries := MixMeans(mix)
+	// The mix must match the single-class calibration in the mean.
+	if math.Abs(meanDemand-1.0) > 0.03 {
+		t.Fatalf("mean app demand = %v, want ~1.0", meanDemand)
+	}
+	if math.Abs(meanQueries-2.0) > 0.05 {
+		t.Fatalf("mean queries = %v, want ~2.0", meanQueries)
+	}
+}
+
+func TestValidateServletsRejectsBadMixes(t *testing.T) {
+	t.Parallel()
+	bad := [][]Servlet{
+		{{Name: "", Weight: 1, AppDemand: 1}},
+		{{Name: "a", Weight: 0, AppDemand: 1}},
+		{{Name: "a", Weight: 1, AppDemand: 0}},
+		{{Name: "a", Weight: 1, AppDemand: 1, Queries: -1}},
+		{{Name: "a", Weight: 1, AppDemand: 1, Queries: 2, QueryDemand: 0}},
+		{{Name: "a", Weight: 1, AppDemand: 1}, {Name: "a", Weight: 1, AppDemand: 1}},
+	}
+	for i, mix := range bad {
+		if _, err := validateServlets(mix); err == nil {
+			t.Errorf("mix %d accepted", i)
+		}
+	}
+}
+
+func TestNewRejectsBadServletMix(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.Servlets = []Servlet{{Name: "x", Weight: -1, AppDemand: 1}}
+	eng := sim.NewEngine()
+	if _, err := New(eng, rng.New(1), cfg); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}
+
+func TestServletMixDistribution(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.Servlets = []Servlet{
+		{Name: "light", Weight: 3, AppDemand: 0.5, Queries: 1, QueryDemand: 1},
+		{Name: "heavy", Weight: 1, AppDemand: 2.0, Queries: 3, QueryDemand: 1},
+	}
+	eng, app := newApp(t, cfg)
+	const total = 4000
+	for i := 0; i < total; i++ {
+		app.Inject(nil)
+	}
+	if err := eng.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	stats := app.ServletStats()
+	light, heavy := stats["light"], stats["heavy"]
+	if light.Completions+heavy.Completions != total {
+		t.Fatalf("per-class totals %d + %d != %d", light.Completions, heavy.Completions, total)
+	}
+	share := float64(light.Completions) / total
+	if math.Abs(share-0.75) > 0.03 {
+		t.Fatalf("light share = %v, want ~0.75", share)
+	}
+	// Heavier servlet has a longer response time.
+	if heavy.MeanRTms <= light.MeanRTms {
+		t.Fatalf("heavy RT %v not above light RT %v", heavy.MeanRTms, light.MeanRTms)
+	}
+}
+
+func TestServletQueriesRouteToDB(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.Servlets = []Servlet{
+		{Name: "q3", Weight: 1, AppDemand: 1, Queries: 3, QueryDemand: 1},
+	}
+	eng, app := newApp(t, cfg)
+	for i := 0; i < 10; i++ {
+		app.Inject(nil)
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.Members(TierDB)[0].Server().TotalCompletions(); got != 30 {
+		t.Fatalf("db bursts = %d, want 10 requests x 3 queries", got)
+	}
+}
+
+func TestServletZeroQueriesSkipsDB(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.Servlets = []Servlet{
+		{Name: "static", Weight: 1, AppDemand: 1, Queries: 0},
+	}
+	eng, app := newApp(t, cfg)
+	app.Inject(nil)
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if app.TotalCompletions() != 1 {
+		t.Fatal("request did not complete")
+	}
+	if got := app.Members(TierDB)[0].Server().TotalCompletions(); got != 0 {
+		t.Fatalf("db bursts = %d", got)
+	}
+}
+
+// TestServletMixPreservesMeanThroughput: a saturated system under the
+// normalized default mix sustains roughly the same throughput as the
+// single-class flow, because the mix's weighted means match.
+func TestServletMixPreservesMeanThroughput(t *testing.T) {
+	t.Parallel()
+	measure := func(useMix bool) float64 {
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.AppThreads = 20
+		if useMix {
+			cfg.Servlets = DefaultServlets()
+		}
+		app, err := New(eng, rng.New(5).Split("app"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cycle func()
+		cycle = func() { app.Inject(func(time.Duration, bool) { cycle() }) }
+		for i := 0; i < 20; i++ {
+			eng.Schedule(time.Duration(i)*time.Millisecond, cycle)
+		}
+		if err := eng.Run(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		before := app.TotalCompletions()
+		if err := eng.Run(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return float64(app.TotalCompletions()-before) / 15.0
+	}
+	single := measure(false)
+	mixed := measure(true)
+	if rel := mixed/single - 1; rel < -0.15 || rel > 0.15 {
+		t.Fatalf("mix shifted throughput by %.0f%%: single=%v mixed=%v", rel*100, single, mixed)
+	}
+}
+
+func TestMixMeansEmpty(t *testing.T) {
+	t.Parallel()
+	d, q := MixMeans(nil)
+	if d != 0 || q != 0 {
+		t.Fatalf("empty mix means = %v, %v", d, q)
+	}
+}

@@ -1,0 +1,444 @@
+// Package server simulates one component server of an n-tier application —
+// an Apache, Tomcat or MySQL instance — as a thread-pooled station on a
+// discrete-event engine.
+//
+// The server's thread pool is the paper's central soft resource: at most
+// PoolSize requests are processed concurrently; the rest wait in a FIFO
+// queue. An admitted request holds its thread until released, including
+// while it waits on downstream tiers (exactly how Apache worker threads and
+// Tomcat threads behave). CPU bursts executed on a held thread follow the
+// multi-threading service-time law of Equation 5,
+//
+//	S*(N) = S0 + α(N−1) + βN(N−1)
+//
+// evaluated at the server's current concurrency N, so both throughput
+// collapse at high concurrency and under-utilization at low concurrency
+// emerge from the simulation just as they do on the paper's testbed.
+//
+// The pool can be resized at runtime without disturbing in-flight requests;
+// that is the APP-agent's actuation primitive (§IV-B).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/metrics"
+	"dcm/internal/model"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+)
+
+// Config describes a simulated server.
+type Config struct {
+	// Name identifies the server (e.g. "app-1"); required.
+	Name string
+	// Model is the Equation 5 service-time law for one CPU burst.
+	Model model.Params
+	// PoolSize is the initial thread pool size; must be >= 1.
+	PoolSize int
+	// NoiseSigma, if positive, applies mean-one lognormal noise to every
+	// CPU burst, modeling real service-time variability.
+	NoiseSigma float64
+	// ThrashKnee and ThrashCoef model the super-quadratic collapse real
+	// servers exhibit far past their concurrency optimum (lock convoys,
+	// buffer-pool thrashing): beyond ThrashKnee concurrent requests, each
+	// burst gains ThrashCoef·(N−ThrashKnee)² seconds. Equation 5 is a
+	// deliberately *graceful* contention model; the thrash term is what
+	// makes the simulated MySQL reproduce the steep decline of Fig. 2(a)
+	// and the scale-out trap of Fig. 2(b). Zero ThrashKnee disables it.
+	// ThrashCap bounds the extra seconds per burst (0 means uncapped);
+	// real servers' degradation flattens once every request misses cache.
+	ThrashKnee int
+	ThrashCoef float64
+	ThrashCap  float64
+	// Basis selects which concurrency N the Equation 5 law sees. The
+	// default, BasisActive, counts every admitted (thread-holding)
+	// request. BasisExecuting counts only requests currently in a CPU
+	// burst — threads blocked on a downstream tier do not contend for the
+	// CPU, which is how real SMT contention behaves and is essential for
+	// tiers (like Tomcat) whose threads spend much of their life waiting
+	// on the database.
+	Basis ContentionBasis
+	// Distribution selects the burst-duration distribution around the
+	// Equation 5 mean: deterministic (default) or exponential. Exponential
+	// service makes the station BCMP-compatible, which the MVA
+	// cross-validation tests rely on; deterministic matches the paper's
+	// CPU-bound browse-only workload better.
+	Distribution ServiceDistribution
+	// BetaOnConfigured, when true, charges Equation 5's crosstalk term β
+	// on the server's *configured* concurrency (SetConfiguredConcurrency)
+	// instead of the instantaneous one. This models MySQL: every open
+	// connection is a mysqld thread that participates in lock-manager and
+	// buffer coherency traffic whether or not it is executing a query, so
+	// the coherency cost follows the allocation (the paper's #A_C × #A),
+	// while the scheduling-contention α and the thrash term follow actual
+	// load.
+	BetaOnConfigured bool
+}
+
+// ServiceDistribution selects the burst-duration distribution.
+type ServiceDistribution int
+
+// Service distributions.
+const (
+	// DistDeterministic uses the Equation 5 mean exactly.
+	DistDeterministic ServiceDistribution = iota
+	// DistExponential draws exponentially with the Equation 5 mean.
+	DistExponential
+)
+
+// ContentionBasis selects the concurrency measure for Equation 5.
+type ContentionBasis int
+
+// Contention bases.
+const (
+	// BasisActive charges contention for every admitted request.
+	BasisActive ContentionBasis = iota
+	// BasisExecuting charges contention only for requests in a CPU burst.
+	BasisExecuting
+)
+
+// Errors returned by New.
+var (
+	ErrBadConfig = errors.New("server: invalid config")
+)
+
+// Server is a simulated component server. It must only be used from the
+// simulation goroutine.
+type Server struct {
+	eng    *sim.Engine
+	rnd    *rng.Rand
+	name   string
+	params model.Params
+
+	poolSize  int
+	active    int
+	accepting bool
+	dead      bool
+	noise     float64
+	queue     []func(*Session)
+
+	thrashKnee int
+	thrashCoef float64
+	thrashCap  float64
+	basis      ContentionBasis
+	executing  int
+	betaOnConf bool
+	configured int
+	dist       ServiceDistribution
+
+	cpu         metrics.BusyTracker
+	concurrency metrics.TimeWeighted
+	completions metrics.Counter
+	execTimes   metrics.MeanAccumulator
+	queueWaits  metrics.MeanAccumulator
+	queuePeak   int
+}
+
+// New constructs a server on the given engine. rnd must be a dedicated
+// stream (use rng.Rand.Split).
+func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*Server, error) {
+	if eng == nil || rnd == nil {
+		return nil, fmt.Errorf("%w: nil engine or rng", ErrBadConfig)
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("%w: empty name", ErrBadConfig)
+	}
+	if cfg.PoolSize < 1 {
+		return nil, fmt.Errorf("%w: pool size %d", ErrBadConfig, cfg.PoolSize)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.ThrashKnee < 0 || cfg.ThrashCoef < 0 || cfg.ThrashCap < 0 {
+		return nil, fmt.Errorf("%w: negative thrash parameters", ErrBadConfig)
+	}
+	return &Server{
+		eng:        eng,
+		rnd:        rnd,
+		name:       cfg.Name,
+		params:     cfg.Model,
+		poolSize:   cfg.PoolSize,
+		accepting:  true,
+		noise:      cfg.NoiseSigma,
+		thrashKnee: cfg.ThrashKnee,
+		thrashCoef: cfg.ThrashCoef,
+		thrashCap:  cfg.ThrashCap,
+		basis:      cfg.Basis,
+		betaOnConf: cfg.BetaOnConfigured,
+		dist:       cfg.Distribution,
+	}, nil
+}
+
+// Session is one admitted request holding a server thread.
+type Session struct {
+	s         *Server
+	released  bool
+	executing bool
+	admitted  sim.Time
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.name }
+
+// Params returns the server's service-time law.
+func (s *Server) Params() model.Params { return s.params }
+
+// PoolSize returns the current thread pool size.
+func (s *Server) PoolSize() int { return s.poolSize }
+
+// Active returns the number of admitted (thread-holding) requests.
+func (s *Server) Active() int { return s.active }
+
+// QueueLen returns the number of requests waiting for a thread.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Accepting reports whether the server is taking new work (load balancers
+// skip non-accepting servers; in-flight work is unaffected).
+func (s *Server) Accepting() bool { return s.accepting }
+
+// SetAccepting marks the server as accepting or draining.
+func (s *Server) SetAccepting(v bool) { s.accepting = v }
+
+// Kill crashes the server: it stops accepting work, every queued request
+// is failed immediately (its Acquire callback runs with a nil session),
+// and in-flight requests are marked killed — their bursts "complete" but
+// Session.Killed reports true so the request flow can fail them, modeling
+// connections torn down by a crashed process. Kill is idempotent.
+func (s *Server) Kill() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	s.accepting = false
+	waiters := s.queue
+	s.queue = nil
+	for _, fn := range waiters {
+		fn(nil)
+	}
+}
+
+// Dead reports whether Kill was called.
+func (s *Server) Dead() bool { return s.dead }
+
+// Killed reports whether the session's server crashed; work completed on a
+// killed session is lost and the request must be failed.
+func (sess *Session) Killed() bool { return sess.s.dead }
+
+// Acquire requests a thread. fn is invoked with the session as soon as a
+// thread is available — immediately if the pool has room, otherwise in FIFO
+// order as threads free up. On a dead server fn is invoked immediately
+// with a nil session: the caller must treat that as a failed request.
+func (s *Server) Acquire(fn func(*Session)) {
+	if fn == nil {
+		return
+	}
+	if s.dead {
+		fn(nil)
+		return
+	}
+	enqueueAt := s.eng.Now()
+	wrapped := func(sess *Session) {
+		s.queueWaits.Observe((s.eng.Now() - enqueueAt).Seconds())
+		fn(sess)
+	}
+	if s.active < s.poolSize && len(s.queue) == 0 {
+		s.grant(wrapped)
+		return
+	}
+	s.queue = append(s.queue, wrapped)
+	if len(s.queue) > s.queuePeak {
+		s.queuePeak = len(s.queue)
+	}
+}
+
+// grant admits one request, accounting concurrency.
+func (s *Server) grant(fn func(*Session)) {
+	s.active++
+	s.concurrency.Set(s.eng.Now(), float64(s.active))
+	fn(&Session{s: s, admitted: s.eng.Now()})
+}
+
+// admitWaiters grants queued requests while threads are available.
+func (s *Server) admitWaiters() {
+	for s.active < s.poolSize && len(s.queue) > 0 {
+		fn := s.queue[0]
+		s.queue = s.queue[1:]
+		s.grant(fn)
+	}
+}
+
+// SetPoolSize resizes the thread pool at runtime. Growing admits waiting
+// requests immediately; shrinking never interrupts in-flight requests —
+// the pool drains down to the new size as they complete. Sizes below 1 are
+// clamped to 1.
+func (s *Server) SetPoolSize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.poolSize = n
+	s.admitWaiters()
+}
+
+// Exec runs one CPU burst on the session's thread and invokes onDone when
+// it completes. The burst duration is the Equation 5 service time at the
+// server's concurrency when the burst starts. Exec on a released session
+// or a session already executing is a programming error and panics — it
+// would silently corrupt concurrency accounting otherwise.
+func (sess *Session) Exec(onDone func()) {
+	sess.ExecDemand(1, onDone)
+}
+
+// ExecDemand is Exec with the burst's base demand scaled by demand: the
+// servlet mix of a real application issues requests with different service
+// demands, and demand scales the S0 work term while the contention and
+// crosstalk penalties — properties of the server's state, not of the
+// request — stay as they are. Non-positive demands are clamped to a
+// negligible positive amount.
+func (sess *Session) ExecDemand(demand float64, onDone func()) {
+	if sess.released {
+		panic("server: Exec on released session")
+	}
+	if sess.executing {
+		panic("server: Exec on session already executing")
+	}
+	if demand <= 0 {
+		demand = 1e-9
+	}
+	s := sess.s
+	sess.executing = true
+	s.executing++
+	d := s.burstDuration(demand)
+	s.cpu.Enter(s.eng.Now())
+	s.eng.Schedule(d, func() {
+		s.cpu.Exit(s.eng.Now())
+		sess.executing = false
+		s.executing--
+		s.completions.Inc(1)
+		s.execTimes.Observe(d.Seconds())
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// burstDuration samples the Equation 5 service time at current concurrency
+// (plus the thrash penalty past the knee), with optional mean-one lognormal
+// noise. demand scales the S0 work term.
+func (s *Server) burstDuration(demand float64) time.Duration {
+	n := s.active
+	if s.basis == BasisExecuting {
+		n = s.executing // includes the burst being started
+	}
+	base := s.params.ServiceTime(float64(n)) + (demand-1)*s.params.S0
+	if s.betaOnConf && s.configured > 0 {
+		// Swap the instantaneous crosstalk for the configured-concurrency
+		// crosstalk.
+		nf := float64(n)
+		if nf < 1 {
+			nf = 1
+		}
+		cf := float64(s.configured)
+		base += s.params.Beta * (cf*(cf-1) - nf*(nf-1))
+	}
+	if s.thrashKnee > 0 && n > s.thrashKnee {
+		over := float64(n - s.thrashKnee)
+		extra := s.thrashCoef * over * over
+		if s.thrashCap > 0 && extra > s.thrashCap {
+			extra = s.thrashCap
+		}
+		base += extra
+	}
+	if s.noise > 0 {
+		base *= s.rnd.LogNormal(-s.noise*s.noise/2, s.noise)
+	}
+	if s.dist == DistExponential {
+		base = s.rnd.Exp(base)
+	}
+	if base < 0 {
+		base = 0
+	}
+	return time.Duration(base * float64(time.Second))
+}
+
+// SetConfiguredConcurrency records the externally allocated concurrency
+// (e.g. the total upstream connection-pool size routed to this server)
+// used by the BetaOnConfigured crosstalk model. Zero falls back to the
+// instantaneous concurrency.
+func (s *Server) SetConfiguredConcurrency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.configured = n
+}
+
+// ConfiguredConcurrency returns the value set by SetConfiguredConcurrency.
+func (s *Server) ConfiguredConcurrency() int { return s.configured }
+
+// Release returns the session's thread to the pool and admits the next
+// waiter. Releasing twice panics: a double release would inflate the
+// pool's effective size.
+func (sess *Session) Release() {
+	if sess.released {
+		panic("server: session released twice")
+	}
+	if sess.executing {
+		panic("server: Release while executing")
+	}
+	sess.released = true
+	s := sess.s
+	s.active--
+	s.concurrency.Set(s.eng.Now(), float64(s.active))
+	s.admitWaiters()
+}
+
+// Sample is one monitoring interval's worth of server metrics — what the
+// paper's fine-grained monitoring agent reports every second.
+type Sample struct {
+	// Completions is the number of CPU bursts finished in the interval.
+	Completions uint64 `json:"completions"`
+	// MeanExecSeconds is the mean burst duration in the interval (0 when no
+	// bursts completed).
+	MeanExecSeconds float64 `json:"meanExecSeconds"`
+	// MeanQueueWaitSeconds is the mean time requests admitted in the
+	// interval spent waiting for a thread.
+	MeanQueueWaitSeconds float64 `json:"meanQueueWaitSeconds"`
+	// Utilization is the CPU busy fraction over the interval.
+	Utilization float64 `json:"utilization"`
+	// MeanConcurrency is the time-weighted mean number of active threads.
+	MeanConcurrency float64 `json:"meanConcurrency"`
+	// Active is the instantaneous number of active threads.
+	Active int `json:"active"`
+	// QueueLen is the instantaneous queue length.
+	QueueLen int `json:"queueLen"`
+	// QueuePeak is the peak queue length since the previous sample.
+	QueuePeak int `json:"queuePeak"`
+	// PoolSize is the thread pool size at sampling time.
+	PoolSize int `json:"poolSize"`
+}
+
+// TakeSample returns the metrics accumulated since the previous TakeSample
+// call and starts a new interval.
+func (s *Server) TakeSample() Sample {
+	now := s.eng.Now()
+	execMean, _ := s.execTimes.TakeMean()
+	waitMean, _ := s.queueWaits.TakeMean()
+	sample := Sample{
+		Completions:          s.completions.TakeDelta(),
+		MeanExecSeconds:      execMean,
+		MeanQueueWaitSeconds: waitMean,
+		Utilization:          s.cpu.TakeUtilization(now),
+		MeanConcurrency:      s.concurrency.TakeAverage(now),
+		Active:               s.active,
+		QueueLen:             len(s.queue),
+		QueuePeak:            s.queuePeak,
+		PoolSize:             s.poolSize,
+	}
+	s.queuePeak = len(s.queue)
+	return sample
+}
+
+// TotalCompletions returns the lifetime number of completed CPU bursts.
+func (s *Server) TotalCompletions() uint64 { return s.completions.Total() }

@@ -1,0 +1,205 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock (a time.Duration measured from the
+// start of the simulation) and a priority queue of scheduled events. All
+// simulated components — servers, workload generators, monitoring agents,
+// controllers — run as callbacks on a single goroutine, so a run is a pure
+// function of its inputs and seeds.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp: the duration elapsed since simulation start.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type Event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+
+	index     int // heap index; -1 once popped or canceled
+	cancelled bool
+}
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired (or was already canceled) is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return // heap.Push is only ever called with *Event
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable;
+// construct one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	processed uint64
+	maxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{maxEvents: defaultMaxEvents}
+}
+
+// defaultMaxEvents bounds runaway simulations (e.g. an accidental
+// zero-delay self-rescheduling loop) instead of hanging forever.
+const defaultMaxEvents = 500_000_000
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit overrides the safety cap on executed events. A limit of 0
+// restores the default.
+func (e *Engine) SetEventLimit(n uint64) {
+	if n == 0 {
+		n = defaultMaxEvents
+	}
+	e.maxEvents = n
+}
+
+// ErrEventLimit is returned by Run when the engine's event budget is
+// exhausted, which almost always indicates a scheduling loop.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// Schedule runs fn after delay. A negative delay is treated as zero: the
+// event fires at the current time, after events already scheduled for that
+// time. The returned Event may be used to cancel the callback.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if fn == nil {
+		return nil
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAt runs fn at absolute virtual time at (clamped to now).
+func (e *Engine) ScheduleAt(at Time, fn func()) *Event {
+	return e.Schedule(at-e.now, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the clock would pass horizon,
+// the queue drains, or Stop is called. The clock is left at the time of the
+// last executed event (or at horizon if the queue drained earlier and
+// advance-to-horizon is implied by a later Run call).
+func (e *Engine) Run(horizon Time) error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > horizon {
+			break
+		}
+		popped, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return fmt.Errorf("sim: corrupt event queue entry %T", next)
+		}
+		if popped.cancelled {
+			continue
+		}
+		e.now = popped.at
+		e.processed++
+		if e.processed > e.maxEvents {
+			return fmt.Errorf("%w (%d events)", ErrEventLimit, e.maxEvents)
+		}
+		popped.fn()
+	}
+	if e.now < horizon && !e.stopped {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Ticker invokes fn every period, starting one period from now, until the
+// returned stop function is called. It is the simulated analogue of
+// time.Ticker and is used for monitoring and control loops.
+func (e *Engine) Ticker(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		return func() {}
+	}
+	var (
+		ev      *Event
+		stopped bool
+	)
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = e.Schedule(period, tick)
+		}
+	}
+	ev = e.Schedule(period, tick)
+	return func() {
+		stopped = true
+		ev.Cancel()
+	}
+}

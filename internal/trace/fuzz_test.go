@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV checks the parser never panics and that every accepted
+// trace satisfies the package invariants (anchored start, non-negative
+// users, queryable at any time) and round-trips through WriteCSV.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("seconds,users\n0,5\n1.5,10\n")
+	f.Add("0,0\n")
+	f.Add("# comment\n10,3\n5,8\n")
+	f.Add("")
+	f.Add("nan,5\n")
+	f.Add("1e300,5\n")
+	f.Add("0,-3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseCSV("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		pts := tr.Points()
+		if len(pts) == 0 {
+			t.Fatal("accepted trace with no points")
+		}
+		if pts[0].At != 0 {
+			t.Fatalf("not anchored: %v", pts[0].At)
+		}
+		for _, p := range pts {
+			if p.Users < 0 {
+				t.Fatalf("negative users: %+v", p)
+			}
+		}
+		if tr.UsersAt(tr.Duration()/2) < 0 {
+			t.Fatal("negative users at midpoint")
+		}
+		// Round trip must be parseable again.
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := ParseCSV("fuzz2", &buf); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dcm/internal/rng"
+)
+
+// Stats summarizes a trace's variability — the quantities burstiness
+// papers (e.g. the index of dispersion work the paper cites) report.
+type Stats struct {
+	// Min, Mean, Max summarize the population (Mean is time-weighted).
+	Min  int     `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  int     `json:"max"`
+	// CoV is the time-weighted coefficient of variation of the population.
+	CoV float64 `json:"cov"`
+	// PeakToMean is Max/Mean — the paper's "peak workload … 10X higher
+	// than the overall average" figure of merit.
+	PeakToMean float64 `json:"peakToMean"`
+	// Bursts counts maximal intervals where the population exceeds twice
+	// the mean.
+	Bursts int `json:"bursts"`
+}
+
+// ComputeStats derives Stats from a trace.
+func ComputeStats(t *Trace) Stats {
+	points := t.Points()
+	st := Stats{Min: points[0].Users}
+	total := t.Duration().Seconds()
+	var area, area2 float64
+	for i, p := range points {
+		if p.Users < st.Min {
+			st.Min = p.Users
+		}
+		if p.Users > st.Max {
+			st.Max = p.Users
+		}
+		if i+1 < len(points) {
+			dt := (points[i+1].At - p.At).Seconds()
+			area += float64(p.Users) * dt
+			area2 += float64(p.Users) * float64(p.Users) * dt
+		}
+	}
+	if total > 0 {
+		st.Mean = area / total
+		variance := area2/total - st.Mean*st.Mean
+		if variance > 0 && st.Mean > 0 {
+			st.CoV = math.Sqrt(variance) / st.Mean
+		}
+	} else {
+		st.Mean = float64(points[0].Users)
+	}
+	if st.Mean > 0 {
+		st.PeakToMean = float64(st.Max) / st.Mean
+	}
+	// Count threshold crossings into the >2x-mean region.
+	threshold := 2 * st.Mean
+	inBurst := false
+	for _, p := range points {
+		above := float64(p.Users) > threshold
+		if above && !inBurst {
+			st.Bursts++
+		}
+		inBurst = above
+	}
+	return st
+}
+
+// SynthesizeSpikes generates a trace of short, randomly timed spikes over
+// a base population — flash-crowd style workload. count spikes of the
+// given peak and width are placed uniformly at random (deterministically
+// from seed) over the duration.
+func SynthesizeSpikes(name string, base, peak, count int, width, total time.Duration, seed uint64) (*Trace, error) {
+	if total <= 0 || count < 0 || width <= 0 {
+		return nil, fmt.Errorf("trace: bad spike config total=%v count=%d width=%v", total, count, width)
+	}
+	r := rng.New(seed)
+	bursts := make([]Burst, 0, count)
+	for i := 0; i < count; i++ {
+		start := time.Duration(r.Uniform(0, float64(total-width)))
+		bursts = append(bursts, Burst{
+			Start: start,
+			Peak:  peak - base,
+			Ramp:  width / 4,
+			Hold:  width / 2,
+		})
+	}
+	return Synthesize(SynthesisConfig{
+		Name:     name,
+		Duration: total,
+		Base:     base,
+		Step:     time.Second,
+		Bursts:   bursts,
+		Seed:     seed,
+	})
+}

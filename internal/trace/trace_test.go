@@ -1,0 +1,361 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewSortsAndAnchors(t *testing.T) {
+	t.Parallel()
+	tr, err := New("x", []Point{
+		{At: 10 * time.Second, Users: 5},
+		{At: 5 * time.Second, Users: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := tr.Points()
+	if ps[0].At != 0 || ps[0].Users != 3 {
+		t.Fatalf("first point = %+v, want anchored at 0 with 3 users", ps[0])
+	}
+	if ps[1].Users != 5 {
+		t.Fatalf("second point = %+v", ps[1])
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	t.Parallel()
+	if _, err := New("x", nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNewClampsNegativeUsers(t *testing.T) {
+	t.Parallel()
+	tr, err := New("x", []Point{{At: 0, Users: -5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.UsersAt(0) != 0 {
+		t.Fatalf("negative users not clamped: %d", tr.UsersAt(0))
+	}
+}
+
+func TestUsersAt(t *testing.T) {
+	t.Parallel()
+	tr, err := New("x", []Point{
+		{At: 0, Users: 10},
+		{At: 10 * time.Second, Users: 20},
+		{At: 20 * time.Second, Users: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		at   time.Duration
+		want int
+	}{
+		{0, 10},
+		{9 * time.Second, 10},
+		{10 * time.Second, 20},
+		{15 * time.Second, 20},
+		{20 * time.Second, 5},
+		{time.Hour, 5},
+	}
+	for _, tt := range tests {
+		if got := tr.UsersAt(tt.at); got != tt.want {
+			t.Errorf("UsersAt(%v) = %d, want %d", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestMaxAndMeanUsers(t *testing.T) {
+	t.Parallel()
+	tr, err := New("x", []Point{
+		{At: 0, Users: 10},
+		{At: 10 * time.Second, Users: 30},
+		{At: 20 * time.Second, Users: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxUsers() != 30 {
+		t.Fatalf("MaxUsers = %d", tr.MaxUsers())
+	}
+	if got := tr.MeanUsers(); got != 20 {
+		t.Fatalf("MeanUsers = %v, want 20", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	t.Parallel()
+	tr, err := New("x", []Point{{At: 0, Users: 10}, {At: time.Second, Users: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Scale(1.5)
+	if s.UsersAt(0) != 15 || s.UsersAt(time.Second) != 30 {
+		t.Fatalf("scaled trace = %v", s.Points())
+	}
+	if tr.UsersAt(0) != 10 {
+		t.Fatal("Scale mutated the original")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	t.Parallel()
+	tr, err := New("rt", []Point{
+		{At: 0, Users: 100},
+		{At: 2500 * time.Millisecond, Users: 250},
+		{At: 10 * time.Second, Users: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCSV("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Points()
+	got := back.Points()
+	if len(got) != len(want) {
+		t.Fatalf("round trip changed point count: %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Users != want[i].Users || got[i].At != want[i].At {
+			t.Fatalf("point %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseCSVSkipsCommentsAndHeader(t *testing.T) {
+	t.Parallel()
+	in := "seconds,users\n# comment\n\n0,5\n1.5,10\n"
+	tr, err := ParseCSV("x", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.UsersAt(0) != 5 || tr.UsersAt(2*time.Second) != 10 {
+		t.Fatalf("parsed = %v", tr.Points())
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"too many fields", "0,5,9\n"},
+		{"bad time", "abc,5\n"},
+		{"bad users", "0,x\n"},
+		{"empty", ""},
+	}
+	for _, tt := range tests {
+		if _, err := ParseCSV("x", strings.NewReader(tt.in)); err == nil {
+			t.Errorf("%s: no error", tt.name)
+		}
+	}
+}
+
+func TestSynthesizeBurstShape(t *testing.T) {
+	t.Parallel()
+	tr, err := Synthesize(SynthesisConfig{
+		Name:     "b",
+		Duration: 100 * time.Second,
+		Base:     100,
+		Step:     time.Second,
+		Bursts: []Burst{
+			{Start: 20 * time.Second, Peak: 400, Ramp: 10 * time.Second, Hold: 20 * time.Second},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.UsersAt(0); got != 100 {
+		t.Fatalf("base = %d", got)
+	}
+	if got := tr.UsersAt(25 * time.Second); got <= 100 || got >= 500 {
+		t.Fatalf("mid-ramp users = %d, want between base and peak", got)
+	}
+	if got := tr.UsersAt(35 * time.Second); got != 500 {
+		t.Fatalf("hold users = %d, want 500", got)
+	}
+	if got := tr.UsersAt(80 * time.Second); got != 100 {
+		t.Fatalf("post-burst users = %d, want back to base", got)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := SynthesisConfig{
+		Name: "j", Duration: 30 * time.Second, Base: 200, Jitter: 0.1, Seed: 9,
+	}
+	a, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := a.Points(), b.Points()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("synthesis not deterministic at %d: %+v != %+v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestSynthesizeBadDuration(t *testing.T) {
+	t.Parallel()
+	if _, err := Synthesize(SynthesisConfig{Duration: 0}); err == nil {
+		t.Fatal("no error for zero duration")
+	}
+}
+
+func TestSynthesizeLargeVariation(t *testing.T) {
+	t.Parallel()
+	tr := SynthesizeLargeVariation(1)
+	if tr.Duration() != 600*time.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	// The trace must contain genuinely large variation: max >= 4x base.
+	if tr.MaxUsers() < 4*tr.UsersAt(0) {
+		t.Fatalf("max %d vs base %d: not a large-variation trace", tr.MaxUsers(), tr.UsersAt(0))
+	}
+	// The three burst regions the paper discusses must be elevated over base.
+	for _, at := range []time.Duration{70 * time.Second, 250 * time.Second, 545 * time.Second} {
+		if tr.UsersAt(at) < 2*tr.UsersAt(0) {
+			t.Errorf("users at %v = %d, want burst (>2x base %d)", at, tr.UsersAt(at), tr.UsersAt(0))
+		}
+	}
+}
+
+func TestSynthesizeStep(t *testing.T) {
+	t.Parallel()
+	tr, err := SynthesizeStep("s", 10, 50, 30*time.Second, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.UsersAt(10*time.Second) != 10 || tr.UsersAt(40*time.Second) != 50 {
+		t.Fatalf("step trace = %v", tr.Points())
+	}
+	if _, err := SynthesizeStep("s", 1, 2, 10*time.Second, 5*time.Second); err == nil {
+		t.Fatal("no error for stepAt > total")
+	}
+}
+
+func TestSynthesizeSine(t *testing.T) {
+	t.Parallel()
+	tr, err := SynthesizeSine("sine", 100, 50, time.Minute, 2*time.Minute, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxUsers() < 140 || tr.MaxUsers() > 160 {
+		t.Fatalf("sine max = %d, want ~150", tr.MaxUsers())
+	}
+	if _, err := SynthesizeSine("x", 1, 1, 0, time.Minute, time.Second); err == nil {
+		t.Fatal("no error for zero period")
+	}
+}
+
+// TestUsersAtNonNegativeProperty: no trace ever reports negative users.
+func TestUsersAtNonNegativeProperty(t *testing.T) {
+	t.Parallel()
+	prop := func(usersRaw []int8, atRaw uint16) bool {
+		if len(usersRaw) == 0 {
+			return true
+		}
+		points := make([]Point, len(usersRaw))
+		for i, u := range usersRaw {
+			points[i] = Point{At: time.Duration(i) * time.Second, Users: int(u)}
+		}
+		tr, err := New("p", points)
+		if err != nil {
+			return false
+		}
+		return tr.UsersAt(time.Duration(atRaw)*time.Millisecond) >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	t.Parallel()
+	tr, err := New("s", []Point{
+		{At: 0, Users: 100},
+		{At: 10 * time.Second, Users: 400},
+		{At: 20 * time.Second, Users: 100},
+		{At: 40 * time.Second, Users: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(tr)
+	if st.Min != 100 || st.Max != 400 {
+		t.Fatalf("min/max = %d/%d", st.Min, st.Max)
+	}
+	// Time-weighted mean: (100*10 + 400*10 + 100*20)/40 = 175.
+	if st.Mean != 175 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if st.PeakToMean < 2.2 || st.PeakToMean > 2.3 {
+		t.Fatalf("peak/mean = %v", st.PeakToMean)
+	}
+	if st.Bursts != 1 {
+		t.Fatalf("bursts = %d", st.Bursts)
+	}
+	if st.CoV <= 0 {
+		t.Fatalf("cov = %v", st.CoV)
+	}
+}
+
+func TestComputeStatsLargeVariation(t *testing.T) {
+	t.Parallel()
+	st := ComputeStats(SynthesizeLargeVariation(1))
+	if st.PeakToMean < 2 {
+		t.Fatalf("large-variation peak/mean = %v, want >= 2", st.PeakToMean)
+	}
+	// Only the largest burst exceeds twice the (already elevated) mean.
+	if st.Bursts < 1 {
+		t.Fatalf("bursts = %d, want >= 1", st.Bursts)
+	}
+}
+
+func TestSynthesizeSpikes(t *testing.T) {
+	t.Parallel()
+	tr, err := SynthesizeSpikes("sp", 100, 900, 5, 20*time.Second, 5*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(tr)
+	if st.Max < 500 {
+		t.Fatalf("spikes missing: max = %d", st.Max)
+	}
+	if tr.UsersAt(0) < 50 {
+		t.Fatalf("base wrong: %d", tr.UsersAt(0))
+	}
+	// Deterministic by seed.
+	tr2, err := SynthesizeSpikes("sp", 100, 900, 5, 20*time.Second, 5*time.Minute, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MaxUsers() != tr2.MaxUsers() {
+		t.Fatal("spike synthesis not deterministic")
+	}
+	if _, err := SynthesizeSpikes("x", 1, 2, -1, time.Second, time.Minute, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := SynthesizeSpikes("x", 1, 2, 1, 0, time.Minute, 1); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Package workload implements the paper's three workload generators
+// (§II-A):
+//
+//   - ClosedLoop with zero think time — the Jmeter setup used for model
+//     training, where the request-processing concurrency equals the number
+//     of users;
+//   - ClosedLoop with exponential think time (mean 3 s) — the original
+//     RUBBoS client emulator used for model validation;
+//   - TraceDriven — the revised RUBBoS emulator that varies the number of
+//     concurrent users over time according to a trace file, used for the
+//     bursty-workload evaluation (§V-B);
+//
+// plus an open-loop Poisson generator for ablations.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/metrics"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+	"dcm/internal/trace"
+)
+
+// Target is anything that can process a request (normally *ntier.App).
+type Target interface {
+	Inject(done func(rt time.Duration, ok bool))
+}
+
+// ErrBadWorkload is returned for invalid generator configurations.
+var ErrBadWorkload = errors.New("workload: invalid config")
+
+// ClosedLoopConfig parameterizes a closed-loop generator.
+type ClosedLoopConfig struct {
+	// Users is the initial number of emulated users.
+	Users int
+	// ThinkTime is the mean of the exponential think time between a
+	// response and the user's next request. Zero emulates Jmeter's
+	// zero-think-time mode.
+	ThinkTime time.Duration
+	// Stagger spreads each new user's first request uniformly over this
+	// window, avoiding a synchronized thundering herd. Defaults to
+	// max(ThinkTime, 1s).
+	Stagger time.Duration
+}
+
+// ClosedLoop emulates a population of users, each cycling through
+// request → response → think. The population can be changed at runtime,
+// which is how TraceDriven applies a trace.
+type ClosedLoop struct {
+	eng    *sim.Engine
+	rnd    *rng.Rand
+	target Target
+	cfg    ClosedLoopConfig
+
+	want    int // desired population
+	live    int // users currently cycling
+	started bool
+	stopped bool
+
+	issued    metrics.Counter
+	completed metrics.Counter
+	errored   metrics.Counter
+	rts       metrics.MeanAccumulator
+}
+
+// NewClosedLoop returns an unstarted closed-loop generator.
+func NewClosedLoop(eng *sim.Engine, rnd *rng.Rand, target Target, cfg ClosedLoopConfig) (*ClosedLoop, error) {
+	if eng == nil || rnd == nil || target == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrBadWorkload)
+	}
+	if cfg.Users < 0 || cfg.ThinkTime < 0 || cfg.Stagger < 0 {
+		return nil, fmt.Errorf("%w: negative users/think/stagger", ErrBadWorkload)
+	}
+	if cfg.Stagger == 0 {
+		cfg.Stagger = cfg.ThinkTime
+		if cfg.Stagger < time.Second {
+			cfg.Stagger = time.Second
+		}
+	}
+	return &ClosedLoop{eng: eng, rnd: rnd, target: target, cfg: cfg, want: cfg.Users}, nil
+}
+
+// Start launches the initial user population. Start is idempotent.
+func (c *ClosedLoop) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	n := c.want
+	c.want = 0
+	c.SetUsers(n)
+}
+
+// Stop retires all users; in-flight requests complete but no new requests
+// are issued.
+func (c *ClosedLoop) Stop() {
+	c.stopped = true
+	c.want = 0
+}
+
+// Users returns the desired user population.
+func (c *ClosedLoop) Users() int { return c.want }
+
+// Live returns the number of users still cycling (lags Users after a
+// downward adjustment until users finish their current cycle).
+func (c *ClosedLoop) Live() int { return c.live }
+
+// SetUsers adjusts the population at runtime. Growth spawns users whose
+// first requests are staggered; shrinkage retires users as they complete
+// their current cycle, like real users leaving after their page loads.
+func (c *ClosedLoop) SetUsers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if c.stopped {
+		return
+	}
+	c.want = n
+	if !c.started {
+		return
+	}
+	for c.live < c.want {
+		c.live++
+		delay := time.Duration(c.rnd.Uniform(0, float64(c.cfg.Stagger)))
+		c.eng.Schedule(delay, c.userCycle)
+	}
+}
+
+// userCycle is one user's request loop. The user retires whenever the live
+// population exceeds the desired one.
+func (c *ClosedLoop) userCycle() {
+	if c.stopped || c.live > c.want {
+		c.live--
+		return
+	}
+	c.issued.Inc(1)
+	c.target.Inject(func(rt time.Duration, ok bool) {
+		if ok {
+			c.completed.Inc(1)
+			c.rts.Observe(rt.Seconds())
+		} else {
+			c.errored.Inc(1)
+		}
+		think := time.Duration(c.rnd.Exp(c.cfg.ThinkTime.Seconds()) * float64(time.Second))
+		c.eng.Schedule(think, c.userCycle)
+	})
+}
+
+// Stats is one interval of generator-side metrics.
+type Stats struct {
+	// Issued, Completed, Errors are counts in the interval.
+	Issued    uint64 `json:"issued"`
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	// MeanRTSeconds is the client-observed mean response time.
+	MeanRTSeconds float64 `json:"meanRTSeconds"`
+	// Users is the desired population at sampling time.
+	Users int `json:"users"`
+}
+
+// TakeStats returns interval metrics and resets the interval.
+func (c *ClosedLoop) TakeStats() Stats {
+	mean, _ := c.rts.TakeMean()
+	return Stats{
+		Issued:        c.issued.TakeDelta(),
+		Completed:     c.completed.TakeDelta(),
+		Errors:        c.errored.TakeDelta(),
+		MeanRTSeconds: mean,
+		Users:         c.want,
+	}
+}
+
+// TotalCompleted returns the lifetime number of completed requests.
+func (c *ClosedLoop) TotalCompleted() uint64 { return c.completed.Total() }
+
+// TraceDriven replays a user-population trace through a ClosedLoop — the
+// revised RUBBoS client emulator of §II-A.
+type TraceDriven struct {
+	loop   *ClosedLoop
+	trace  *trace.Trace
+	eng    *sim.Engine
+	stop   func()
+	period time.Duration
+}
+
+// NewTraceDriven wraps a trace around a closed-loop generator. period is
+// how often the population is re-synchronized to the trace (default 1 s).
+func NewTraceDriven(eng *sim.Engine, rnd *rng.Rand, target Target, tr *trace.Trace, think time.Duration, period time.Duration) (*TraceDriven, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("%w: nil trace", ErrBadWorkload)
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	loop, err := NewClosedLoop(eng, rnd, target, ClosedLoopConfig{
+		Users:     tr.UsersAt(0),
+		ThinkTime: think,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TraceDriven{loop: loop, trace: tr, eng: eng, period: period}, nil
+}
+
+// Start launches the generator and begins following the trace.
+func (t *TraceDriven) Start() {
+	if t.stop != nil {
+		return
+	}
+	t.loop.Start()
+	t.stop = t.eng.Ticker(t.period, func() {
+		t.loop.SetUsers(t.trace.UsersAt(t.eng.Now()))
+	})
+}
+
+// Stop halts trace following and retires all users.
+func (t *TraceDriven) Stop() {
+	if t.stop != nil {
+		t.stop()
+	}
+	t.loop.Stop()
+}
+
+// Loop exposes the underlying closed loop (for stats).
+func (t *TraceDriven) Loop() *ClosedLoop { return t.loop }
+
+// Trace returns the trace being replayed.
+func (t *TraceDriven) Trace() *trace.Trace { return t.trace }
+
+// OpenLoop issues requests in a Poisson stream at a configurable rate,
+// independent of responses — unlike the paper's closed-loop clients it can
+// overload the system without bound, which the ablation benchmarks use to
+// probe behaviour past saturation.
+type OpenLoop struct {
+	eng       *sim.Engine
+	rnd       *rng.Rand
+	target    Target
+	rate      float64 // requests per second
+	stopped   bool
+	issued    metrics.Counter
+	completed metrics.Counter
+	errored   metrics.Counter
+	rts       metrics.MeanAccumulator
+}
+
+// NewOpenLoop returns an unstarted open-loop generator at rate requests/s.
+func NewOpenLoop(eng *sim.Engine, rnd *rng.Rand, target Target, rate float64) (*OpenLoop, error) {
+	if eng == nil || rnd == nil || target == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrBadWorkload)
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("%w: rate %v", ErrBadWorkload, rate)
+	}
+	return &OpenLoop{eng: eng, rnd: rnd, target: target, rate: rate}, nil
+}
+
+// SetRate changes the arrival rate at runtime.
+func (o *OpenLoop) SetRate(rate float64) {
+	if rate > 0 {
+		o.rate = rate
+	}
+}
+
+// Start begins the Poisson arrival stream.
+func (o *OpenLoop) Start() {
+	if o.stopped {
+		return
+	}
+	o.scheduleNext()
+}
+
+func (o *OpenLoop) scheduleNext() {
+	gap := time.Duration(o.rnd.Exp(1/o.rate) * float64(time.Second))
+	o.eng.Schedule(gap, func() {
+		if o.stopped {
+			return
+		}
+		o.issued.Inc(1)
+		o.target.Inject(func(rt time.Duration, ok bool) {
+			if ok {
+				o.completed.Inc(1)
+				o.rts.Observe(rt.Seconds())
+			} else {
+				o.errored.Inc(1)
+			}
+		})
+		o.scheduleNext()
+	})
+}
+
+// Stop halts the arrival stream.
+func (o *OpenLoop) Stop() { o.stopped = true }
+
+// TakeStats returns interval metrics and resets the interval.
+func (o *OpenLoop) TakeStats() Stats {
+	mean, _ := o.rts.TakeMean()
+	return Stats{
+		Issued:        o.issued.TakeDelta(),
+		Completed:     o.completed.TakeDelta(),
+		Errors:        o.errored.TakeDelta(),
+		MeanRTSeconds: mean,
+	}
+}
+
+// TotalCompleted returns the lifetime number of completed requests.
+func (o *OpenLoop) TotalCompleted() uint64 { return o.completed.Total() }

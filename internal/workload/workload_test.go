@@ -1,0 +1,340 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+	"dcm/internal/trace"
+)
+
+// fakeTarget completes every request after a fixed delay.
+type fakeTarget struct {
+	eng      *sim.Engine
+	delay    time.Duration
+	inFlight int
+	peak     int
+	total    int
+}
+
+func (f *fakeTarget) Inject(done func(rt time.Duration, ok bool)) {
+	f.inFlight++
+	f.total++
+	if f.inFlight > f.peak {
+		f.peak = f.inFlight
+	}
+	start := f.eng.Now()
+	f.eng.Schedule(f.delay, func() {
+		f.inFlight--
+		if done != nil {
+			done(f.eng.Now()-start, true)
+		}
+	})
+}
+
+var _ Target = (*fakeTarget)(nil)
+
+func setup(t *testing.T, delay time.Duration) (*sim.Engine, *fakeTarget) {
+	t.Helper()
+	eng := sim.NewEngine()
+	return eng, &fakeTarget{eng: eng, delay: delay}
+}
+
+func TestNewClosedLoopValidation(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	r := rng.New(1)
+	if _, err := NewClosedLoop(nil, r, tgt, ClosedLoopConfig{}); !errors.Is(err, ErrBadWorkload) {
+		t.Fatalf("nil engine: %v", err)
+	}
+	if _, err := NewClosedLoop(eng, r, nil, ClosedLoopConfig{}); !errors.Is(err, ErrBadWorkload) {
+		t.Fatalf("nil target: %v", err)
+	}
+	if _, err := NewClosedLoop(eng, r, tgt, ClosedLoopConfig{Users: -1}); !errors.Is(err, ErrBadWorkload) {
+		t.Fatalf("negative users: %v", err)
+	}
+}
+
+func TestZeroThinkConcurrencyEqualsUsers(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, 10*time.Millisecond)
+	wl, err := NewClosedLoop(eng, rng.New(2).Split("wl"), tgt, ClosedLoopConfig{
+		Users: 25, ThinkTime: 0, Stagger: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Start()
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Jmeter semantics: workload concurrency == users.
+	if tgt.peak != 25 {
+		t.Fatalf("peak concurrency = %d, want 25", tgt.peak)
+	}
+	// Throughput = users/delay = 2500/s.
+	rate := float64(wl.TotalCompleted()) / 5.0
+	if math.Abs(rate-2500)/2500 > 0.05 {
+		t.Fatalf("rate = %v, want ~2500", rate)
+	}
+}
+
+func TestThinkTimeThroughput(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, 10*time.Millisecond)
+	wl, err := NewClosedLoop(eng, rng.New(3).Split("wl"), tgt, ClosedLoopConfig{
+		Users: 300, ThinkTime: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Start()
+	if err := eng.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Closed-loop law: X = U/(Z+R) = 300/3.01 ≈ 99.7/s.
+	rate := float64(wl.TotalCompleted()) / 60.0
+	if math.Abs(rate-99.7)/99.7 > 0.05 {
+		t.Fatalf("rate = %v, want ~99.7", rate)
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	wl, err := NewClosedLoop(eng, rng.New(4).Split("wl"), tgt, ClosedLoopConfig{Users: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Start()
+	wl.Start()
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.peak > 5 {
+		t.Fatalf("double Start spawned extra users: peak %d", tgt.peak)
+	}
+}
+
+func TestSetUsersGrowAndShrink(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, 5*time.Millisecond)
+	wl, err := NewClosedLoop(eng, rng.New(5).Split("wl"), tgt, ClosedLoopConfig{
+		Users: 10, ThinkTime: 100 * time.Millisecond, Stagger: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Start()
+	eng.Schedule(2*time.Second, func() { wl.SetUsers(40) })
+	eng.Schedule(4*time.Second, func() { wl.SetUsers(3) })
+	if err := eng.Run(1900 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if wl.Live() != 10 {
+		t.Fatalf("live = %d, want 10", wl.Live())
+	}
+	if err := eng.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if wl.Live() != 40 || wl.Users() != 40 {
+		t.Fatalf("after grow: live=%d users=%d", wl.Live(), wl.Users())
+	}
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if wl.Live() != 3 {
+		t.Fatalf("after shrink: live=%d, want 3", wl.Live())
+	}
+	// The rate should now reflect 3 users.
+	tgt.total = 0
+	before := wl.TotalCompleted()
+	if err := eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(wl.TotalCompleted()-before) / 10.0
+	want := 3.0 / 0.105
+	if math.Abs(rate-want)/want > 0.25 {
+		t.Fatalf("rate after shrink = %v, want ~%v", rate, want)
+	}
+}
+
+func TestStopRetiresUsers(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	wl, err := NewClosedLoop(eng, rng.New(6).Split("wl"), tgt, ClosedLoopConfig{Users: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Start()
+	eng.Schedule(time.Second, wl.Stop)
+	if err := eng.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if wl.Live() != 0 {
+		t.Fatalf("live after stop = %d", wl.Live())
+	}
+	total := wl.TotalCompleted()
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if wl.TotalCompleted() != total {
+		t.Fatal("requests issued after Stop")
+	}
+	// SetUsers after Stop must be ignored.
+	wl.SetUsers(5)
+	if wl.Users() != 0 {
+		t.Fatal("SetUsers after Stop changed population")
+	}
+}
+
+func TestTakeStats(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, 10*time.Millisecond)
+	wl, err := NewClosedLoop(eng, rng.New(7).Split("wl"), tgt, ClosedLoopConfig{
+		Users: 5, Stagger: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl.Start()
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := wl.TakeStats()
+	if st.Completed == 0 || st.Issued == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.MeanRTSeconds-0.010) > 0.001 {
+		t.Fatalf("mean rt = %v", st.MeanRTSeconds)
+	}
+	if st.Users != 5 {
+		t.Fatalf("users = %d", st.Users)
+	}
+}
+
+func TestTraceDrivenFollowsTrace(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	tr, err := trace.New("step", []trace.Point{
+		{At: 0, Users: 5},
+		{At: 10 * time.Second, Users: 30},
+		{At: 20 * time.Second, Users: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := NewTraceDriven(eng, rng.New(8).Split("wl"), tgt, tr, 50*time.Millisecond, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td.Start()
+	if err := eng.Run(9 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if td.Loop().Users() != 5 {
+		t.Fatalf("users at 9s = %d", td.Loop().Users())
+	}
+	if err := eng.Run(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if td.Loop().Users() != 30 {
+		t.Fatalf("users at 15s = %d", td.Loop().Users())
+	}
+	if err := eng.Run(25 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if td.Loop().Users() != 2 {
+		t.Fatalf("users at 25s = %d", td.Loop().Users())
+	}
+	td.Stop()
+	if err := eng.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if td.Loop().Live() != 0 {
+		t.Fatalf("live after stop = %d", td.Loop().Live())
+	}
+	if td.Trace() != tr {
+		t.Fatal("Trace accessor wrong")
+	}
+}
+
+func TestTraceDrivenNilTrace(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	if _, err := NewTraceDriven(eng, rng.New(1), tgt, nil, 0, 0); !errors.Is(err, ErrBadWorkload) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTraceDrivenStartIdempotent(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	tr, err := trace.New("c", []trace.Point{{At: 0, Users: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := NewTraceDriven(eng, rng.New(9).Split("wl"), tgt, tr, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td.Start()
+	td.Start()
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.peak > 3 {
+		t.Fatalf("peak = %d", tgt.peak)
+	}
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	ol, err := NewOpenLoop(eng, rng.New(10).Split("wl"), tgt, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol.Start()
+	if err := eng.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(ol.TotalCompleted()) / 30.0
+	if math.Abs(rate-200)/200 > 0.05 {
+		t.Fatalf("rate = %v, want ~200", rate)
+	}
+	st := ol.TakeStats()
+	if st.Completed == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOpenLoopValidationAndStop(t *testing.T) {
+	t.Parallel()
+	eng, tgt := setup(t, time.Millisecond)
+	if _, err := NewOpenLoop(eng, rng.New(1), tgt, 0); !errors.Is(err, ErrBadWorkload) {
+		t.Fatalf("zero rate: %v", err)
+	}
+	ol, err := NewOpenLoop(eng, rng.New(11).Split("wl"), tgt, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol.Start()
+	eng.Schedule(time.Second, ol.Stop)
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	after := ol.TotalCompleted()
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ol.TotalCompleted() != after {
+		t.Fatal("arrivals after Stop")
+	}
+	// SetRate guards non-positive values.
+	ol.SetRate(-5)
+	ol.SetRate(50)
+}
