@@ -1,0 +1,105 @@
+// Command chaossim runs a §V-B scaling scenario under fault injection and
+// prints the recovery report next to the usual Fig. 5-style series. Pick a
+// bundled scenario with -scenario (see -list) or supply a JSON schedule
+// with -file; the same seed always replays the same failure trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcm/internal/chaos"
+	"dcm/internal/experiments"
+	"dcm/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "chaossim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("chaossim", flag.ContinueOnError)
+	var (
+		scenarioName   = fs.String("scenario", "tomcat-crash-midramp", "bundled scenario name (see -list)")
+		scenarioFile   = fs.String("file", "", "JSON fault-schedule file (overrides -scenario)")
+		controllerName = fs.String("controller", "dcm", "dcm | ec2-autoscale | target-tracking | dcm-predictive | ec2-predictive | dcm-soft-only | none")
+		seed           = fs.Uint64("seed", 42, "random seed (same seed = same failure trace)")
+		period         = fs.Duration("period", 15*time.Second, "control period")
+		prep           = fs.Duration("prep", 15*time.Second, "VM preparation period")
+		every          = fs.Int("every", 20, "print every N-th second of the series")
+		list           = fs.Bool("list", false, "list bundled scenarios and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range chaos.BuiltinNames() {
+			s, _ := chaos.Builtin(name)
+			fmt.Printf("%-22s %d fault(s)\n", name, len(s.Faults))
+			for _, f := range s.Faults {
+				fmt.Printf("    %s\n", f)
+			}
+		}
+		return nil
+	}
+
+	var (
+		sched chaos.Schedule
+		err   error
+	)
+	if *scenarioFile != "" {
+		sched, err = chaos.Load(*scenarioFile)
+	} else {
+		sched, err = chaos.Builtin(*scenarioName)
+	}
+	if err != nil {
+		return err
+	}
+
+	cfg := experiments.ScenarioConfig{
+		Seed:          *seed,
+		Kind:          experiments.ControllerKind(*controllerName),
+		ControlPeriod: *period,
+		PrepDelay:     *prep,
+		Chaos:         &sched,
+	}
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("controller %s under scenario %q (seed %d)\n\n", cfg.Kind, sched.Name, *seed)
+	fmt.Print(metrics.Chart("throughput (req/s)", res.Throughput, 100, 5))
+	fmt.Print(metrics.Chart("mean response time (s)", res.MeanRTSec, 100, 5))
+	fmt.Println()
+	fmt.Println(experiments.RenderScenarioSeries(res, *every))
+
+	fmt.Println("injections:")
+	for _, inj := range res.Chaos.Injections {
+		status := ""
+		if inj.Skipped {
+			status = "  SKIPPED"
+		}
+		fmt.Printf("  t=%6.0fs %-18s %-10s %s%s\n",
+			inj.At.Seconds(), inj.Kind, inj.Target, inj.Detail, status)
+	}
+	fmt.Println()
+	fmt.Println("scaling actions:")
+	for _, rec := range res.Actions {
+		status := ""
+		if rec.Err != "" {
+			status = "  ERROR: " + rec.Err
+		}
+		fmt.Printf("  t=%6.0fs %-14s %-4s %s%s\n",
+			rec.At.Seconds(), rec.Action.Type, rec.Action.Tier, rec.Action.Reason, status)
+	}
+	fmt.Println()
+	fmt.Println(res.Chaos.Render())
+	return nil
+}

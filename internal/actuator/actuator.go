@@ -31,15 +31,32 @@ type AgentMonitor interface {
 // Record is one executed (or failed) actuation, kept for the experiment
 // reports (the scaling-activity marks on Fig. 5(c)–(f)).
 type Record struct {
-	At     time.Duration `json:"at"`
-	Kind   string        `json:"kind"` // "launch", "ready", "drain", "remove", "allocate"
-	Tier   string        `json:"tier,omitempty"`
-	VM     string        `json:"vm,omitempty"`
-	Detail string        `json:"detail,omitempty"`
+	At   time.Duration `json:"at"`
+	Kind string        `json:"kind"` // "launch", "ready", "drain", "remove",
+	// "allocate", "crash", "timeout", "retry", "give-up"
+	Tier   string `json:"tier,omitempty"`
+	VM     string `json:"vm,omitempty"`
+	Detail string `json:"detail,omitempty"`
 }
 
 // ErrBadAgent is returned for invalid agent construction.
 var ErrBadAgent = errors.New("actuator: invalid agent")
+
+// Launch-retry defaults: a launch that dies (or stalls past the watchdog
+// deadline) is retried with exponential backoff, bounded so a broken
+// substrate cannot trap the agent in a launch loop.
+const (
+	defaultMaxLaunchRetries = 3
+	defaultRetryBackoff     = 2 * time.Second
+	defaultWatchdogFactor   = 4
+)
+
+// pendingLaunch tracks one in-flight ScaleOut until its VM serves.
+type pendingLaunch struct {
+	tier     string
+	attempt  int
+	watchdog *sim.Event
+}
 
 // VMAgent performs VM-level scaling against the hypervisor and the
 // application's load balancers.
@@ -50,20 +67,56 @@ type VMAgent struct {
 	mon     AgentMonitor
 	pending map[string]int // tier -> launches not yet serving
 	records []Record
+
+	launches       map[string]*pendingLaunch // vm name -> in-flight launch
+	maxRetries     int
+	retryBackoff   time.Duration
+	watchdogFactor float64
 }
 
-// NewVMAgent builds a VM-agent. mon may be nil.
+// NewVMAgent builds a VM-agent. mon may be nil. The agent subscribes to
+// the hypervisor's crash hook: a VM that crashes while provisioning is
+// relaunched with bounded exponential backoff, and a serving VM that
+// crashes is torn out of the load balancer and monitoring fleet so
+// traffic stops routing to it.
 func NewVMAgent(eng *sim.Engine, hv *cloud.Hypervisor, app *ntier.App, mon AgentMonitor) (*VMAgent, error) {
 	if eng == nil || hv == nil || app == nil {
 		return nil, fmt.Errorf("%w: nil dependency", ErrBadAgent)
 	}
-	return &VMAgent{
-		eng:     eng,
-		hv:      hv,
-		app:     app,
-		mon:     mon,
-		pending: make(map[string]int),
-	}, nil
+	va := &VMAgent{
+		eng:            eng,
+		hv:             hv,
+		app:            app,
+		mon:            mon,
+		pending:        make(map[string]int),
+		launches:       make(map[string]*pendingLaunch),
+		maxRetries:     defaultMaxLaunchRetries,
+		retryBackoff:   defaultRetryBackoff,
+		watchdogFactor: defaultWatchdogFactor,
+	}
+	hv.OnCrash(va.handleCrash)
+	return va, nil
+}
+
+// SetLaunchRetry tunes the launch-failure policy: maxRetries bounds
+// relaunch attempts after a crash or watchdog timeout (0 disables
+// retries), backoff is the first retry delay (doubled per attempt), and
+// watchdogFactor × PrepDelay is how long a launch may stay provisioning
+// before the agent abandons the instance and retries (0 disables the
+// watchdog).
+func (va *VMAgent) SetLaunchRetry(maxRetries int, backoff time.Duration, watchdogFactor float64) {
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	if watchdogFactor < 0 {
+		watchdogFactor = 0
+	}
+	va.maxRetries = maxRetries
+	va.retryBackoff = backoff
+	va.watchdogFactor = watchdogFactor
 }
 
 // Pending returns the number of VMs launched for tier that are not yet
@@ -89,12 +142,21 @@ func (va *VMAgent) nextName(tier string) string {
 // ScaleOut launches one VM for tier; after the hypervisor's preparation
 // period the new server joins the tier's load balancer with the tier's
 // current soft-resource allocation and gets a monitoring agent. The VM
-// name is returned immediately.
+// name is returned immediately. If the VM crashes or stalls during its
+// preparation period the agent relaunches it (see SetLaunchRetry).
 func (va *VMAgent) ScaleOut(tier string) (string, error) {
+	return va.launch(tier, 0)
+}
+
+// launch performs one launch attempt (attempt 0 is the original request).
+func (va *VMAgent) launch(tier string, attempt int) (string, error) {
 	name := va.nextName(tier)
 	va.pending[tier]++
+	pl := &pendingLaunch{tier: tier, attempt: attempt}
 	_, err := va.hv.Launch(name, tier, func(vm *cloud.VM) {
 		va.pending[tier]--
+		pl.watchdog.Cancel()
+		delete(va.launches, name)
 		if _, err := va.app.AddServer(tier, name); err != nil {
 			va.record("ready", tier, name, "join failed: "+err.Error())
 			return
@@ -111,8 +173,74 @@ func (va *VMAgent) ScaleOut(tier string) (string, error) {
 		va.pending[tier]--
 		return "", fmt.Errorf("actuator: scale out %s: %w", tier, err)
 	}
-	va.record("launch", tier, name, "")
+	va.launches[name] = pl
+	if va.watchdogFactor > 0 && va.hv.PrepDelay() > 0 {
+		deadline := time.Duration(float64(va.hv.PrepDelay()) * va.watchdogFactor)
+		pl.watchdog = va.eng.Schedule(deadline, func() { va.launchTimedOut(name, pl) })
+	}
+	detail := ""
+	if attempt > 0 {
+		detail = fmt.Sprintf("retry %d", attempt)
+	}
+	va.record("launch", tier, name, detail)
 	return name, nil
+}
+
+// launchTimedOut abandons a launch still provisioning past the watchdog
+// deadline — a slow-boot (or silently lost) instance — and retries.
+func (va *VMAgent) launchTimedOut(name string, pl *pendingLaunch) {
+	vm, err := va.hv.Get(name)
+	if err != nil || vm.State() != cloud.StateProvisioning {
+		return
+	}
+	delete(va.launches, name)
+	va.pending[pl.tier]--
+	_ = va.hv.Terminate(vm)
+	va.record("timeout", pl.tier, name,
+		fmt.Sprintf("still provisioning after %.0fx prep delay; abandoning instance", va.watchdogFactor))
+	va.retry(pl.tier, pl.attempt+1)
+}
+
+// handleCrash is the hypervisor OnCrash hook: relaunch a provisioning VM
+// that died, or tear a crashed serving VM out of the application.
+func (va *VMAgent) handleCrash(vm *cloud.VM) {
+	name, tier := vm.Name(), vm.Tier()
+	if pl, ok := va.launches[name]; ok {
+		// The launch never delivered capacity: the scale-out decision still
+		// stands, so retry it.
+		pl.watchdog.Cancel()
+		delete(va.launches, name)
+		va.pending[tier]--
+		va.record("crash", tier, name, "crashed while provisioning")
+		va.retry(tier, pl.attempt+1)
+		return
+	}
+	// A serving VM crashed: remove the dead server from the balancer (its
+	// in-flight requests fail — their connections died with the process)
+	// and retire its monitoring agent. Re-provisioning the lost capacity
+	// is the controller's decision, made from the hypervisor census.
+	if _, err := va.app.Member(tier, name); err == nil {
+		_ = va.app.FailServer(tier, name)
+	}
+	if va.mon != nil {
+		va.mon.Detach(name)
+	}
+	va.record("crash", tier, name, "removed crashed server")
+}
+
+// retry schedules the next launch attempt with exponential backoff, up to
+// the retry bound.
+func (va *VMAgent) retry(tier string, attempt int) {
+	if attempt > va.maxRetries {
+		va.record("give-up", tier, "", fmt.Sprintf("launch abandoned after %d attempts", attempt))
+		return
+	}
+	delay := va.retryBackoff << (attempt - 1)
+	va.eng.Schedule(delay, func() {
+		if _, err := va.launch(tier, attempt); err != nil {
+			va.record("retry", tier, "", "relaunch failed: "+err.Error())
+		}
+	})
 }
 
 // ScaleIn drains and removes one server from tier: the most recently

@@ -254,3 +254,159 @@ func TestAppAgentApply(t *testing.T) {
 		t.Fatalf("partial apply = %v", got)
 	}
 }
+
+func TestLaunchCrashRetriesWithBackoff(t *testing.T) {
+	t.Parallel()
+	eng, hv, app, _, va := setup(t)
+	name, err := va.ScaleOut(ntier.TierApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash the instance 5s into its 15s preparation period.
+	eng.Schedule(5*time.Second, func() {
+		vm, err := hv.Get(name)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := hv.Crash(vm); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Crash at 5s, first retry backoff 2s, relaunch at 7s, ready at 22s.
+	// The app seeds one server per tier, so the joined retry makes 2.
+	if got := app.ServerCount(ntier.TierApp); got != 2 {
+		t.Fatalf("app servers = %d, want 2 (retried launch joined)", got)
+	}
+	if va.Pending(ntier.TierApp) != 0 {
+		t.Fatalf("pending = %d after retry completed", va.Pending(ntier.TierApp))
+	}
+	var kinds []string
+	for _, r := range va.Records() {
+		kinds = append(kinds, r.Kind)
+	}
+	want := []string{"launch", "crash", "launch", "ready"}
+	if len(kinds) != len(want) {
+		t.Fatalf("record kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("record kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestLaunchWatchdogAbandonsSlowBoot(t *testing.T) {
+	t.Parallel()
+	eng, hv, app, _, va := setup(t)
+	// Launches take 10x the prep period: the 4x watchdog must fire first,
+	// terminate the stuck instance and relaunch. The retry boots after the
+	// slow-boot window has been repaired, so it succeeds.
+	hv.SetPrepFactor(10)
+	eng.Schedule(70*time.Second, func() { hv.SetPrepFactor(1) })
+	name, err := va.ScaleOut(ntier.TierApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watchdog at 60s, retry at 62s — still slow-booting, so a second
+	// watchdog cycle fires at 122s and the next retry (126s, repaired)
+	// boots normally and joins at 141s.
+	if err := eng.Run(3 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	vm, err := hv.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != cloud.StateTerminated {
+		t.Fatalf("abandoned instance state = %v, want terminated", vm.State())
+	}
+	// The retried instance must be serving by the end, next to the seed
+	// server.
+	if got := app.ServerCount(ntier.TierApp); got != 2 {
+		t.Fatalf("app servers = %d, want 2", got)
+	}
+	sawTimeout := false
+	for _, r := range va.Records() {
+		if r.Kind == "timeout" {
+			sawTimeout = true
+		}
+	}
+	if !sawTimeout {
+		t.Fatal("no watchdog timeout record")
+	}
+}
+
+func TestLaunchGivesUpAfterMaxRetries(t *testing.T) {
+	t.Parallel()
+	eng, hv, app, _, va := setup(t)
+	va.SetLaunchRetry(1, 2*time.Second, 4)
+	if _, err := va.ScaleOut(ntier.TierApp); err != nil {
+		t.Fatal(err)
+	}
+	// Crash every instance the moment it starts provisioning.
+	hv.OnCrash(func(*cloud.VM) {})
+	crashAll := func() {
+		for _, vm := range hv.Live(ntier.TierApp) {
+			if vm.State() == cloud.StateProvisioning {
+				_ = hv.Crash(vm)
+			}
+		}
+	}
+	stop := eng.Ticker(time.Second, crashAll)
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	if got := app.ServerCount(ntier.TierApp); got != 1 {
+		t.Fatalf("app servers = %d, want 1 (only the seed server; every launch crashed)", got)
+	}
+	if va.Pending(ntier.TierApp) != 0 {
+		t.Fatalf("pending = %d after give-up", va.Pending(ntier.TierApp))
+	}
+	gaveUp := false
+	for _, r := range va.Records() {
+		if r.Kind == "give-up" {
+			gaveUp = true
+		}
+	}
+	if !gaveUp {
+		t.Fatalf("no give-up record after exhausting retries: %+v", va.Records())
+	}
+}
+
+func TestServingCrashTearsDownServer(t *testing.T) {
+	t.Parallel()
+	eng, hv, app, mon, va := setup(t)
+	name, err := va.ScaleOut(ntier.TierApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if app.ServerCount(ntier.TierApp) != 2 {
+		t.Fatal("server never joined")
+	}
+	vm, err := hv.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Crash(vm); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.ServerCount(ntier.TierApp); got != 1 {
+		t.Fatalf("app servers = %d after serving crash, want 1", got)
+	}
+	if len(mon.detached) != 1 || mon.detached[0] != name {
+		t.Fatalf("monitor detach calls = %v", mon.detached)
+	}
+	// The census — not the VM-agent — drives re-provisioning of serving
+	// crashes: no retry launch may appear.
+	if va.Pending(ntier.TierApp) != 0 {
+		t.Fatalf("pending = %d, serving crash must not auto-relaunch", va.Pending(ntier.TierApp))
+	}
+}

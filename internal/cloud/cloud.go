@@ -23,6 +23,7 @@ const (
 	StateReady
 	StateDraining
 	StateTerminated
+	StateCrashed
 )
 
 // String returns the lowercase state name.
@@ -36,19 +37,26 @@ func (s State) String() string {
 		return "draining"
 	case StateTerminated:
 		return "terminated"
+	case StateCrashed:
+		return "crashed"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
 }
 
+// gone reports whether the state is terminal (the VM no longer exists as
+// far as capacity is concerned).
+func (s State) gone() bool { return s == StateTerminated || s == StateCrashed }
+
 // VM is one simulated virtual machine.
 type VM struct {
-	name      string
-	tier      string
-	state     State
-	launched  sim.Time
-	readyAt   sim.Time
-	prepEvent *sim.Event
+	name        string
+	tier        string
+	state       State
+	crashedFrom State // state the VM was in when it crashed (zero otherwise)
+	launched    sim.Time
+	readyAt     sim.Time
+	prepEvent   *sim.Event
 }
 
 // Name returns the VM name (unique per hypervisor).
@@ -67,12 +75,16 @@ func (v *VM) LaunchedAt() sim.Time { return v.launched }
 // meaningful once the VM has left StateProvisioning.
 func (v *VM) ReadyAt() sim.Time { return v.readyAt }
 
+// CrashedFrom returns the state the VM was in when it crashed; zero unless
+// the VM is in StateCrashed.
+func (v *VM) CrashedFrom() State { return v.crashedFrom }
+
 // Event is one entry in the hypervisor's scaling audit log.
 type Event struct {
 	At     sim.Time `json:"at"`
 	VM     string   `json:"vm"`
 	Tier   string   `json:"tier"`
-	Action string   `json:"action"` // "launch", "ready", "drain", "terminate"
+	Action string   `json:"action"` // "launch", "ready", "adopt", "drain", "terminate", "crash"
 }
 
 // Errors returned by the hypervisor.
@@ -84,11 +96,13 @@ var (
 
 // Hypervisor manages simulated VMs on a sim.Engine.
 type Hypervisor struct {
-	eng       *sim.Engine
-	prepDelay time.Duration
-	vms       map[string]*VM
-	events    []Event
-	seq       int
+	eng        *sim.Engine
+	prepDelay  time.Duration
+	prepFactor float64
+	vms        map[string]*VM
+	events     []Event
+	seq        int
+	onCrash    []func(*VM)
 }
 
 // NewHypervisor returns a hypervisor whose VMs take prepDelay to become
@@ -100,14 +114,38 @@ func NewHypervisor(eng *sim.Engine, prepDelay time.Duration) *Hypervisor {
 		prepDelay = 0
 	}
 	return &Hypervisor{
-		eng:       eng,
-		prepDelay: prepDelay,
-		vms:       make(map[string]*VM),
+		eng:        eng,
+		prepDelay:  prepDelay,
+		prepFactor: 1,
+		vms:        make(map[string]*VM),
 	}
 }
 
 // PrepDelay returns the configured provisioning delay.
 func (h *Hypervisor) PrepDelay() time.Duration { return h.prepDelay }
+
+// SetPrepFactor scales the preparation period of *future* launches by f —
+// the degraded-image/congested-datacenter condition the chaos slow-boot
+// fault injects. VMs already provisioning keep their original schedule.
+// Non-positive factors are clamped to 0 (instant boot).
+func (h *Hypervisor) SetPrepFactor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	h.prepFactor = f
+}
+
+// PrepFactor returns the current preparation-period multiplier.
+func (h *Hypervisor) PrepFactor() float64 { return h.prepFactor }
+
+// OnCrash registers a hook invoked (in registration order) whenever a VM
+// crashes. The VM-agent uses it to retry launches that died during their
+// preparation period.
+func (h *Hypervisor) OnCrash(fn func(*VM)) {
+	if fn != nil {
+		h.onCrash = append(h.onCrash, fn)
+	}
+}
 
 // NextName generates a unique VM name for a tier ("app-3").
 func (h *Hypervisor) NextName(tier string) string {
@@ -122,16 +160,17 @@ func (h *Hypervisor) Launch(name, tier string, onReady func(*VM)) (*VM, error) {
 	if _, exists := h.vms[name]; exists {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateVM, name)
 	}
+	delay := time.Duration(float64(h.prepDelay) * h.prepFactor)
 	vm := &VM{
 		name:     name,
 		tier:     tier,
 		state:    StateProvisioning,
 		launched: h.eng.Now(),
-		readyAt:  h.eng.Now() + h.prepDelay,
+		readyAt:  h.eng.Now() + delay,
 	}
 	h.vms[name] = vm
 	h.log(vm, "launch")
-	vm.prepEvent = h.eng.Schedule(h.prepDelay, func() {
+	vm.prepEvent = h.eng.Schedule(delay, func() {
 		if vm.state != StateProvisioning {
 			return // terminated while provisioning
 		}
@@ -142,6 +181,26 @@ func (h *Hypervisor) Launch(name, tier string, onReady func(*VM)) (*VM, error) {
 			onReady(vm)
 		}
 	})
+	return vm, nil
+}
+
+// Adopt registers an externally created, already-serving server (e.g. a
+// seed server the application started with before any scaling) as a ready
+// VM, so the census, the crash path and scale-in cover it like any
+// launched VM.
+func (h *Hypervisor) Adopt(name, tier string) (*VM, error) {
+	if _, exists := h.vms[name]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateVM, name)
+	}
+	vm := &VM{
+		name:     name,
+		tier:     tier,
+		state:    StateReady,
+		launched: h.eng.Now(),
+		readyAt:  h.eng.Now(),
+	}
+	h.vms[name] = vm
+	h.log(vm, "adopt")
 	return vm, nil
 }
 
@@ -163,12 +222,32 @@ func (h *Hypervisor) Drain(vm *VM) error {
 // Terminate shuts a VM down from any live state. Terminating a
 // provisioning VM cancels its pending readiness callback.
 func (h *Hypervisor) Terminate(vm *VM) error {
-	if vm.state == StateTerminated {
-		return fmt.Errorf("%w: terminate %q twice", ErrBadState, vm.name)
+	if vm.state.gone() {
+		return fmt.Errorf("%w: terminate %q in %v", ErrBadState, vm.name, vm.state)
 	}
 	vm.prepEvent.Cancel()
 	vm.state = StateTerminated
 	h.log(vm, "terminate")
+	return nil
+}
+
+// Crash kills a VM abruptly from any live state — the chaos fault path. It
+// cancels a provisioning VM's pending readiness callback (onReady must
+// never fire for a dead VM), records the state the VM crashed from, logs a
+// "crash" audit event, and fires the OnCrash hooks. Unlike Terminate,
+// which models an orderly shutdown requested by the VM-agent, Crash models
+// the hypervisor losing the instance.
+func (h *Hypervisor) Crash(vm *VM) error {
+	if vm.state.gone() {
+		return fmt.Errorf("%w: crash %q in %v", ErrBadState, vm.name, vm.state)
+	}
+	vm.prepEvent.Cancel()
+	vm.crashedFrom = vm.state
+	vm.state = StateCrashed
+	h.log(vm, "crash")
+	for _, fn := range h.onCrash {
+		fn(vm)
+	}
 	return nil
 }
 
@@ -186,7 +265,7 @@ func (h *Hypervisor) Get(name string) (*VM, error) {
 func (h *Hypervisor) Live(tier string) []*VM {
 	var out []*VM
 	for _, vm := range h.vms {
-		if vm.state != StateTerminated && (tier == "" || vm.tier == tier) {
+		if !vm.state.gone() && (tier == "" || vm.tier == tier) {
 			out = append(out, vm)
 		}
 	}
@@ -212,7 +291,23 @@ func (h *Hypervisor) CountReady(tier string) int {
 func (h *Hypervisor) CountLive(tier string) int {
 	n := 0
 	for _, vm := range h.vms {
-		if vm.tier == tier && vm.state != StateTerminated {
+		if vm.tier == tier && !vm.state.gone() {
+			n++
+		}
+	}
+	return n
+}
+
+// CountCrashedServing returns the number of the tier's VMs that crashed
+// out of a serving state (ready or draining) — the hypervisor census the
+// controller diffs each period to detect dead capacity. VMs that crashed
+// while still provisioning are excluded: those launches never delivered
+// capacity and the VM-agent retries them itself.
+func (h *Hypervisor) CountCrashedServing(tier string) int {
+	n := 0
+	for _, vm := range h.vms {
+		if vm.tier == tier && vm.state == StateCrashed &&
+			(vm.crashedFrom == StateReady || vm.crashedFrom == StateDraining) {
 			n++
 		}
 	}

@@ -254,3 +254,120 @@ func TestStateString(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashReadyVM(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 15*time.Second)
+	var crashed []string
+	hv.OnCrash(func(v *VM) { crashed = append(crashed, v.Name()) })
+	vm, err := hv.Launch("app-1", "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Crash(vm); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != StateCrashed || vm.CrashedFrom() != StateReady {
+		t.Fatalf("state = %v, crashedFrom = %v", vm.State(), vm.CrashedFrom())
+	}
+	if len(crashed) != 1 || crashed[0] != "app-1" {
+		t.Fatalf("OnCrash hooks saw %v", crashed)
+	}
+	if got := hv.CountCrashedServing("app"); got != 1 {
+		t.Fatalf("CountCrashedServing = %d", got)
+	}
+	if got := hv.CountLive("app"); got != 0 {
+		t.Fatalf("CountLive after crash = %d", got)
+	}
+	// A crashed VM is gone: neither terminate nor a second crash applies.
+	if err := hv.Terminate(vm); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Terminate after crash: err = %v", err)
+	}
+	if err := hv.Crash(vm); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double crash: err = %v", err)
+	}
+}
+
+func TestCrashDuringProvisioningCancelsReady(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 10*time.Second)
+	called := false
+	vm, err := hv.Launch("a", "app", func(*VM) { called = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(5*time.Second, func() {
+		if err := hv.Crash(vm); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("onReady fired for a VM that crashed while provisioning")
+	}
+	if vm.CrashedFrom() != StateProvisioning {
+		t.Fatalf("crashedFrom = %v", vm.CrashedFrom())
+	}
+	// Provisioning crashes never delivered capacity: the serving census
+	// must not count them (the VM-agent retries the launch instead).
+	if got := hv.CountCrashedServing("app"); got != 0 {
+		t.Fatalf("CountCrashedServing counts a provisioning crash: %d", got)
+	}
+}
+
+func TestPrepFactorSlowsLaunches(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 10*time.Second)
+	hv.SetPrepFactor(3)
+	var slowReady, normalReady sim.Time
+	if _, err := hv.Launch("slow", "app", func(*VM) { slowReady = eng.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	// Repair at 15s: launches after that run at normal speed again.
+	eng.Schedule(15*time.Second, func() {
+		hv.SetPrepFactor(1)
+		if _, err := hv.Launch("normal", "app", func(*VM) { normalReady = eng.Now() }); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if slowReady != 30*time.Second {
+		t.Fatalf("slow-boot launch ready at %v, want 30s", slowReady)
+	}
+	if normalReady != 25*time.Second {
+		t.Fatalf("post-repair launch ready at %v, want 25s", normalReady)
+	}
+}
+
+func TestAdopt(t *testing.T) {
+	t.Parallel()
+	eng, hv := newHV(t, 15*time.Second)
+	vm, err := hv.Adopt("seed-1", "app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.State() != StateReady {
+		t.Fatalf("adopted state = %v", vm.State())
+	}
+	if got := hv.CountReady("app"); got != 1 {
+		t.Fatalf("CountReady = %d", got)
+	}
+	if _, err := hv.Adopt("seed-1", "app"); !errors.Is(err, ErrDuplicateVM) {
+		t.Fatalf("duplicate adopt: err = %v", err)
+	}
+	// Adopted servers crash like launched ones: census-visible.
+	if err := hv.Crash(vm); err != nil {
+		t.Fatal(err)
+	}
+	if got := hv.CountCrashedServing("app"); got != 1 {
+		t.Fatalf("CountCrashedServing = %d", got)
+	}
+	_ = eng
+}

@@ -27,6 +27,7 @@ type Pool struct {
 	name    string
 	size    int
 	inUse   int
+	leaked  int
 	waiters []func(*Conn)
 
 	held   metrics.TimeWeighted
@@ -62,6 +63,39 @@ func (p *Pool) InUse() int { return p.inUse }
 
 // Waiting returns the number of blocked acquirers.
 func (p *Pool) Waiting() int { return len(p.waiters) }
+
+// Leaked returns the number of connections currently consumed by Leak.
+func (p *Pool) Leaked() int { return p.leaked }
+
+// Leak permanently consumes k connections — the chaos connection-leak
+// fault (an application bug holding connections it never returns). Leaked
+// connections count against the pool size immediately, even when that
+// drives inUse past size: requests already holding connections keep them,
+// and the pool's effective capacity shrinks as they release. The leak
+// persists until Unleak repairs it. Non-positive k is a no-op.
+func (p *Pool) Leak(k int) {
+	if k <= 0 {
+		return
+	}
+	p.leaked += k
+	p.inUse += k
+	p.held.Set(p.eng.Now(), float64(p.inUse))
+}
+
+// Unleak repairs up to k leaked connections (all of them when k exceeds
+// the current leak), returning them to the pool and admitting waiters.
+func (p *Pool) Unleak(k int) {
+	if k > p.leaked {
+		k = p.leaked
+	}
+	if k <= 0 {
+		return
+	}
+	p.leaked -= k
+	p.inUse -= k
+	p.held.Set(p.eng.Now(), float64(p.inUse))
+	p.admit()
+}
 
 // Acquire requests a connection; fn runs as soon as one is available, in
 // FIFO order behind earlier waiters.
@@ -132,6 +166,8 @@ type Sample struct {
 	// InUse and Waiting are instantaneous.
 	InUse   int `json:"inUse"`
 	Waiting int `json:"waiting"`
+	// Leaked is the number of connections consumed by an injected leak.
+	Leaked int `json:"leaked,omitempty"`
 	// Size is the pool size at sampling time.
 	Size int `json:"size"`
 }
@@ -146,6 +182,7 @@ func (p *Pool) TakeSample() Sample {
 		MeanHeld:        p.held.TakeAverage(p.eng.Now()),
 		InUse:           p.inUse,
 		Waiting:         len(p.waiters),
+		Leaked:          p.leaked,
 		Size:            p.size,
 	}
 }

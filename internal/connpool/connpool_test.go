@@ -242,3 +242,58 @@ func TestInUseNeverExceedsSizeOnAdmission(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestLeakConsumesCapacity(t *testing.T) {
+	t.Parallel()
+	_, p := newPool(t, 3)
+	p.Leak(2)
+	if p.Leaked() != 2 || p.InUse() != 2 {
+		t.Fatalf("leaked = %d, inUse = %d", p.Leaked(), p.InUse())
+	}
+	granted := 0
+	var held *Conn
+	p.Acquire(func(c *Conn) { granted++; held = c }) // takes the one free slot
+	p.Acquire(func(c *Conn) { granted++; c.Release() })
+	if granted != 1 {
+		t.Fatalf("granted = %d with 2 of 3 connections leaked", granted)
+	}
+	if p.Waiting() != 1 {
+		t.Fatalf("waiting = %d", p.Waiting())
+	}
+	// Repair: the waiter is admitted as capacity returns.
+	p.Unleak(2)
+	if granted != 2 {
+		t.Fatalf("granted = %d after repair", granted)
+	}
+	held.Release()
+	if p.Leaked() != 0 || p.InUse() != 0 {
+		t.Fatalf("after repair: leaked = %d, inUse = %d", p.Leaked(), p.InUse())
+	}
+}
+
+func TestUnleakClampsToLeaked(t *testing.T) {
+	t.Parallel()
+	_, p := newPool(t, 4)
+	p.Leak(1)
+	p.Unleak(10) // only 1 was leaked
+	if p.Leaked() != 0 || p.InUse() != 0 {
+		t.Fatalf("leaked = %d, inUse = %d", p.Leaked(), p.InUse())
+	}
+	p.Unleak(1) // nothing leaked: no-op
+	if p.InUse() != 0 {
+		t.Fatalf("inUse went negative: %d", p.InUse())
+	}
+}
+
+func TestSampleReportsLeaked(t *testing.T) {
+	t.Parallel()
+	eng, p := newPool(t, 4)
+	p.Leak(3)
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	s := p.TakeSample()
+	if s.Leaked != 3 {
+		t.Fatalf("Sample.Leaked = %d", s.Leaked)
+	}
+}

@@ -46,6 +46,15 @@ type TierStats struct {
 	// "fine-grained measurement data" §III-C's online analysis regresses
 	// on. May be empty when only aggregates are available.
 	Points []model.Observation `json:"points,omitempty"`
+	// Crashed is the number of the tier's serving VMs the hypervisor
+	// census reports as crashed since the previous control period — dead
+	// capacity the controller must re-provision.
+	Crashed int `json:"crashed,omitempty"`
+	// NoData marks a control period in which no monitoring samples
+	// arrived for the tier (a monitor blackout): the CPU and throughput
+	// aggregates are zeros that mean "unknown", not "idle". Controllers
+	// must not mistake the one for the other.
+	NoData bool `json:"noData,omitempty"`
 }
 
 // SystemView is everything a controller sees at one control period.
@@ -174,6 +183,32 @@ func (v *vmLevel) evaluate(view SystemView) []Action {
 	for _, tierName := range v.policy.ScalableTiers {
 		ts, ok := view.Tiers[tierName]
 		if !ok {
+			continue
+		}
+		// Dead capacity first: the hypervisor census is authoritative even
+		// when monitoring is dark, and a crashed VM must be replaced now —
+		// waiting for the survivors' CPU to climb costs a full control
+		// period of degraded service per crash.
+		if ts.Crashed > 0 {
+			v.lowRun[tierName] = 0
+			n := ts.Crashed
+			if room := v.policy.MaxServers - ts.Live; n > room {
+				n = room
+			}
+			for i := 0; i < n; i++ {
+				actions = append(actions, Action{
+					Type: ActionScaleOut,
+					Tier: tierName,
+					Reason: fmt.Sprintf("re-provision %d crashed VM(s) (census: %d serving)",
+						ts.Crashed, ts.Ready),
+				})
+			}
+			continue
+		}
+		// A blackout period carries no usable utilization signal: hold the
+		// current topology rather than treat "no samples" as "0% CPU" and
+		// start a spurious scale-in countdown on stale data.
+		if ts.NoData {
 			continue
 		}
 		switch {
@@ -405,6 +440,11 @@ func (c *DCM) observeAndRefit(view SystemView) {
 	dbTrainer := c.trainerFor(c.dbTrainers, key)
 
 	feed := func(trainer *model.OnlineTrainer, ts TierStats, limit float64) {
+		if ts.NoData {
+			// A blackout period has no operating points; the zero
+			// aggregates are not observations.
+			return
+		}
 		if len(ts.Points) > 0 {
 			// Fine-grained per-VM per-second points: the preferred data.
 			for _, pt := range ts.Points {

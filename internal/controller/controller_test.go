@@ -568,3 +568,67 @@ func TestTargetTrackingGuards(t *testing.T) {
 		t.Fatal("exceeded MaxServers")
 	}
 }
+
+func TestCrashedCapacityReprovisions(t *testing.T) {
+	t.Parallel()
+	c := mustEC2(t)
+	// One of two app servers crashed this period: the census demands an
+	// immediate replacement even though the survivor's CPU is moderate.
+	v := view(0.5, 0.5, 1, 1, 1, 1, model.Allocation{})
+	ts := v.Tiers[ntier.TierApp]
+	ts.Crashed = 1
+	v.Tiers[ntier.TierApp] = ts
+	actions := c.Evaluate(v)
+	out := findAction(actions, ActionScaleOut, ntier.TierApp)
+	if out == nil {
+		t.Fatalf("no re-provision scale-out for crashed capacity: %+v", actions)
+	}
+}
+
+func TestCrashedCapacityRespectsMaxServers(t *testing.T) {
+	t.Parallel()
+	c := mustEC2(t)
+	// Two crashes but only one slot below MaxServers: launch one.
+	policyMax := DefaultPolicy().MaxServers
+	v := view(0.5, 0.5, policyMax-1, policyMax-1, 1, 1, model.Allocation{})
+	ts := v.Tiers[ntier.TierApp]
+	ts.Crashed = 2
+	v.Tiers[ntier.TierApp] = ts
+	n := 0
+	for _, a := range c.Evaluate(v) {
+		if a.Type == ActionScaleOut && a.Tier == ntier.TierApp {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("re-provision actions = %d, want 1 (MaxServers cap)", n)
+	}
+}
+
+func TestNoDataHoldsTopology(t *testing.T) {
+	t.Parallel()
+	c := mustEC2(t)
+	dark := func() SystemView {
+		v := view(0, 0, 2, 2, 2, 2, model.Allocation{})
+		for _, tierName := range []string{ntier.TierApp, ntier.TierDB} {
+			ts := v.Tiers[tierName]
+			ts.NoData = true
+			v.Tiers[tierName] = ts
+		}
+		return v
+	}
+	// A blackout longer than the scale-in run must not shrink the fleet:
+	// zero CPU with NoData set is "no signal", not "idle".
+	for i := 0; i < DefaultPolicy().LowerConsecutive+2; i++ {
+		if actions := c.Evaluate(dark()); len(actions) != 0 {
+			t.Fatalf("period %d: actions during blackout: %+v", i, actions)
+		}
+	}
+	// The dark periods must not have advanced the scale-in countdown
+	// either: one genuinely low period afterwards is still short of
+	// LowerConsecutive.
+	low := view(0.2, 0.2, 2, 2, 2, 2, model.Allocation{})
+	if actions := c.Evaluate(low); len(actions) != 0 {
+		t.Fatalf("scale-in fired on the first measured period after a blackout: %+v", actions)
+	}
+}

@@ -96,6 +96,13 @@ func (p *predictiveVMLevel) evaluate(view SystemView) []Action {
 		Allocation: view.Allocation,
 	}
 	for name, ts := range view.Tiers {
+		// Blackout periods carry no measurement: feeding their zero CPU
+		// into the smoother would fabricate a collapsing trend. Pass the
+		// tier through untouched; the reactive level holds it anyway.
+		if ts.NoData {
+			adjusted.Tiers[name] = ts
+			continue
+		}
 		sm := p.smoothers[name]
 		if sm == nil {
 			sm = newHolt(p.alpha, p.beta)

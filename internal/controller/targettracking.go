@@ -53,7 +53,7 @@ func (c *TargetTracking) Evaluate(view SystemView) []Action {
 	var actions []Action
 	for _, tierName := range c.policy.ScalableTiers {
 		ts, ok := view.Tiers[tierName]
-		if !ok || ts.Ready == 0 {
+		if !ok || ts.Ready == 0 || ts.NoData {
 			continue
 		}
 		desired := int(math.Ceil(float64(ts.Ready) * ts.MeanCPU / c.target))

@@ -85,9 +85,10 @@ type Framework struct {
 	serverC *bus.Consumer
 	systemC *bus.Consumer
 
-	history []controller.SystemView
-	actions []ActionRecord
-	stop    func()
+	history     []controller.SystemView
+	actions     []ActionRecord
+	stop        func()
+	prevCrashed map[string]int // tier -> crashed-serving census at last view
 }
 
 // New assembles a framework around app with the given controller.
@@ -119,6 +120,16 @@ func New(eng *sim.Engine, app *ntier.App, ctrl controller.Controller, cfg Config
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// Adopt the application's seed servers into the hypervisor so every
+	// serving server is census-visible: a crashed seed server must show up
+	// in CountCrashedServing just like a crashed scaled-out VM.
+	for _, tierName := range ntier.Tiers() {
+		for _, m := range app.Members(tierName) {
+			if _, err := hv.Adopt(m.Name(), tierName); err != nil {
+				return nil, fmt.Errorf("core: adopt %s: %w", m.Name(), err)
+			}
+		}
+	}
 	return &Framework{
 		eng:      eng,
 		app:      app,
@@ -129,8 +140,9 @@ func New(eng *sim.Engine, app *ntier.App, ctrl controller.Controller, cfg Config
 		fleet:    fleet,
 		vmAgent:  vmAgent,
 		appAgent: appAgent,
-		serverC:  b.NewConsumer(monitor.TopicServerMetrics, 0),
-		systemC:  b.NewConsumer(monitor.TopicSystemMetrics, 0),
+		serverC:     b.NewConsumer(monitor.TopicServerMetrics, 0),
+		systemC:     b.NewConsumer(monitor.TopicSystemMetrics, 0),
+		prevCrashed: make(map[string]int),
 	}, nil
 }
 
@@ -224,11 +236,16 @@ func (f *Framework) buildView() controller.SystemView {
 				ready++
 			}
 		}
+		// Diff the hypervisor's crashed-serving census against the previous
+		// view: dead capacity detected this period.
+		crashed := f.hv.CountCrashedServing(tierName)
 		view.Tiers[tierName] = controller.TierStats{
-			Tier:  tierName,
-			Ready: ready,
-			Live:  ready + f.vmAgent.Pending(tierName),
+			Tier:    tierName,
+			Ready:   ready,
+			Live:    ready + f.vmAgent.Pending(tierName),
+			Crashed: crashed - f.prevCrashed[tierName],
 		}
+		f.prevCrashed[tierName] = crashed
 	}
 
 	type agg struct {
@@ -281,6 +298,15 @@ func (f *Framework) buildView() controller.SystemView {
 		ts.Throughput = a.tpSum / periods
 		ts.Points = a.points
 		view.Tiers[tierName] = ts
+	}
+	// Tiers with accepting servers but zero samples this period are dark
+	// (monitor blackout), not idle: mark them so controllers hold rather
+	// than misread the zero aggregates.
+	for tierName, ts := range view.Tiers {
+		if _, sampled := aggs[tierName]; !sampled && ts.Ready > 0 {
+			ts.NoData = true
+			view.Tiers[tierName] = ts
+		}
 	}
 
 	var (

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"dcm/internal/cloud"
 	"dcm/internal/controller"
 	"dcm/internal/model"
 	"dcm/internal/ntier"
@@ -319,5 +320,23 @@ func TestControllerReplacesCrashedServer(t *testing.T) {
 	}
 	if !sawScaleOut {
 		t.Fatalf("no post-crash scale-out: %+v", fw.Actions())
+	}
+}
+
+func TestFrameworkAdoptsSeedServers(t *testing.T) {
+	t.Parallel()
+	_, app, fw := newSystem(t, dcmController(t))
+	// Every seed server must be hypervisor-visible so the crash census
+	// covers it like scaled-out capacity.
+	for _, tierName := range ntier.Tiers() {
+		for _, m := range app.Members(tierName) {
+			vm, err := fw.Hypervisor().Get(m.Name())
+			if err != nil {
+				t.Fatalf("seed server %s not adopted: %v", m.Name(), err)
+			}
+			if vm.State() != cloud.StateReady {
+				t.Fatalf("adopted %s state = %v", m.Name(), vm.State())
+			}
+		}
 	}
 }

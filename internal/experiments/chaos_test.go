@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dcm/internal/chaos"
+)
+
+// TestChaosReplayIsByteIdentical is the determinism regression test: the
+// same chaos scenario under the same seed must replay the exact same
+// failure trace — byte-identical hypervisor event logs, injection logs
+// and metric series.
+func TestChaosReplayIsByteIdentical(t *testing.T) {
+	t.Parallel()
+	sched, err := chaos.Builtin("kitchen-sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *ScenarioResult {
+		res, err := RunScenario(ScenarioConfig{
+			Seed:  1234,
+			Kind:  ControllerDCM,
+			Chaos: &sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+
+	marshal := func(v any) []byte {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	checks := []struct {
+		name string
+		a, b any
+	}{
+		{"vm events", a.VMEvents, b.VMEvents},
+		{"injections", a.Chaos.Injections, b.Chaos.Injections},
+		{"seconds", a.Seconds, b.Seconds},
+		{"throughput", a.Throughput, b.Throughput},
+		{"mean rt", a.MeanRTSec, b.MeanRTSec},
+		{"errors", a.Errors, b.Errors},
+		{"tier counts", a.TierCounts, b.TierCounts},
+		{"actions", a.Actions, b.Actions},
+		{"chaos report", a.Chaos, b.Chaos},
+	}
+	for _, c := range checks {
+		if !bytes.Equal(marshal(c.a), marshal(c.b)) {
+			t.Errorf("%s differ between same-seed replays", c.name)
+		}
+	}
+	if a.TotalCompleted != b.TotalCompleted || a.TotalErrors != b.TotalErrors {
+		t.Errorf("totals differ: %d/%d vs %d/%d",
+			a.TotalCompleted, a.TotalErrors, b.TotalCompleted, b.TotalErrors)
+	}
+}
+
+// TestChaosScenarioAttachesReport checks the experiments wiring: a
+// schedule installs, the injection shows up in the report, and the
+// blackout leaves a visible hole in the metric series.
+func TestChaosScenarioAttachesReport(t *testing.T) {
+	t.Parallel()
+	sched, err := chaos.Builtin("monitor-blackout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(ScenarioConfig{
+		Seed:  7,
+		Kind:  ControllerEC2,
+		Chaos: &sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chaos == nil {
+		t.Fatal("no chaos report attached")
+	}
+	if len(res.Chaos.Injections) == 0 {
+		t.Fatal("no injections logged")
+	}
+	// The 45 s blackout must appear as blind time (the control-period
+	// alignment can clip the edges by a sample or two).
+	if res.Chaos.BlindSeconds < 40 {
+		t.Fatalf("blind seconds = %v, want ≈45", res.Chaos.BlindSeconds)
+	}
+	// Without faults the report must stay nil.
+	plain, err := RunScenario(ScenarioConfig{Seed: 7, Kind: ControllerEC2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Chaos != nil {
+		t.Fatal("chaos report attached to a fault-free run")
+	}
+}

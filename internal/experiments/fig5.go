@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcm/internal/chaos"
 	"dcm/internal/cloud"
 	"dcm/internal/controller"
 	"dcm/internal/core"
@@ -82,6 +83,14 @@ type ScenarioConfig struct {
 	// Horizon then bounds the run (default 600 s).
 	Bursty  *workload.BurstyConfig
 	Horizon time.Duration
+	// Chaos, when non-nil, installs the fault schedule on the run and
+	// attaches a recovery report to the result. Faults draw from the
+	// scenario seed's "chaos" split, so the same seed replays the same
+	// failure trace.
+	Chaos *chaos.Schedule
+	// ChaosAnalysis overrides the recovery-analysis parameters (zero
+	// values select the defaults).
+	ChaosAnalysis chaos.AnalysisConfig
 }
 
 // ScenarioResult holds the per-second series Fig. 5 plots plus the
@@ -97,6 +106,9 @@ type ScenarioResult struct {
 	Throughput []float64 `json:"throughput"`
 	MeanRTSec  []float64 `json:"meanRTSec"`
 	P95RTSec   []float64 `json:"p95RTSec"`
+	// Errors is failed requests per second (non-zero under fault
+	// injection).
+	Errors []float64 `json:"errors,omitempty"`
 	// AppResSec and DBResSec attribute latency to tiers per second: app
 	// thread occupancy per request and per-query DB time.
 	AppResSec []float64 `json:"appResSec"`
@@ -114,6 +126,9 @@ type ScenarioResult struct {
 	TotalErrors    uint64 `json:"totalErrors"`
 	// FinalAllocation is the soft allocation at the end of the run.
 	FinalAllocation model.Allocation `json:"finalAllocation"`
+	// Chaos is the fault-injection recovery report (nil without a
+	// schedule).
+	Chaos *chaos.Report `json:"chaos,omitempty"`
 }
 
 // RunScenario executes one §V-B scenario.
@@ -165,6 +180,16 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	}
 	if err := fw.Start(); err != nil {
 		return nil, fmt.Errorf("experiments: scenario start: %w", err)
+	}
+
+	var injector *chaos.Injector
+	if cfg.Chaos != nil {
+		injector, err = chaos.NewInjector(eng, root.Split("chaos"), app,
+			fw.Hypervisor(), fw.Fleet(), *cfg.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario chaos: %w", err)
+		}
+		injector.Install()
 	}
 
 	var stopWorkload func()
@@ -226,6 +251,17 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.TotalCompleted = app.TotalCompletions()
 	res.TotalErrors = app.TotalErrors()
 	res.FinalAllocation = app.Allocation()
+	if injector != nil {
+		rep := chaos.Analyze(chaos.Input{
+			Schedule:        *cfg.Chaos,
+			Injections:      injector.Log(),
+			Seconds:         res.Seconds,
+			Throughput:      res.Throughput,
+			MeanRTSec:       res.MeanRTSec,
+			ErroredRequests: res.TotalErrors,
+		}, cfg.ChaosAnalysis)
+		res.Chaos = &rep
+	}
 	return res, nil
 }
 
@@ -286,6 +322,7 @@ func collectSeries(fw *core.Framework, res *ScenarioResult, horizon time.Duratio
 		res.Throughput = append(res.Throughput, s.Throughput)
 		res.MeanRTSec = append(res.MeanRTSec, s.MeanRTSeconds)
 		res.P95RTSec = append(res.P95RTSec, s.P95RTSeconds)
+		res.Errors = append(res.Errors, float64(s.Errors))
 		res.AppResSec = append(res.AppResSec, s.MeanAppResidence)
 		res.DBResSec = append(res.DBResSec, s.MeanDBResidence)
 	}

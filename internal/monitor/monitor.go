@@ -79,9 +79,10 @@ type Fleet struct {
 	app      *ntier.App
 	interval time.Duration
 
-	agents  map[string]func() // vm name -> stop
-	sysTop  func()
-	started bool
+	agents   map[string]func() // vm name -> stop
+	sysTop   func()
+	started  bool
+	blackout bool
 }
 
 // NewFleet creates a monitoring fleet publishing to b every interval
@@ -104,6 +105,17 @@ func NewFleet(eng *sim.Engine, b *bus.Bus, app *ntier.App, interval time.Duratio
 
 // Interval returns the sampling cadence.
 func (f *Fleet) Interval() time.Duration { return f.interval }
+
+// SetBlackout suppresses (true) or restores (false) all sample publishing
+// — the chaos monitor-blackout fault. Agents keep sampling on their
+// cadence so server-side interval accumulators are still drained; the
+// samples just never reach the bus, exactly like a monitoring pipeline
+// outage. The controller consequently sees control periods with no data
+// and must decide how to act on staleness.
+func (f *Fleet) SetBlackout(v bool) { f.blackout = v }
+
+// Blackout reports whether sample publishing is currently suppressed.
+func (f *Fleet) Blackout() bool { return f.blackout }
 
 // Start installs an agent on every current server plus the system agent.
 // Start is idempotent.
@@ -153,6 +165,11 @@ func (f *Fleet) Attach(tierName, vmName string) error {
 			sample.ConnPoolSize = ps.Size
 			sample.ConnWaiting = ps.Waiting
 		}
+		// During a blackout the sample is taken (draining the server's
+		// interval accumulators, as a real agent would) but never shipped.
+		if f.blackout {
+			return
+		}
 		// A full bus is a monitoring failure, not an application failure:
 		// drop the sample.
 		_, _ = f.b.Publish(TopicServerMetrics, vmName, sample)
@@ -175,6 +192,9 @@ func (f *Fleet) AgentCount() int { return len(f.agents) }
 
 func (f *Fleet) publishSystem() {
 	st := f.app.TakeStats()
+	if f.blackout {
+		return
+	}
 	sample := SystemSample{
 		At:               f.eng.Now(),
 		Throughput:       float64(st.Completions) / f.interval.Seconds(),

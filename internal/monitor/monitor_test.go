@@ -218,3 +218,58 @@ func TestStopHaltsPublishing(t *testing.T) {
 		t.Fatal("fleet published after Stop")
 	}
 }
+
+func TestBlackoutSuppressesPublishing(t *testing.T) {
+	t.Parallel()
+	eng, b, _, fleet := setup(t)
+	if err := fleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Blackout from 3s to 6s, then run to 10s.
+	eng.Schedule(3*time.Second, func() { fleet.SetBlackout(true) })
+	eng.Schedule(6*time.Second, func() { fleet.SetBlackout(false) })
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	fleet.Stop()
+
+	msgs, err := b.Fetch(TopicSystemMetrics, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, m := range msgs {
+		s, ok := m.Value.(SystemSample)
+		if !ok {
+			continue
+		}
+		seen[int(s.At.Seconds())] = true
+	}
+	// The blackout/repair events were scheduled before the ticker's
+	// same-instant firings, so FIFO order makes them win the tie: samples
+	// land at 1..2, go dark at 3..5, resume at 6..10.
+	for _, sec := range []int{1, 2, 6, 7, 8, 9, 10} {
+		if !seen[sec] {
+			t.Errorf("missing system sample at %ds outside the blackout", sec)
+		}
+	}
+	for _, sec := range []int{3, 4, 5} {
+		if seen[sec] {
+			t.Errorf("system sample published at %ds during the blackout", sec)
+		}
+	}
+
+	srvMsgs, err := b.Fetch(TopicServerMetrics, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range srvMsgs {
+		s, ok := m.Value.(ServerSample)
+		if !ok {
+			continue
+		}
+		if sec := int(s.At.Seconds()); sec >= 3 && sec <= 5 {
+			t.Errorf("server sample for %s published at %ds during the blackout", s.VM, sec)
+		}
+	}
+}

@@ -123,6 +123,7 @@ type Server struct {
 	thrashKnee int
 	thrashCoef float64
 	thrashCap  float64
+	degrade    float64 // multiplier on the S0 work term; 1 = healthy
 	basis      ContentionBasis
 	executing  int
 	betaOnConf bool
@@ -166,11 +167,28 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*Server, error) {
 		thrashKnee: cfg.ThrashKnee,
 		thrashCoef: cfg.ThrashCoef,
 		thrashCap:  cfg.ThrashCap,
+		degrade:    1,
 		basis:      cfg.Basis,
 		betaOnConf: cfg.BetaOnConfigured,
 		dist:       cfg.Distribution,
 	}, nil
 }
+
+// SetDegradeFactor scales the server's Equation 5 base service time S0 by
+// f for every subsequent burst — the chaos "degraded server" fault (a
+// noisy neighbour, failing disk, or thermal throttling). Factors below 1
+// are clamped to 1: degradation only ever slows a server down, and 1
+// restores health. The contention (α) and crosstalk (β) terms are
+// untouched; they are properties of the software, not the hardware.
+func (s *Server) SetDegradeFactor(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	s.degrade = f
+}
+
+// DegradeFactor returns the current S0 multiplier (1 = healthy).
+func (s *Server) DegradeFactor() float64 { return s.degrade }
 
 // Session is one admitted request holding a server thread.
 type Session struct {
@@ -333,6 +351,11 @@ func (s *Server) burstDuration(demand float64) time.Duration {
 		n = s.executing // includes the burst being started
 	}
 	base := s.params.ServiceTime(float64(n)) + (demand-1)*s.params.S0
+	if s.degrade > 1 {
+		// Degraded hardware inflates the per-burst work term S0 (scaled by
+		// the request's demand) while contention penalties stay put.
+		base += (s.degrade - 1) * s.params.S0 * demand
+	}
 	if s.betaOnConf && s.configured > 0 {
 		// Swap the instantaneous crosstalk for the configured-concurrency
 		// crosstalk.

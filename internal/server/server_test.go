@@ -793,3 +793,51 @@ func TestExponentialDistributionPreservesMean(t *testing.T) {
 		t.Fatalf("exponential service mean drifted: %v completions", got)
 	}
 }
+
+func TestDegradeFactorInflatesServiceTime(t *testing.T) {
+	t.Parallel()
+	eng, srv := newServer(t, 4)
+	srv.SetDegradeFactor(3)
+	if got := srv.DegradeFactor(); got != 3 {
+		t.Fatalf("DegradeFactor = %v", got)
+	}
+	var done sim.Time
+	srv.Acquire(func(sess *Session) {
+		sess.Exec(func() {
+			done = eng.Now()
+			sess.Release()
+		})
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Lone request at degrade 3: S0 + (3-1)·S0 = 30ms instead of 10ms.
+	if done != 30*time.Millisecond {
+		t.Fatalf("degraded completion at %v, want 30ms", done)
+	}
+}
+
+func TestDegradeFactorRepairs(t *testing.T) {
+	t.Parallel()
+	eng, srv := newServer(t, 4)
+	srv.SetDegradeFactor(2)
+	srv.SetDegradeFactor(1)
+	var done sim.Time
+	srv.Acquire(func(sess *Session) {
+		sess.Exec(func() {
+			done = eng.Now()
+			sess.Release()
+		})
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if done != 10*time.Millisecond {
+		t.Fatalf("repaired completion at %v, want 10ms", done)
+	}
+	// Factors below 1 clamp to 1: degrade never speeds a server up.
+	srv.SetDegradeFactor(0.25)
+	if got := srv.DegradeFactor(); got != 1 {
+		t.Fatalf("clamped DegradeFactor = %v", got)
+	}
+}

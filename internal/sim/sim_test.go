@@ -302,3 +302,31 @@ func TestNestedScheduling(t *testing.T) {
 		t.Fatalf("clock = %v", e.Now())
 	}
 }
+
+func TestTickerStopInsideCallbackThenRestart(t *testing.T) {
+	t.Parallel()
+	e := NewEngine()
+	// Pin the semantics the chaos repair events rely on: stopping a
+	// ticker from inside its own callback suppresses the already-armed
+	// next firing immediately (no trailing tick), double-stop is a no-op,
+	// and a replacement ticker started from the same callback runs on its
+	// own schedule, unaffected by the old one's stop.
+	first, second := 0, 0
+	var stop func()
+	stop = e.Ticker(time.Second, func() {
+		first++
+		stop()
+		stop()
+		e.Ticker(time.Second, func() { second++ })
+	})
+	if err := e.Run(3500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 {
+		t.Fatalf("stopped ticker fired %d times, want 1", first)
+	}
+	// The replacement started at t=1s fires at 2s and 3s.
+	if second != 2 {
+		t.Fatalf("replacement ticker fired %d times, want 2", second)
+	}
+}
