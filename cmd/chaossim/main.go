@@ -8,11 +8,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"dcm/internal/chaos"
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
+	"dcm/internal/runner"
 )
 
 func main() {
@@ -20,6 +23,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chaossim:", err)
 		os.Exit(1)
 	}
+}
+
+// parseSeeds parses a comma-separated uint64 list.
+func parseSeeds(s string) ([]uint64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds in %q", s)
+	}
+	return out, nil
 }
 
 func run(args []string) error {
@@ -33,10 +57,13 @@ func run(args []string) error {
 		prep           = fs.Duration("prep", 15*time.Second, "VM preparation period")
 		every          = fs.Int("every", 20, "print every N-th second of the series")
 		list           = fs.Bool("list", false, "list bundled scenarios and exit")
+		seeds          = fs.String("seeds", "", "comma-separated seed list; runs every seed concurrently and prints a summary table (overrides -seed)")
+		parallel       = fs.Int("parallel", 0, "worker goroutines for multi-seed runs (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	runner.SetDefaultWorkers(*parallel)
 
 	if *list {
 		for _, name := range chaos.BuiltinNames() {
@@ -69,6 +96,46 @@ func run(args []string) error {
 		PrepDelay:     *prep,
 		Chaos:         &sched,
 	}
+
+	// Multi-seed mode: fan the seeds across the worker pool and print one
+	// summary row per seed; the detailed single-run report below stays the
+	// default for a lone seed.
+	if *seeds != "" {
+		seedList, err := parseSeeds(*seeds)
+		if err != nil {
+			return err
+		}
+		results, err := runner.Map(seedList, 0, func(_ int, s uint64) (*experiments.ScenarioResult, error) {
+			c := cfg
+			c.Seed = s
+			return experiments.RunScenario(c)
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("controller %s under scenario %q, %d seeds\n\n", cfg.Kind, sched.Name, len(seedList))
+		tb := metrics.NewTable("seed", "mean RT (s)", "max RT (s)", "spikes >1s", "completed", "errors", "recovered")
+		for i, res := range results {
+			sum := res.Summarize()
+			recovered := "-"
+			if res.Chaos != nil {
+				n := 0
+				for _, fr := range res.Chaos.Faults {
+					if fr.Recovered {
+						n++
+					}
+				}
+				recovered = fmt.Sprintf("%d/%d", n, len(res.Chaos.Faults))
+			}
+			tb.AddRow(strconv.FormatUint(seedList[i], 10),
+				fmt.Sprintf("%.3f", sum.MeanRTSec), fmt.Sprintf("%.3f", sum.MaxRTSec),
+				strconv.Itoa(sum.SpikeSeconds), strconv.FormatUint(sum.TotalCompleted, 10),
+				strconv.FormatUint(res.TotalErrors, 10), recovered)
+		}
+		fmt.Print(tb.String())
+		return nil
+	}
+
 	res, err := experiments.RunScenario(cfg)
 	if err != nil {
 		return err

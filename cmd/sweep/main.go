@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dcm/internal/experiments"
+	"dcm/internal/runner"
 )
 
 func main() {
@@ -29,10 +30,12 @@ func run(args []string) error {
 		seed       = fs.Uint64("seed", 42, "random seed")
 		measure    = fs.Duration("measure", 20*time.Second, "measurement window per point")
 		users      = fs.Int("users", 3000, "sustained user population (fig2b)")
+		parallel   = fs.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	runner.SetDefaultWorkers(*parallel)
 
 	switch *experiment {
 	case "fig2a":

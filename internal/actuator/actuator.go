@@ -55,7 +55,7 @@ const (
 type pendingLaunch struct {
 	tier     string
 	attempt  int
-	watchdog *sim.Event
+	watchdog sim.Timer
 }
 
 // VMAgent performs VM-level scaling against the hypervisor and the

@@ -9,6 +9,7 @@ import (
 	"dcm/internal/monitor"
 	"dcm/internal/ntier"
 	"dcm/internal/rng"
+	"dcm/internal/runner"
 	"dcm/internal/sim"
 )
 
@@ -43,28 +44,66 @@ func BenchmarkDenseFaultSchedule(b *testing.B) {
 	b.ReportAllocs()
 	var processed uint64
 	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine()
-		cfg := ntier.DefaultConfig()
-		cfg.AppThreads = 10
-		cfg.DBConnsPerApp = 10
-		app, err := ntier.New(eng, rng.New(7).Split("app"), cfg)
+		n, err := denseRun(sched, uint64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
-		hv := cloud.NewHypervisor(eng, 15*time.Second)
-		fleet, err := monitor.NewFleet(eng, bus.New(), app, time.Second)
-		if err != nil {
-			b.Fatal(err)
-		}
-		in, err := NewInjector(eng, rng.New(uint64(i)), app, hv, fleet, sched)
-		if err != nil {
-			b.Fatal(err)
-		}
-		in.Install()
-		if err := eng.Run(10 * time.Minute); err != nil {
-			b.Fatal(err)
-		}
-		processed += eng.Processed()
+		processed += n
 	}
 	b.ReportMetric(float64(processed)/float64(b.N), "events/op")
+}
+
+// denseRun executes one dense-schedule simulation and returns the number
+// of engine events processed.
+func denseRun(sched Schedule, seed uint64) (uint64, error) {
+	eng := sim.NewEngine()
+	cfg := ntier.DefaultConfig()
+	cfg.AppThreads = 10
+	cfg.DBConnsPerApp = 10
+	app, err := ntier.New(eng, rng.New(7).Split("app"), cfg)
+	if err != nil {
+		return 0, err
+	}
+	hv := cloud.NewHypervisor(eng, 15*time.Second)
+	fleet, err := monitor.NewFleet(eng, bus.New(), app, time.Second)
+	if err != nil {
+		return 0, err
+	}
+	in, err := NewInjector(eng, rng.New(seed), app, hv, fleet, sched)
+	if err != nil {
+		return 0, err
+	}
+	in.Install()
+	if err := eng.Run(10 * time.Minute); err != nil {
+		return 0, err
+	}
+	return eng.Processed(), nil
+}
+
+// BenchmarkDenseFaultScheduleParallel runs 8 independent replicas of the
+// dense schedule per op through the parallel executor — the wall-clock
+// profile of a multi-seed chaos sweep.
+func BenchmarkDenseFaultScheduleParallel(b *testing.B) {
+	sched := denseSchedule()
+	if err := sched.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = uint64(i)
+	}
+	b.ReportAllocs()
+	var processed uint64
+	for i := 0; i < b.N; i++ {
+		counts, err := runner.Map(seeds, 8, func(_ int, seed uint64) (uint64, error) {
+			return denseRun(sched, seed)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range counts {
+			processed += n
+		}
+	}
+	b.ReportMetric(float64(processed)/float64(b.N*len(seeds)), "events/run")
 }

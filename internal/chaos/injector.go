@@ -71,16 +71,20 @@ func NewInjector(eng *sim.Engine, rnd *rng.Rand, app *ntier.App, hv *cloud.Hyper
 // Schedule returns the installed schedule.
 func (in *Injector) Schedule() Schedule { return in.sched }
 
-// Install schedules every fault on the engine. Install is idempotent.
+// Install schedules every fault on the engine in one batch. Install is
+// idempotent.
 func (in *Injector) Install() {
 	if in.installed {
 		return
 	}
 	in.installed = true
+	now := in.eng.Now()
+	items := make([]sim.BatchItem, len(in.sched.Faults))
 	for i, f := range in.sched.Faults {
 		i, f := i, f
-		in.eng.Schedule(f.At, func() { in.inject(i, f) })
+		items[i] = sim.BatchItem{At: now + f.At, Fn: func() { in.inject(i, f) }}
 	}
+	in.eng.ScheduleBatch(items)
 }
 
 // Log returns a copy of the injection audit log.

@@ -56,7 +56,7 @@ type VM struct {
 	crashedFrom State // state the VM was in when it crashed (zero otherwise)
 	launched    sim.Time
 	readyAt     sim.Time
-	prepEvent   *sim.Event
+	prepEvent   sim.Timer
 }
 
 // Name returns the VM name (unique per hypervisor).

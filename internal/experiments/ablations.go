@@ -7,8 +7,21 @@ import (
 	"dcm/internal/controller"
 	"dcm/internal/metrics"
 	"dcm/internal/model"
+	"dcm/internal/runner"
 	"dcm/internal/workload"
 )
+
+// runKinds executes one scenario per controller kind concurrently (each
+// run has its own engine and rng) and returns the results in kind order.
+func runKinds(seed uint64, kinds []ControllerKind, label string) ([]*ScenarioResult, error) {
+	return runner.Map(kinds, 0, func(_ int, kind ControllerKind) (*ScenarioResult, error) {
+		res, err := RunScenario(ScenarioConfig{Seed: seed, Kind: kind})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s %s: %w", label, kind, err)
+		}
+		return res, nil
+	})
+}
 
 // AblationSoftOnly (A1) isolates the two levels of DCM: the full
 // controller, the hardware-only baseline, the APP-agent alone (soft
@@ -16,21 +29,12 @@ import (
 // do-nothing run — answering how much of Fig. 5's stability comes from
 // soft-resource adaptation versus VM scaling.
 func AblationSoftOnly(seed uint64) ([]*ScenarioResult, error) {
-	kinds := []ControllerKind{
+	return runKinds(seed, []ControllerKind{
 		ControllerDCM,
 		ControllerEC2,
 		ControllerDCMSoftOnly,
 		ControllerNone,
-	}
-	results := make([]*ScenarioResult, 0, len(kinds))
-	for _, kind := range kinds {
-		res, err := RunScenario(ScenarioConfig{Seed: seed, Kind: kind})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation soft-only %s: %w", kind, err)
-		}
-		results = append(results, res)
-	}
-	return results, nil
+	}, "ablation soft-only")
 }
 
 // SensitivityRow reports one model-misestimation variant (A2).
@@ -58,13 +62,15 @@ func AblationModelSensitivity(seed uint64) ([]SensitivityRow, error) {
 		{"trained model", 1},
 		{"beta /4 (over-provision threads)", 0.25},
 	}
-	rows := make([]SensitivityRow, 0, len(variants))
-	for _, v := range variants {
+	return runner.Map(variants, 0, func(_ int, v struct {
+		label string
+		scale float64
+	}) (SensitivityRow, error) {
 		perturbed := tomcat
 		perturbed.Beta *= v.scale
 		plannedN, ok := perturbed.OptimalConcurrencyInt()
 		if !ok {
-			return nil, fmt.Errorf("experiments: ablation sensitivity %q: no optimum", v.label)
+			return SensitivityRow{}, fmt.Errorf("experiments: ablation sensitivity %q: no optimum", v.label)
 		}
 		res, err := RunScenario(ScenarioConfig{
 			Seed:        seed,
@@ -73,15 +79,14 @@ func AblationModelSensitivity(seed uint64) ([]SensitivityRow, error) {
 			MySQLModel:  mysql,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation sensitivity %q: %w", v.label, err)
+			return SensitivityRow{}, fmt.Errorf("experiments: ablation sensitivity %q: %w", v.label, err)
 		}
-		rows = append(rows, SensitivityRow{
+		return SensitivityRow{
 			Label:    v.label,
 			PlannedN: plannedN,
 			Summary:  res.Summarize(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PolicyRow reports one scaling-policy variant (A3/A4).
@@ -103,8 +108,10 @@ func AblationScalePolicy(seed uint64) ([]PolicyRow, error) {
 		{"slow turn off (3 periods)", 3},
 		{"symmetric (1 period)", 1},
 	}
-	rows := make([]PolicyRow, 0, len(variants))
-	for _, v := range variants {
+	return runner.Map(variants, 0, func(_ int, v struct {
+		label       string
+		consecutive int
+	}) (PolicyRow, error) {
 		policy := controller.DefaultPolicy()
 		policy.LowerConsecutive = v.consecutive
 		res, err := RunScenario(ScenarioConfig{
@@ -113,40 +120,45 @@ func AblationScalePolicy(seed uint64) ([]PolicyRow, error) {
 			Policy: &policy,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation policy %q: %w", v.label, err)
+			return PolicyRow{}, fmt.Errorf("experiments: ablation policy %q: %w", v.label, err)
 		}
-		rows = append(rows, PolicyRow{
+		return PolicyRow{
 			Label:        v.label,
 			Summary:      res.Summarize(),
 			ScaleActions: countScaleActions(res),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationControlPeriod (A4) sweeps the control period (5 s / 15 s / 30 s)
 // for both controllers, probing the paper's choice of 15 s.
 func AblationControlPeriod(seed uint64) ([]PolicyRow, error) {
 	periods := []time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second}
-	var rows []PolicyRow
+	type cell struct {
+		kind   ControllerKind
+		period time.Duration
+	}
+	var cells []cell
 	for _, kind := range []ControllerKind{ControllerDCM, ControllerEC2} {
 		for _, period := range periods {
-			res, err := RunScenario(ScenarioConfig{
-				Seed:          seed,
-				Kind:          kind,
-				ControlPeriod: period,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation period %v %s: %w", period, kind, err)
-			}
-			rows = append(rows, PolicyRow{
-				Label:        fmt.Sprintf("%s @ %v", kind, period),
-				Summary:      res.Summarize(),
-				ScaleActions: countScaleActions(res),
-			})
+			cells = append(cells, cell{kind: kind, period: period})
 		}
 	}
-	return rows, nil
+	return runner.Map(cells, 0, func(_ int, c cell) (PolicyRow, error) {
+		res, err := RunScenario(ScenarioConfig{
+			Seed:          seed,
+			Kind:          c.kind,
+			ControlPeriod: c.period,
+		})
+		if err != nil {
+			return PolicyRow{}, fmt.Errorf("experiments: ablation period %v %s: %w", c.period, c.kind, err)
+		}
+		return PolicyRow{
+			Label:        fmt.Sprintf("%s @ %v", c.kind, c.period),
+			Summary:      res.Summarize(),
+			ScaleActions: countScaleActions(res),
+		}, nil
+	})
 }
 
 func countScaleActions(res *ScenarioResult) int {
@@ -186,21 +198,12 @@ func RenderPolicyRows(rows []PolicyRow) string {
 // quantifying how much of the remaining transient the §VI extension
 // removes.
 func AblationPredictive(seed uint64) ([]*ScenarioResult, error) {
-	kinds := []ControllerKind{
+	return runKinds(seed, []ControllerKind{
 		ControllerDCM,
 		ControllerDCMPredictive,
 		ControllerEC2,
 		ControllerEC2Predictive,
-	}
-	results := make([]*ScenarioResult, 0, len(kinds))
-	for _, kind := range kinds {
-		res, err := RunScenario(ScenarioConfig{Seed: seed, Kind: kind})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation predictive %s: %w", kind, err)
-		}
-		results = append(results, res)
-	}
-	return results, nil
+	}, "ablation predictive")
 }
 
 // AblationBaselines (A7) compares DCM against the full baseline ladder:
@@ -208,21 +211,12 @@ func AblationPredictive(seed uint64) ([]*ScenarioResult, error) {
 // variant — all hardware-only. No matter how sophisticated the VM-level
 // policy, the concurrency misallocation remains.
 func AblationBaselines(seed uint64) ([]*ScenarioResult, error) {
-	kinds := []ControllerKind{
+	return runKinds(seed, []ControllerKind{
 		ControllerDCM,
 		ControllerEC2,
 		ControllerTargetTracking,
 		ControllerEC2Predictive,
-	}
-	results := make([]*ScenarioResult, 0, len(kinds))
-	for _, kind := range kinds {
-		res, err := RunScenario(ScenarioConfig{Seed: seed, Kind: kind})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation baselines %s: %w", kind, err)
-		}
-		results = append(results, res)
-	}
-	return results, nil
+	}, "ablation baselines")
 }
 
 // AblationOnlineTraining (A5) starts DCM from a deliberately wrong Tomcat
@@ -244,11 +238,14 @@ func AblationOnlineTraining(seed uint64) ([]SensitivityRow, error) {
 		{"wrong model, online re-training", wrong, true},
 		{"trained model, static", tomcat, false},
 	}
-	rows := make([]SensitivityRow, 0, len(variants))
-	for _, v := range variants {
+	return runner.Map(variants, 0, func(_ int, v struct {
+		label  string
+		model  model.Params
+		online bool
+	}) (SensitivityRow, error) {
 		plannedN, ok := v.model.OptimalConcurrencyInt()
 		if !ok {
-			return nil, fmt.Errorf("experiments: ablation online %q: no optimum", v.label)
+			return SensitivityRow{}, fmt.Errorf("experiments: ablation online %q: no optimum", v.label)
 		}
 		res, err := RunScenario(ScenarioConfig{
 			Seed:           seed,
@@ -258,15 +255,14 @@ func AblationOnlineTraining(seed uint64) ([]SensitivityRow, error) {
 			OnlineTraining: v.online,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation online %q: %w", v.label, err)
+			return SensitivityRow{}, fmt.Errorf("experiments: ablation online %q: %w", v.label, err)
 		}
-		rows = append(rows, SensitivityRow{
+		return SensitivityRow{
 			Label:    v.label,
 			PlannedN: plannedN,
 			Summary:  res.Summarize(),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationBurstyWorkload (A8) swaps the trace-driven workload for the
@@ -281,20 +277,19 @@ func AblationBurstyWorkload(seed uint64) ([]*ScenarioResult, error) {
 		NormalDwell: 60 * time.Second,
 		SurgeDwell:  40 * time.Second,
 	}
-	var results []*ScenarioResult
-	for _, kind := range []ControllerKind{ControllerDCM, ControllerEC2} {
-		res, err := RunScenario(ScenarioConfig{
-			Seed:    seed,
-			Kind:    kind,
-			Bursty:  bursty,
-			Horizon: 600 * time.Second,
+	return runner.Map([]ControllerKind{ControllerDCM, ControllerEC2}, 0,
+		func(_ int, kind ControllerKind) (*ScenarioResult, error) {
+			res, err := RunScenario(ScenarioConfig{
+				Seed:    seed,
+				Kind:    kind,
+				Bursty:  bursty,
+				Horizon: 600 * time.Second,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation bursty %s: %w", kind, err)
+			}
+			return res, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation bursty %s: %w", kind, err)
-		}
-		results = append(results, res)
-	}
-	return results, nil
 }
 
 // VerifyTrainedModels re-trains both tier models and checks the frozen
@@ -338,25 +333,45 @@ func MultiSeedComparison(seeds []uint64, noise float64) (dcmS, ec2S SeedSummary,
 		return dcmS, ec2S, fmt.Errorf("experiments: no seeds")
 	}
 	dcmS.Kind, ec2S.Kind = ControllerDCM, ControllerEC2
+
+	// Flatten the (seed × kind) grid into one batch — this is the heaviest
+	// sweep in the repo, and every cell is an independent simulation. The
+	// worker pool returns summaries in input order, so the per-seed slices
+	// are assembled exactly as the serial nested loops built them.
+	type cell struct {
+		seed uint64
+		kind ControllerKind
+	}
+	kinds := []ControllerKind{ControllerDCM, ControllerEC2}
+	cells := make([]cell, 0, len(seeds)*len(kinds))
 	for _, seed := range seeds {
-		for _, kind := range []ControllerKind{ControllerDCM, ControllerEC2} {
-			res, err := RunScenario(ScenarioConfig{
-				Seed:       seed,
-				Kind:       kind,
-				NoiseSigma: noise,
-			})
-			if err != nil {
-				return dcmS, ec2S, fmt.Errorf("experiments: multi-seed %d %s: %w", seed, kind, err)
-			}
-			s := res.Summarize()
-			agg := &dcmS
-			if kind == ControllerEC2 {
-				agg = &ec2S
-			}
-			agg.MeanRT = append(agg.MeanRT, s.MeanRTSec)
-			agg.Spikes = append(agg.Spikes, s.SpikeSeconds)
-			agg.Completed = append(agg.Completed, s.TotalCompleted)
+		for _, kind := range kinds {
+			cells = append(cells, cell{seed: seed, kind: kind})
 		}
+	}
+	summaries, err := runner.Map(cells, 0, func(_ int, c cell) (ScenarioSummary, error) {
+		res, err := RunScenario(ScenarioConfig{
+			Seed:       c.seed,
+			Kind:       c.kind,
+			NoiseSigma: noise,
+		})
+		if err != nil {
+			return ScenarioSummary{}, fmt.Errorf("experiments: multi-seed %d %s: %w", c.seed, c.kind, err)
+		}
+		return res.Summarize(), nil
+	})
+	if err != nil {
+		return dcmS, ec2S, err
+	}
+	for i, c := range cells {
+		s := summaries[i]
+		agg := &dcmS
+		if c.kind == ControllerEC2 {
+			agg = &ec2S
+		}
+		agg.MeanRT = append(agg.MeanRT, s.MeanRTSec)
+		agg.Spikes = append(agg.Spikes, s.SpikeSeconds)
+		agg.Completed = append(agg.Completed, s.TotalCompleted)
 	}
 	return dcmS, ec2S, nil
 }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"dcm/internal/runner"
+)
+
+// benchSeeds is the multi-seed ablation workload used for the wall-clock
+// comparison: 8 seeds × 2 controllers = 16 independent scenario runs.
+func benchSeeds() []uint64 { return []uint64{1, 2, 3, 4, 5, 6, 7, 8} }
+
+func benchMultiSeed(b *testing.B, workers int) {
+	defer runner.SetDefaultWorkers(0)
+	runner.SetDefaultWorkers(workers)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MultiSeedComparison(benchSeeds(), 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiSeedSweepSerial is the pre-executor baseline: the full
+// multi-seed comparison on one worker. Run with -benchtime=1x next to
+// the 8-worker variant for the wall-clock speedup figure.
+func BenchmarkMultiSeedSweepSerial(b *testing.B) { benchMultiSeed(b, 1) }
+
+// BenchmarkMultiSeedSweep8Workers is the same sweep through the parallel
+// executor with 8 workers — byte-identical results, wall-clock only.
+func BenchmarkMultiSeedSweep8Workers(b *testing.B) { benchMultiSeed(b, 8) }
+
+// TestMultiSeedParallelMatchesSerial pins the acceptance property of the
+// executor rollout: the multi-seed comparison computes identical
+// aggregates on 1 worker and on 8.
+func TestMultiSeedParallelMatchesSerial(t *testing.T) {
+	// Not parallel: mutates the process-wide worker default.
+	seeds := []uint64{3, 9}
+	run := func(workers int) (SeedSummary, SeedSummary) {
+		defer runner.SetDefaultWorkers(0)
+		runner.SetDefaultWorkers(workers)
+		d, e, err := MultiSeedComparison(seeds, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, e
+	}
+	d1, e1 := run(1)
+	d8, e8 := run(8)
+	if !reflect.DeepEqual(d1, d8) {
+		t.Errorf("DCM summary differs between serial and 8 workers:\n%+v\n%+v", d1, d8)
+	}
+	if !reflect.DeepEqual(e1, e8) {
+		t.Errorf("EC2 summary differs between serial and 8 workers:\n%+v\n%+v", e1, e8)
+	}
+}

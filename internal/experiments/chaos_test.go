@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dcm/internal/chaos"
+	"dcm/internal/runner"
 )
 
 // TestChaosReplayIsByteIdentical is the determinism regression test: the
@@ -60,6 +61,45 @@ func TestChaosReplayIsByteIdentical(t *testing.T) {
 	if a.TotalCompleted != b.TotalCompleted || a.TotalErrors != b.TotalErrors {
 		t.Errorf("totals differ: %d/%d vs %d/%d",
 			a.TotalCompleted, a.TotalErrors, b.TotalCompleted, b.TotalErrors)
+	}
+}
+
+// TestChaosParallelExecutorIsByteIdentical extends the determinism
+// regression through the parallel executor: a batch of chaos scenarios
+// run with 8 workers must be byte-identical, run for run, to the serial
+// loop over the same configs — parallelism changes nothing but wall-clock.
+func TestChaosParallelExecutorIsByteIdentical(t *testing.T) {
+	t.Parallel()
+	sched, err := chaos.Builtin("kitchen-sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]ScenarioConfig, 0, 8)
+	for seed := uint64(1); seed <= 4; seed++ {
+		for _, kind := range []ControllerKind{ControllerDCM, ControllerEC2} {
+			cfgs = append(cfgs, ScenarioConfig{Seed: seed, Kind: kind, Chaos: &sched})
+		}
+	}
+	run := func(workers int) [][]byte {
+		results, err := runner.Map(cfgs, workers, func(_ int, cfg ScenarioConfig) ([]byte, error) {
+			res, err := RunScenario(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range cfgs {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("run %d (seed %d, %s): parallel result differs from serial",
+				i, cfgs[i].Seed, cfgs[i].Kind)
+		}
 	}
 }
 

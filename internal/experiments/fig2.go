@@ -7,6 +7,7 @@ import (
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
 	"dcm/internal/rng"
+	"dcm/internal/runner"
 	"dcm/internal/server"
 	"dcm/internal/sim"
 	"dcm/internal/workload"
@@ -39,15 +40,12 @@ func Fig2aMySQLSweep(seed uint64, concurrencies []int, measure time.Duration) ([
 		measure = 20 * time.Second
 	}
 	cfg := ntier.DefaultConfig()
-	rows := make([]Fig2aRow, 0, len(concurrencies))
-	for _, n := range concurrencies {
-		row, err := fig2aPoint(seed, cfg, n, measure)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	// Each sweep point is an independent simulation (own engine, own rng
+	// split keyed by n), so the points fan out across the worker pool and
+	// come back in input order — identical rows to the serial loop.
+	return runner.Map(concurrencies, 0, func(_ int, n int) (Fig2aRow, error) {
+		return fig2aPoint(seed, cfg, n, measure)
+	})
 }
 
 func fig2aPoint(seed uint64, cfg ntier.Config, n int, measure time.Duration) (Fig2aRow, error) {
@@ -150,6 +148,7 @@ func Fig2bScaleOut(seed uint64, users int, phase time.Duration) (Fig2bResult, er
 			return 0, 0, nil, fmt.Errorf("experiments: fig2b: %w", err)
 		}
 		wl.Start()
+		series = make([]float64, 0, int(4*phase/time.Second)+1)
 		stopSeries := eng.Ticker(time.Second, func() {
 			st := app.TakeStats()
 			series = append(series, float64(st.Completions))
@@ -182,15 +181,21 @@ func Fig2bScaleOut(seed uint64, users int, phase time.Duration) (Fig2bResult, er
 		return before, after, series, nil
 	}
 
-	var err error
-	res.XBefore, res.XAfterDefault, res.SeriesDefault, err = runOnce(false)
+	// The default and corrected variants are independent runs; execute
+	// them concurrently.
+	type variantResult struct {
+		before, after float64
+		series        []float64
+	}
+	variants, err := runner.Map([]bool{false, true}, 0, func(_ int, correct bool) (variantResult, error) {
+		before, after, series, err := runOnce(correct)
+		return variantResult{before: before, after: after, series: series}, err
+	})
 	if err != nil {
 		return res, err
 	}
-	_, res.XAfterCorrected, res.SeriesCorrected, err = runOnce(true)
-	if err != nil {
-		return res, err
-	}
+	res.XBefore, res.XAfterDefault, res.SeriesDefault = variants[0].before, variants[0].after, variants[0].series
+	res.XAfterCorrected, res.SeriesCorrected = variants[1].after, variants[1].series
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
+	"dcm/internal/runner"
 )
 
 // Allocation labels a soft-resource setting under comparison.
@@ -77,22 +78,43 @@ func Fig4Validation(seed uint64, appServers int, allocations []Allocation, users
 	const think = 3 * time.Second
 	warmup := 10 * time.Second
 
-	rows := make([]Fig4Row, 0, len(users))
+	// Flatten the (users × allocations) grid into one batch of independent
+	// steady-state runs and fan it across the worker pool; the cells come
+	// back in input order and are reassembled into rows, so the result is
+	// identical to the nested serial loops.
+	type cell struct {
+		users int
+		alloc Allocation
+	}
+	cells := make([]cell, 0, len(users)*len(allocations))
 	for _, u := range users {
+		for _, alloc := range allocations {
+			cells = append(cells, cell{users: u, alloc: alloc})
+		}
+	}
+	measurements, err := runner.Map(cells, 0, func(_ int, c cell) (Measurement, error) {
+		cfg := ntier.DefaultConfig()
+		cfg.AppServers = appServers
+		cfg.AppThreads = c.alloc.AppThreads
+		cfg.DBConnsPerApp = c.alloc.DBConnsPerApp
+		m, err := steadyState(seed, cfg, c.users, think, warmup, measure)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("experiments: fig4 %s at %d users: %w", c.alloc.Label, c.users, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4Row, 0, len(users))
+	for i, u := range users {
 		row := Fig4Row{
 			Users:      u,
 			Throughput: make(map[string]float64, len(allocations)),
 			MeanRTms:   make(map[string]float64, len(allocations)),
 		}
-		for _, alloc := range allocations {
-			cfg := ntier.DefaultConfig()
-			cfg.AppServers = appServers
-			cfg.AppThreads = alloc.AppThreads
-			cfg.DBConnsPerApp = alloc.DBConnsPerApp
-			m, err := steadyState(seed, cfg, u, think, warmup, measure)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 %s at %d users: %w", alloc.Label, u, err)
-			}
+		for j, alloc := range allocations {
+			m := measurements[i*len(allocations)+j]
 			row.Throughput[alloc.Label] = m.Throughput
 			row.MeanRTms[alloc.Label] = m.RT.Mean * 1000
 		}

@@ -221,6 +221,12 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		TierCounts: map[string][]int{},
 		TierCPU:    map[string][]float64{},
 	}
+	// The samplers below fire once per second for the whole horizon, so the
+	// series lengths are known now — size the buffers once up front.
+	expectSamples := int(horizon/time.Second) + 1
+	for _, tierName := range ntier.Tiers() {
+		res.TierCounts[tierName] = make([]int, 0, expectSamples)
+	}
 	// Per-second topology sampler (server counts incl. provisioning VMs).
 	stopSampler := eng.Ticker(time.Second, func() {
 		for _, tierName := range ntier.Tiers() {
@@ -313,6 +319,14 @@ func collectSeries(fw *core.Framework, res *ScenarioResult, horizon time.Duratio
 	if err != nil {
 		return fmt.Errorf("experiments: collect system series: %w", err)
 	}
+	// One sample per bus message at most: size every series once.
+	res.Seconds = make([]float64, 0, len(sysMsgs))
+	res.Throughput = make([]float64, 0, len(sysMsgs))
+	res.MeanRTSec = make([]float64, 0, len(sysMsgs))
+	res.P95RTSec = make([]float64, 0, len(sysMsgs))
+	res.Errors = make([]float64, 0, len(sysMsgs))
+	res.AppResSec = make([]float64, 0, len(sysMsgs))
+	res.DBResSec = make([]float64, 0, len(sysMsgs))
 	for _, m := range sysMsgs {
 		s, ok := m.Value.(monitor.SystemSample)
 		if !ok {

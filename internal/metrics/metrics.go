@@ -36,6 +36,20 @@ func NewSeries(name string) *Series {
 // Name returns the series name.
 func (s *Series) Name() string { return s.name }
 
+// Grow pre-sizes the series for at least n additional samples, so a
+// recorder that knows its sampling rate and horizon up front (one sample
+// per control period, say) appends without reallocating mid-run.
+func (s *Series) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if free := cap(s.samples) - len(s.samples); free < n {
+		grown := make([]Sample, len(s.samples), len(s.samples)+n)
+		copy(grown, s.samples)
+		s.samples = grown
+	}
+}
+
 // Append adds a sample. Samples must be appended in non-decreasing time
 // order; out-of-order appends are clamped to the last timestamp so the
 // series stays sorted (a monitor never produces them, but a defensive

@@ -48,6 +48,32 @@ func TestSeriesOutOfOrderClamped(t *testing.T) {
 	}
 }
 
+func TestSeriesGrow(t *testing.T) {
+	t.Parallel()
+	s := NewSeries("x")
+	s.Append(time.Second, 1)
+	s.Grow(999)
+	if s.Len() != 1 || s.At(0).Value != 1 {
+		t.Fatalf("Grow changed contents: len=%d", s.Len())
+	}
+	// All 999 reserved appends must reuse the grown buffer.
+	grown := s.samples[:1]
+	for i := 0; i < 999; i++ {
+		s.Append(time.Duration(i+2)*time.Second, float64(i))
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if &grown[0] != &s.samples[0] {
+		t.Fatal("Append reallocated despite Grow reservation")
+	}
+	s.Grow(0)
+	s.Grow(-5) // no-ops
+	if s.Len() != 1000 {
+		t.Fatalf("Len after no-op Grow = %d", s.Len())
+	}
+}
+
 func TestSeriesLast(t *testing.T) {
 	t.Parallel()
 	s := NewSeries("x")

@@ -1,0 +1,127 @@
+// Package runner executes independent simulation runs concurrently.
+//
+// Every experiment in this repository is a batch of independent
+// simulations — sweep points, seeds, controller variants — each a pure
+// function of its inputs with its own engine and rng. The runner fans
+// such batches across a worker pool and returns results in input order,
+// so a parallel execution is byte-identical to the serial loop it
+// replaces: parallelism changes wall-clock time and nothing else.
+//
+// Callers that need a specific worker count pass it explicitly; commands
+// plumb their -parallel flag through SetDefaultWorkers, and everything
+// else inherits GOMAXPROCS.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide worker count override (0 = use
+// GOMAXPROCS). Commands set it once at startup from their -parallel flag.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the worker count used when a call passes
+// workers <= 0. n <= 0 restores the GOMAXPROCS default.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Workers resolves a worker-count request: n > 0 is used as given,
+// otherwise the SetDefaultWorkers override, otherwise GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	if v := defaultWorkers.Load(); v > 0 {
+		return int(v)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn over every item with up to workers goroutines and returns
+// the results in input order. workers <= 0 selects the default (see
+// Workers); workers == 1 runs serially on the calling goroutine with no
+// goroutines spawned at all.
+//
+// fn must be self-contained: it receives the item index and value and
+// must not share mutable state across calls. On error Map returns the
+// failure with the smallest input index — exactly the error the
+// equivalent serial loop would have surfaced — and discards the results.
+func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	results := make([]R, n)
+	if n == 0 {
+		return results, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, item := range items {
+			r, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Spec describes one independent simulation run for RunMany.
+type Spec struct {
+	// Name labels the run in its Result.
+	Name string
+	// Run executes the simulation and returns its result. It must be
+	// self-contained (own engine, own rng).
+	Run func() (any, error)
+}
+
+// Result is one RunMany outcome.
+type Result struct {
+	Name  string
+	Value any
+	Err   error
+}
+
+// RunMany executes every spec with up to workers goroutines (<= 0 selects
+// the default) and returns one Result per spec in input order. Unlike
+// Map, RunMany does not stop at the first failure: sweeps want the
+// per-run error next to the runs that succeeded.
+func RunMany(specs []Spec, workers int) []Result {
+	out, _ := Map(specs, workers, func(_ int, s Spec) (Result, error) {
+		v, err := s.Run()
+		return Result{Name: s.Name, Value: v, Err: err}, nil
+	})
+	return out
+}

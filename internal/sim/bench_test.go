@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineScheduleFire is the event-core hot-path benchmark: a
+// standing population of 512 self-rescheduling events with pseudo-random
+// delays, so every op is one pop (sift-down through a ~512-deep heap) plus
+// one push. This is the access pattern of a busy simulation — thousands of
+// in-flight timers, each firing and rearming.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	const population = 512
+	eng := NewEngine()
+	eng.SetEventLimit(uint64(b.N) + population + 10)
+	fired := 0
+	// Deterministic LCG so delays (and thus heap shape) are reproducible.
+	lcg := uint64(0x9E3779B97F4A7C15)
+	nextDelay := func() time.Duration {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return time.Duration(lcg%1000) * time.Microsecond
+	}
+	var rearm func()
+	rearm = func() {
+		fired++
+		if fired < b.N {
+			eng.Schedule(nextDelay(), rearm)
+		}
+	}
+	for i := 0; i < population; i++ {
+		eng.Schedule(nextDelay(), rearm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := eng.Run(time.Duration(b.N+population) * time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	if fired < b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the cancel-heavy pattern: half of
+// all scheduled events are canceled before they fire (the watchdog/repair
+// pattern chaos runs produce), stressing lazy removal of dead entries.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	const population = 512
+	eng := NewEngine()
+	eng.SetEventLimit(uint64(b.N) + population + 10)
+	fired := 0
+	lcg := uint64(12345)
+	nextDelay := func() time.Duration {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return time.Duration(lcg%1000) * time.Microsecond
+	}
+	var rearm func()
+	rearm = func() {
+		fired++
+		if fired < b.N {
+			// Rearm one live event and schedule-then-cancel a decoy.
+			eng.Schedule(nextDelay(), rearm)
+			decoy := eng.Schedule(nextDelay(), func() {})
+			decoy.Cancel()
+		}
+	}
+	for i := 0; i < population; i++ {
+		eng.Schedule(nextDelay(), rearm)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := eng.Run(time.Duration(b.N+population) * time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	if fired < b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}

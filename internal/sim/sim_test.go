@@ -100,10 +100,13 @@ func TestCancel(t *testing.T) {
 	t.Parallel()
 	e := NewEngine()
 	fired := false
-	ev := e.Schedule(time.Second, func() { fired = true })
-	ev.Cancel()
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	tm := e.Schedule(time.Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("Pending() = false before Cancel")
+	}
+	tm.Cancel()
+	if tm.Pending() {
+		t.Fatal("Pending() = true after Cancel")
 	}
 	if err := e.Run(time.Minute); err != nil {
 		t.Fatal(err)
@@ -113,20 +116,23 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNilSafe(t *testing.T) {
+func TestCancelZeroTimerSafe(t *testing.T) {
 	t.Parallel()
-	var ev *Event
-	ev.Cancel() // must not panic
-	if ev.Cancelled() {
-		t.Fatal("nil event reports canceled")
+	var tm Timer
+	tm.Cancel() // must not panic
+	if tm.Pending() {
+		t.Fatal("zero Timer reports pending")
+	}
+	if tm.At() != 0 {
+		t.Fatal("zero Timer reports a fire time")
 	}
 }
 
 func TestScheduleNilFn(t *testing.T) {
 	t.Parallel()
 	e := NewEngine()
-	if ev := e.Schedule(time.Second, nil); ev != nil {
-		t.Fatal("Schedule(nil) returned a non-nil event")
+	if tm := e.Schedule(time.Second, nil); tm.Pending() {
+		t.Fatal("Schedule(nil) returned a pending timer")
 	}
 	if err := e.Run(time.Minute); err != nil {
 		t.Fatal(err)
