@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -16,6 +18,7 @@ import (
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
 	"dcm/internal/runner"
+	"dcm/internal/trace"
 )
 
 func main() {
@@ -25,7 +28,9 @@ func main() {
 	}
 }
 
-// parseSeeds parses a comma-separated uint64 list.
+// parseSeeds parses a comma-separated uint64 list and returns it sorted
+// ascending, so the summary table reads in seed order whatever order the
+// user typed.
 func parseSeeds(s string) ([]uint64, error) {
 	parts := strings.Split(s, ",")
 	out := make([]uint64, 0, len(parts))
@@ -43,6 +48,7 @@ func parseSeeds(s string) ([]uint64, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no seeds in %q", s)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
 
@@ -57,13 +63,45 @@ func run(args []string) error {
 		prep           = fs.Duration("prep", 15*time.Second, "VM preparation period")
 		every          = fs.Int("every", 20, "print every N-th second of the series")
 		list           = fs.Bool("list", false, "list bundled scenarios and exit")
-		seeds          = fs.String("seeds", "", "comma-separated seed list; runs every seed concurrently and prints a summary table (overrides -seed)")
+		seeds          = fs.String("seeds", "", "comma-separated seed list; runs every seed concurrently and prints a summary table sorted by seed (overrides -seed)")
 		parallel       = fs.Int("parallel", 0, "worker goroutines for multi-seed runs (0 = GOMAXPROCS)")
+		reqTrace       = fs.String("trace", "", "write the request-level trace to this JSONL file and print the per-tier latency breakdown (single-seed runs only)")
+		auditOut       = fs.String("audit", "", "write the controller decision audit log to this JSONL file and print its reason-code summary (single-seed runs only)")
+		pprofOut       = fs.String("pprof", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Flag-combination validation up front, so a bad invocation fails with
+	// a clear message instead of a half-run or a silently ignored flag.
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0, got %d", *parallel)
+	}
+	parallelSet, seedsSet := false, false
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "parallel":
+			parallelSet = true
+		case "seeds":
+			seedsSet = true
+		}
+	})
+	if seedsSet && *seeds == "" {
+		return fmt.Errorf("-seeds needs at least one seed")
+	}
+	if parallelSet && *seeds == "" {
+		return fmt.Errorf("-parallel only applies to multi-seed runs: pass -seeds as well")
+	}
+	if *seeds != "" && (*reqTrace != "" || *auditOut != "") {
+		return fmt.Errorf("-trace and -audit produce single-run detail output: drop -seeds or the detail flags")
+	}
 	runner.SetDefaultWorkers(*parallel)
+
+	stopProfile, err := startCPUProfile(*pprofOut)
+	if err != nil {
+		return err
+	}
+	defer stopProfile()
 
 	if *list {
 		for _, name := range chaos.BuiltinNames() {
@@ -76,10 +114,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	var (
-		sched chaos.Schedule
-		err   error
-	)
+	var sched chaos.Schedule
 	if *scenarioFile != "" {
 		sched, err = chaos.Load(*scenarioFile)
 	} else {
@@ -95,6 +130,8 @@ func run(args []string) error {
 		ControlPeriod: *period,
 		PrepDelay:     *prep,
 		Chaos:         &sched,
+		CaptureTrace:  *reqTrace != "",
+		Audit:         *auditOut != "",
 	}
 
 	// Multi-seed mode: fan the seeds across the worker pool and print one
@@ -141,6 +178,17 @@ func run(args []string) error {
 		return err
 	}
 
+	if *reqTrace != "" {
+		if err := writeRequestTrace(res, *reqTrace); err != nil {
+			return err
+		}
+	}
+	if *auditOut != "" {
+		if err := writeAuditLog(res, *auditOut); err != nil {
+			return err
+		}
+	}
+
 	fmt.Printf("controller %s under scenario %q (seed %d)\n\n", cfg.Kind, sched.Name, *seed)
 	fmt.Print(metrics.Chart("throughput (req/s)", res.Throughput, 100, 5))
 	fmt.Print(metrics.Chart("mean response time (s)", res.MeanRTSec, 100, 5))
@@ -163,10 +211,82 @@ func run(args []string) error {
 		if rec.Err != "" {
 			status = "  ERROR: " + rec.Err
 		}
-		fmt.Printf("  t=%6.0fs %-14s %-4s %s%s\n",
-			rec.At.Seconds(), rec.Action.Type, rec.Action.Tier, rec.Action.Reason, status)
+		fmt.Printf("  t=%6.0fs %-14s %-4s [%s] %s%s\n",
+			rec.At.Seconds(), rec.Action.Type, rec.Action.Tier, rec.Action.Code,
+			rec.Action.Reason, status)
 	}
 	fmt.Println()
 	fmt.Println(res.Chaos.Render())
+	return nil
+}
+
+// startCPUProfile begins a CPU profile written to path and returns the
+// stop function (a no-op for an empty path).
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeRequestTrace exports the run's raw span events as JSONL and prints
+// the per-tier latency breakdown reconstructed from them.
+func writeRequestTrace(res *experiments.ScenarioResult, path string) error {
+	rt := res.RequestTrace()
+	if rt == nil {
+		return fmt.Errorf("no request trace captured")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rt.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d trace events to %s (%d dropped)\n\n", rt.Len(), path, rt.Dropped())
+	fmt.Print(trace.RenderBreakdown(res.LatencyBreakdown))
+	fmt.Println()
+	fmt.Println("per-tier histograms:")
+	fmt.Print(experiments.RenderTierLatency(res))
+	fmt.Println()
+	return nil
+}
+
+// writeAuditLog exports the controller decision log as JSONL and prints
+// its reason-code summary.
+func writeAuditLog(res *experiments.ScenarioResult, path string) error {
+	log := res.DecisionLog()
+	if log == nil {
+		return fmt.Errorf("controller does not support decision auditing")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := log.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d audited decisions to %s\n\n", log.Len(), path)
+	fmt.Print(log.RenderSummary())
+	fmt.Println()
 	return nil
 }

@@ -114,3 +114,79 @@ func TestRunScenarioFromFile(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlagValidation covers the flag-combination errors: -parallel out of
+// range or without -seeds, detail flags mixed with -seeds, and seed-list
+// parse failures.
+func TestFlagValidation(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{"-parallel", "-1"},
+		{"-parallel", "2"},                    // -parallel without -seeds
+		{"-seeds", "1,2", "-trace", "/tmp/x"}, // detail flag with -seeds
+		{"-seeds", "1,2", "-audit", "/tmp/x"}, // detail flag with -seeds
+		{"-seeds", ""},                        // empty seed list
+		{"-seeds", "1,notanumber"},            // unparseable seed
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+// TestParseSeedsSorts: the summary table must be ordered by seed whatever
+// order the user typed.
+func TestParseSeedsSorts(t *testing.T) {
+	t.Parallel()
+	got, err := parseSeeds("9, 3,7,1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunWithTraceAndAudit drives the CLI detail mode with every
+// observability flag and checks the artifacts land on disk.
+func TestRunWithTraceAndAudit(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	auditPath := filepath.Join(dir, "audit.jsonl")
+	profPath := filepath.Join(dir, "cpu.prof")
+	err := run([]string{
+		"-scenario", "tomcat-crash-midramp", "-every", "120",
+		"-trace", tracePath, "-audit", auditPath, "-pprof", profPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tracePath, auditPath, profPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("artifact %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("artifact %s is empty", p)
+		}
+	}
+}
+
+// TestRunMultiSeed exercises the multi-seed summary path end to end.
+func TestRunMultiSeed(t *testing.T) {
+	t.Parallel()
+	err := run([]string{
+		"-scenario", "tomcat-crash-midramp", "-seeds", "2,1", "-parallel", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,12 +8,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
 	"dcm/internal/trace"
 )
+
+// startCPUProfile begins a CPU profile written to path and returns the
+// stop function (a no-op for an empty path).
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -34,10 +55,18 @@ func run(args []string) error {
 		every          = fs.Int("every", 10, "print every N-th second of the series")
 		compare        = fs.Bool("compare", false, "also run the ec2-autoscale baseline and print a comparison")
 		csvOut         = fs.String("csv", "", "also write the per-second series to this CSV file")
+		reqTrace       = fs.String("reqtrace", "", "write the request-level trace (one span event per tier hop) to this JSONL file and print the per-tier latency breakdown")
+		auditOut       = fs.String("audit", "", "write the controller decision audit log to this JSONL file and print its reason-code summary")
+		pprofOut       = fs.String("pprof", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfile, err := startCPUProfile(*pprofOut)
+	if err != nil {
+		return err
+	}
+	defer stopProfile()
 
 	var tr *trace.Trace
 	if *traceFile != "" {
@@ -59,10 +88,23 @@ func run(args []string) error {
 		ThinkTime:     *think,
 		ControlPeriod: *period,
 		PrepDelay:     *prep,
+		CaptureTrace:  *reqTrace != "",
+		Audit:         *auditOut != "",
 	}
 	res, err := experiments.RunScenario(cfg)
 	if err != nil {
 		return err
+	}
+
+	if *reqTrace != "" {
+		if err := writeRequestTrace(res, *reqTrace); err != nil {
+			return err
+		}
+	}
+	if *auditOut != "" {
+		if err := writeAuditLog(res, *auditOut); err != nil {
+			return err
+		}
 	}
 
 	if *csvOut != "" {
@@ -98,8 +140,9 @@ func run(args []string) error {
 		if rec.Err != "" {
 			status = "  ERROR: " + rec.Err
 		}
-		fmt.Printf("  t=%6.0fs %-14s %-4s %s%s\n",
-			rec.At.Seconds(), rec.Action.Type, rec.Action.Tier, rec.Action.Reason, status)
+		fmt.Printf("  t=%6.0fs %-14s %-4s [%s] %s%s\n",
+			rec.At.Seconds(), rec.Action.Type, rec.Action.Tier, rec.Action.Code,
+			rec.Action.Reason, status)
 	}
 	fmt.Println()
 
@@ -114,6 +157,57 @@ func run(args []string) error {
 		results = append(results, base)
 	}
 	fmt.Println(experiments.RenderScenarioComparison(results...))
+	return nil
+}
+
+// writeRequestTrace exports the run's raw span events as JSONL and prints
+// the per-tier latency breakdown reconstructed from them.
+func writeRequestTrace(res *experiments.ScenarioResult, path string) error {
+	rt := res.RequestTrace()
+	if rt == nil {
+		return fmt.Errorf("no request trace captured")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rt.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d trace events to %s (%d dropped)\n\n", rt.Len(), path, rt.Dropped())
+	fmt.Print(trace.RenderBreakdown(res.LatencyBreakdown))
+	fmt.Println()
+	fmt.Println("per-tier histograms:")
+	fmt.Print(experiments.RenderTierLatency(res))
+	fmt.Println()
+	return nil
+}
+
+// writeAuditLog exports the controller decision log as JSONL and prints
+// its reason-code summary.
+func writeAuditLog(res *experiments.ScenarioResult, path string) error {
+	log := res.DecisionLog()
+	if log == nil {
+		return fmt.Errorf("controller does not support decision auditing")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := log.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d audited decisions to %s\n\n", log.Len(), path)
+	fmt.Print(log.RenderSummary())
+	fmt.Println()
 	return nil
 }
 

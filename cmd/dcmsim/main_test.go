@@ -56,3 +56,44 @@ func TestUserBounds(t *testing.T) {
 		t.Fatal("nil trace name empty")
 	}
 }
+
+// TestRunWithObservabilityFlags drives -reqtrace, -audit and -pprof end to
+// end on a short trace and checks the artifacts land on disk.
+func TestRunWithObservabilityFlags(t *testing.T) {
+	t.Parallel()
+	tr, err := trace.SynthesizeStep("s", 200, 1200, 20e9, 60e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "step.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "req.jsonl")
+	auditPath := filepath.Join(dir, "audit.jsonl")
+	profPath := filepath.Join(dir, "cpu.prof")
+	err = run([]string{
+		"-controller", "dcm", "-trace", csvPath, "-every", "60",
+		"-reqtrace", tracePath, "-audit", auditPath, "-pprof", profPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tracePath, auditPath, profPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("artifact %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("artifact %s is empty", p)
+		}
+	}
+}

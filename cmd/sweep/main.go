@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"dcm/internal/experiments"
@@ -31,11 +32,17 @@ func run(args []string) error {
 		measure    = fs.Duration("measure", 20*time.Second, "measurement window per point")
 		users      = fs.Int("users", 3000, "sustained user population (fig2b)")
 		parallel   = fs.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
+		pprofOut   = fs.String("pprof", "", "write a CPU profile of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	runner.SetDefaultWorkers(*parallel)
+	stopProfile, err := startCPUProfile(*pprofOut)
+	if err != nil {
+		return err
+	}
+	defer stopProfile()
 
 	switch *experiment {
 	case "fig2a":
@@ -76,6 +83,26 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil
+}
+
+// startCPUProfile begins a CPU profile written to path and returns the
+// stop function (a no-op for an empty path).
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
 }
 
 func printWindow(series []float64, at int, label string) {

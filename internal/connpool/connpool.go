@@ -15,6 +15,7 @@ import (
 
 	"dcm/internal/metrics"
 	"dcm/internal/sim"
+	"dcm/internal/trace"
 )
 
 // ErrBadSize is returned for non-positive pool sizes at construction.
@@ -22,6 +23,14 @@ var ErrBadSize = errors.New("connpool: size must be >= 1")
 
 // Pool is a counted resource with FIFO waiters. It must only be used from
 // the simulation goroutine.
+//
+// Accounting invariant: size == inUse + free + leaked, where inUse counts
+// connections held by requests, leaked counts connections consumed by an
+// injected leak, and free = size - inUse - leaked is the admission
+// headroom. free can go transiently negative — a leak lands while requests
+// hold connections, or Resize shrinks below the held count — and the pool
+// drains back to the invariant as connections release; it never admits
+// while free <= 0. CheckInvariant verifies the identity.
 type Pool struct {
 	eng     *sim.Engine
 	name    string
@@ -30,10 +39,19 @@ type Pool struct {
 	leaked  int
 	waiters []func(*Conn)
 
-	held   metrics.TimeWeighted
-	waits  metrics.MeanAccumulator
-	grants metrics.Counter
+	held     metrics.TimeWeighted
+	waits    metrics.MeanAccumulator
+	grants   metrics.Counter
+	waitHist *metrics.Histogram
+
+	tracer *trace.RequestTracer
+	tier   string
 }
+
+// poolWaitBounds is the shared bucket layout for acquisition-wait
+// histograms (seconds, 0.1 ms to ~52 s), matching the server layout so
+// per-tier reports line up.
+var poolWaitBounds = metrics.ExpBuckets(1e-4, 2, 20)
 
 // Conn is one acquired connection.
 type Conn struct {
@@ -49,7 +67,7 @@ func New(eng *sim.Engine, name string, size int) (*Pool, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("%w: %d", ErrBadSize, size)
 	}
-	return &Pool{eng: eng, name: name, size: size}, nil
+	return &Pool{eng: eng, name: name, size: size, waitHist: metrics.NewHistogram(poolWaitBounds)}, nil
 }
 
 // Name returns the pool name.
@@ -58,7 +76,10 @@ func (p *Pool) Name() string { return p.name }
 // Size returns the configured pool size.
 func (p *Pool) Size() int { return p.size }
 
-// InUse returns the number of connections currently held.
+// InUse returns the number of connections currently held by requests.
+// Leaked connections are not in use — they are reported by Leaked — so a
+// drain that waits for InUse to reach zero completes even under an
+// unrepaired leak.
 func (p *Pool) InUse() int { return p.inUse }
 
 // Waiting returns the number of blocked acquirers.
@@ -67,10 +88,45 @@ func (p *Pool) Waiting() int { return len(p.waiters) }
 // Leaked returns the number of connections currently consumed by Leak.
 func (p *Pool) Leaked() int { return p.leaked }
 
+// Free returns the admission headroom size - inUse - leaked. It is
+// negative while the pool is over-committed (after a leak or a shrink
+// below the held count).
+func (p *Pool) Free() int { return p.size - p.inUse - p.leaked }
+
+// CheckInvariant verifies size == inUse + free + leaked and the
+// non-negativity of each component count, returning a descriptive error on
+// violation. Free may be negative (over-commit) — that is a legal
+// transient — but inUse and leaked never.
+func (p *Pool) CheckInvariant() error {
+	if p.inUse < 0 || p.leaked < 0 || p.size < 1 {
+		return fmt.Errorf("connpool %s: negative accounting: size=%d inUse=%d leaked=%d",
+			p.name, p.size, p.inUse, p.leaked)
+	}
+	if got := p.inUse + p.Free() + p.leaked; got != p.size {
+		return fmt.Errorf("connpool %s: invariant broken: inUse(%d) + free(%d) + leaked(%d) = %d != size(%d)",
+			p.name, p.inUse, p.Free(), p.leaked, got, p.size)
+	}
+	if p.Free() > 0 && len(p.waiters) > 0 {
+		return fmt.Errorf("connpool %s: %d waiters blocked with free=%d", p.name, len(p.waiters), p.Free())
+	}
+	return nil
+}
+
+// SetTracer attaches a request tracer (nil detaches) and the tier label
+// recorded on this pool's wait events.
+func (p *Pool) SetTracer(tr *trace.RequestTracer, tier string) {
+	p.tracer = tr
+	p.tier = tier
+}
+
+// WaitHistogram returns the histogram of acquisition waits (seconds) over
+// the pool's lifetime.
+func (p *Pool) WaitHistogram() *metrics.Histogram { return p.waitHist }
+
 // Leak permanently consumes k connections — the chaos connection-leak
 // fault (an application bug holding connections it never returns). Leaked
 // connections count against the pool size immediately, even when that
-// drives inUse past size: requests already holding connections keep them,
+// over-commits the pool: requests already holding connections keep them,
 // and the pool's effective capacity shrinks as they release. The leak
 // persists until Unleak repairs it. Non-positive k is a no-op.
 func (p *Pool) Leak(k int) {
@@ -78,8 +134,7 @@ func (p *Pool) Leak(k int) {
 		return
 	}
 	p.leaked += k
-	p.inUse += k
-	p.held.Set(p.eng.Now(), float64(p.inUse))
+	p.held.Set(p.eng.Now(), float64(p.inUse+p.leaked))
 }
 
 // Unleak repairs up to k leaked connections (all of them when k exceeds
@@ -92,23 +147,29 @@ func (p *Pool) Unleak(k int) {
 		return
 	}
 	p.leaked -= k
-	p.inUse -= k
-	p.held.Set(p.eng.Now(), float64(p.inUse))
+	p.held.Set(p.eng.Now(), float64(p.inUse+p.leaked))
 	p.admit()
 }
 
 // Acquire requests a connection; fn runs as soon as one is available, in
 // FIFO order behind earlier waiters.
-func (p *Pool) Acquire(fn func(*Conn)) {
+func (p *Pool) Acquire(fn func(*Conn)) { p.AcquireFor(0, fn) }
+
+// AcquireFor is Acquire carrying the tracing request ID (0 = untraced).
+func (p *Pool) AcquireFor(req uint64, fn func(*Conn)) {
 	if fn == nil {
 		return
 	}
 	at := p.eng.Now()
+	p.tracer.Record(req, trace.EventPoolWait, p.tier, p.name, at)
 	wrapped := func(c *Conn) {
-		p.waits.Observe((p.eng.Now() - at).Seconds())
+		now := p.eng.Now()
+		p.waits.Observe((now - at).Seconds())
+		p.waitHist.Observe((now - at).Seconds())
+		p.tracer.Record(req, trace.EventPoolGrant, p.tier, p.name, now)
 		fn(c)
 	}
-	if p.inUse < p.size && len(p.waiters) == 0 {
+	if p.Free() > 0 && len(p.waiters) == 0 {
 		p.grant(wrapped)
 		return
 	}
@@ -118,12 +179,12 @@ func (p *Pool) Acquire(fn func(*Conn)) {
 func (p *Pool) grant(fn func(*Conn)) {
 	p.inUse++
 	p.grants.Inc(1)
-	p.held.Set(p.eng.Now(), float64(p.inUse))
+	p.held.Set(p.eng.Now(), float64(p.inUse+p.leaked))
 	fn(&Conn{p: p})
 }
 
 func (p *Pool) admit() {
-	for p.inUse < p.size && len(p.waiters) > 0 {
+	for p.Free() > 0 && len(p.waiters) > 0 {
 		fn := p.waiters[0]
 		p.waiters = p.waiters[1:]
 		p.grant(fn)
@@ -139,14 +200,14 @@ func (c *Conn) Release() {
 	c.released = true
 	p := c.p
 	p.inUse--
-	p.held.Set(p.eng.Now(), float64(p.inUse))
+	p.held.Set(p.eng.Now(), float64(p.inUse+p.leaked))
 	p.admit()
 }
 
 // Resize changes the pool size at runtime. Growing admits waiters
-// immediately; shrinking is graceful — held connections stay valid and the
-// pool drains to the new size as they are released. Sizes below 1 clamp
-// to 1.
+// immediately; shrinking is graceful — held and leaked connections stay
+// valid and the pool drains to the new size as they are released or
+// repaired. Sizes below 1 clamp to 1.
 func (p *Pool) Resize(n int) {
 	if n < 1 {
 		n = 1
@@ -161,9 +222,11 @@ type Sample struct {
 	Grants uint64 `json:"grants"`
 	// MeanWaitSeconds is the mean acquisition wait in the interval.
 	MeanWaitSeconds float64 `json:"meanWaitSeconds"`
-	// MeanHeld is the time-weighted mean number of held connections.
+	// MeanHeld is the time-weighted mean number of consumed connections
+	// (held by requests plus leaked).
 	MeanHeld float64 `json:"meanHeld"`
-	// InUse and Waiting are instantaneous.
+	// InUse and Waiting are instantaneous. InUse excludes leaked
+	// connections.
 	InUse   int `json:"inUse"`
 	Waiting int `json:"waiting"`
 	// Leaked is the number of connections consumed by an injected leak.

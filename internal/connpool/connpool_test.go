@@ -247,8 +247,8 @@ func TestLeakConsumesCapacity(t *testing.T) {
 	t.Parallel()
 	_, p := newPool(t, 3)
 	p.Leak(2)
-	if p.Leaked() != 2 || p.InUse() != 2 {
-		t.Fatalf("leaked = %d, inUse = %d", p.Leaked(), p.InUse())
+	if p.Leaked() != 2 || p.InUse() != 0 || p.Free() != 1 {
+		t.Fatalf("leaked = %d, inUse = %d, free = %d", p.Leaked(), p.InUse(), p.Free())
 	}
 	granted := 0
 	var held *Conn

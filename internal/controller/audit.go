@@ -1,0 +1,203 @@
+package controller
+
+// The decision audit log: every control period a controller records its
+// inputs (the full SystemView it evaluated), its outputs (the actions it
+// emitted) and — just as important — the decisions it did NOT take, as
+// Hold entries with machine-readable reason codes. This is what makes a
+// misbehaving run explainable: a NoData hold, a re-provisioning, or a
+// concurrency clamp each shows up as a coded record instead of silence.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"dcm/internal/model"
+)
+
+// ReasonCode is a machine-readable classification of a controller
+// decision (action or hold).
+type ReasonCode string
+
+// Action codes.
+const (
+	// CodeCrashReprovision: the hypervisor census reported crashed serving
+	// VMs and the controller launches replacements.
+	CodeCrashReprovision ReasonCode = "crash-reprovision"
+	// CodeCPUHigh: mean CPU crossed the upper threshold; scale out.
+	CodeCPUHigh ReasonCode = "cpu-high"
+	// CodeCPULowSustained: mean CPU stayed under the lower threshold for
+	// the required consecutive periods; scale in.
+	CodeCPULowSustained ReasonCode = "cpu-low-sustained"
+	// CodeTargetAbove / CodeTargetBelow: target tracking wants more/fewer
+	// servers than are ready.
+	CodeTargetAbove ReasonCode = "target-above"
+	CodeTargetBelow ReasonCode = "target-below"
+	// CodeRealloc: the model-derived soft-resource optimum differs from
+	// the applied allocation; the APP-agent re-applies it.
+	CodeRealloc ReasonCode = "realloc"
+)
+
+// Hold codes — decisions not to act, each with an explicit cause.
+const (
+	// CodeNoDataHold: no monitoring samples arrived (blackout); the
+	// controller holds rather than mistake silence for idleness.
+	CodeNoDataHold ReasonCode = "nodata-hold"
+	// CodeLaunchInFlight: a VM is still provisioning; no stacked launches
+	// or removals.
+	CodeLaunchInFlight ReasonCode = "launch-in-flight"
+	// CodeAtMaxServers / CodeAtMinServers: the tier is pinned at a policy
+	// bound.
+	CodeAtMaxServers ReasonCode = "at-max-servers"
+	CodeAtMinServers ReasonCode = "at-min-servers"
+	// CodeMaxServersClamp: crash re-provisioning wanted more replacements
+	// than MaxServers leaves room for; the remainder is dropped.
+	CodeMaxServersClamp ReasonCode = "max-servers-clamp"
+	// CodeAwaitingLow: CPU is low but the consecutive-period scale-in
+	// countdown has not elapsed.
+	CodeAwaitingLow ReasonCode = "awaiting-consecutive-low"
+	// CodeSteady: CPU sits between the thresholds; nothing to do.
+	CodeSteady ReasonCode = "steady"
+	// CodeTierUnseen: the view carries no stats at all for the tier.
+	CodeTierUnseen ReasonCode = "tier-unseen"
+	// CodeAllocationOptimal: the planner's optimum already matches the
+	// applied allocation.
+	CodeAllocationOptimal ReasonCode = "allocation-optimal"
+	// CodeConcurrencyClamp: the planner's raw output for a concurrency
+	// knob was < 1 and was clamped to the floor — a degenerate model fit
+	// made visible.
+	CodeConcurrencyClamp ReasonCode = "concurrency-clamp"
+	// CodeTopologyUnknown: tier counts are not visible yet, so the planner
+	// cannot run.
+	CodeTopologyUnknown ReasonCode = "topology-unknown"
+)
+
+// Hold records one explicit decision not to act.
+type Hold struct {
+	Tier   string     `json:"tier,omitempty"`
+	Code   ReasonCode `json:"code"`
+	Detail string     `json:"detail,omitempty"`
+}
+
+// Decision is one control period's full audit record.
+type Decision struct {
+	At         time.Duration `json:"at"`
+	Controller string        `json:"controller"`
+	// View is the complete controller input for the period: the monitoring
+	// window aggregates, the census-derived crash counts, and the applied
+	// allocation.
+	View SystemView `json:"view"`
+	// Actions and Holds are the outputs, every one carrying a ReasonCode.
+	Actions []Action `json:"actions,omitempty"`
+	Holds   []Hold   `json:"holds,omitempty"`
+	// TomcatModel/MySQLModel snapshot the models the DCM planner used and
+	// Planned its computed optimum (nil for hardware-only controllers).
+	TomcatModel *model.Params     `json:"tomcatModel,omitempty"`
+	MySQLModel  *model.Params     `json:"mysqlModel,omitempty"`
+	Planned     *model.Allocation `json:"planned,omitempty"`
+}
+
+// AuditLog accumulates per-period decisions. The zero value is ready for
+// use. It must only be used from the simulation goroutine.
+type AuditLog struct {
+	decisions []Decision
+}
+
+// NewAuditLog returns an empty log.
+func NewAuditLog() *AuditLog { return &AuditLog{} }
+
+// add appends one decision record.
+func (l *AuditLog) add(d Decision) {
+	if l == nil {
+		return
+	}
+	l.decisions = append(l.decisions, d)
+}
+
+// Len returns the number of recorded decisions.
+func (l *AuditLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.decisions)
+}
+
+// Decisions returns the recorded decisions in order.
+func (l *AuditLog) Decisions() []Decision {
+	if l == nil {
+		return nil
+	}
+	out := make([]Decision, len(l.decisions))
+	copy(out, l.decisions)
+	return out
+}
+
+// WriteJSONL writes one JSON object per line per decision.
+func (l *AuditLog) WriteJSONL(w io.Writer) error {
+	if l == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range l.decisions {
+		if err := enc.Encode(&l.decisions[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CodeCounts tallies every reason code across actions and holds, in
+// sorted code order.
+func (l *AuditLog) CodeCounts() []CodeCount {
+	if l == nil {
+		return nil
+	}
+	counts := map[ReasonCode]int{}
+	for _, d := range l.decisions {
+		for _, a := range d.Actions {
+			counts[a.Code]++
+		}
+		for _, h := range d.Holds {
+			counts[h.Code]++
+		}
+	}
+	codes := make([]ReasonCode, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	out := make([]CodeCount, 0, len(codes))
+	for _, c := range codes {
+		out = append(out, CodeCount{Code: c, Count: counts[c]})
+	}
+	return out
+}
+
+// CodeCount is one reason code's tally.
+type CodeCount struct {
+	Code  ReasonCode `json:"code"`
+	Count int        `json:"count"`
+}
+
+// RenderSummary renders the decision count and per-code tallies.
+func (l *AuditLog) RenderSummary() string {
+	if l.Len() == 0 {
+		return "no decisions audited\n"
+	}
+	s := fmt.Sprintf("audited %d control periods:\n", l.Len())
+	for _, cc := range l.CodeCounts() {
+		s += fmt.Sprintf("  %-26s %d\n", cc.Code, cc.Count)
+	}
+	return s
+}
+
+// Audited is implemented by controllers that can record their decisions
+// into an audit log. Enabling auditing never changes a controller's
+// decisions — only what is recorded about them.
+type Audited interface {
+	EnableAudit(log *AuditLog)
+}

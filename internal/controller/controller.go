@@ -101,6 +101,8 @@ type Action struct {
 	Tier string `json:"tier,omitempty"`
 	// Allocation is the target soft allocation for ActionSetAllocation.
 	Allocation model.Allocation `json:"allocation,omitempty"`
+	// Code is the machine-readable reason classification (see audit.go).
+	Code ReasonCode `json:"code,omitempty"`
 	// Reason is a human-readable justification, recorded in the decision
 	// log.
 	Reason string `json:"reason"`
@@ -177,12 +179,17 @@ func newVMLevel(policy Policy) (*vmLevel, error) {
 	return &vmLevel{policy: policy, lowRun: make(map[string]int)}, nil
 }
 
-// evaluate returns VM-level scaling actions for one period.
-func (v *vmLevel) evaluate(view SystemView) []Action {
+// evaluate returns VM-level scaling actions for one period, plus a Hold
+// for every tier it explicitly decided to leave alone. The holds change
+// nothing about the decisions; they exist so the audit log can explain
+// inaction.
+func (v *vmLevel) evaluate(view SystemView) ([]Action, []Hold) {
 	var actions []Action
+	var holds []Hold
 	for _, tierName := range v.policy.ScalableTiers {
 		ts, ok := view.Tiers[tierName]
 		if !ok {
+			holds = append(holds, Hold{Tier: tierName, Code: CodeTierUnseen})
 			continue
 		}
 		// Dead capacity first: the hypervisor census is authoritative even
@@ -199,9 +206,15 @@ func (v *vmLevel) evaluate(view SystemView) []Action {
 				actions = append(actions, Action{
 					Type: ActionScaleOut,
 					Tier: tierName,
+					Code: CodeCrashReprovision,
 					Reason: fmt.Sprintf("re-provision %d crashed VM(s) (census: %d serving)",
 						ts.Crashed, ts.Ready),
 				})
+			}
+			if n < ts.Crashed {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeMaxServersClamp,
+					Detail: fmt.Sprintf("%d of %d replacements dropped: %d live at max %d",
+						ts.Crashed-n, ts.Crashed, ts.Live, v.policy.MaxServers)})
 			}
 			continue
 		}
@@ -209,6 +222,8 @@ func (v *vmLevel) evaluate(view SystemView) []Action {
 		// current topology rather than treat "no samples" as "0% CPU" and
 		// start a spurious scale-in countdown on stale data.
 		if ts.NoData {
+			holds = append(holds, Hold{Tier: tierName, Code: CodeNoDataHold,
+				Detail: "no monitoring samples this period"})
 			continue
 		}
 		switch {
@@ -217,14 +232,20 @@ func (v *vmLevel) evaluate(view SystemView) []Action {
 			// "Quick start": trigger on a single hot period — but never
 			// stack launches while one VM is already provisioning.
 			if ts.Live > ts.Ready {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
+					Detail: fmt.Sprintf("%d live > %d ready", ts.Live, ts.Ready)})
 				continue
 			}
 			if ts.Live >= v.policy.MaxServers {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeAtMaxServers,
+					Detail: fmt.Sprintf("cpu %.0f%% high with %d live at max %d",
+						ts.MeanCPU*100, ts.Live, v.policy.MaxServers)})
 				continue
 			}
 			actions = append(actions, Action{
 				Type: ActionScaleOut,
 				Tier: tierName,
+				Code: CodeCPUHigh,
 				Reason: fmt.Sprintf("cpu %.0f%% > %.0f%% upper bound",
 					ts.MeanCPU*100, v.policy.UpperCPU*100),
 			})
@@ -233,37 +254,47 @@ func (v *vmLevel) evaluate(view SystemView) []Action {
 			// never remove a VM while another change is in flight.
 			if ts.Live != ts.Ready {
 				v.lowRun[tierName] = 0
+				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
+					Detail: fmt.Sprintf("%d live != %d ready", ts.Live, ts.Ready)})
 				continue
 			}
 			v.lowRun[tierName]++
 			if v.lowRun[tierName] < v.policy.LowerConsecutive {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeAwaitingLow,
+					Detail: fmt.Sprintf("quiet period %d of %d",
+						v.lowRun[tierName], v.policy.LowerConsecutive)})
 				continue
 			}
 			v.lowRun[tierName] = 0
 			if ts.Ready <= v.policy.MinServers {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeAtMinServers,
+					Detail: fmt.Sprintf("%d ready at min %d", ts.Ready, v.policy.MinServers)})
 				continue
 			}
 			actions = append(actions, Action{
 				Type: ActionScaleIn,
 				Tier: tierName,
+				Code: CodeCPULowSustained,
 				Reason: fmt.Sprintf("cpu < %.0f%% for %d consecutive periods",
 					v.policy.LowerCPU*100, v.policy.LowerConsecutive),
 			})
 		default:
 			v.lowRun[tierName] = 0
+			holds = append(holds, Hold{Tier: tierName, Code: CodeSteady})
 		}
 	}
-	return actions
+	return actions, holds
 }
 
 // scaler is the VM-level decision procedure (reactive or predictive).
 type scaler interface {
-	evaluate(view SystemView) []Action
+	evaluate(view SystemView) ([]Action, []Hold)
 }
 
 // EC2AutoScale is the hardware-only baseline controller.
 type EC2AutoScale struct {
-	vm scaler
+	vm    scaler
+	audit *AuditLog
 }
 
 var _ Controller = (*EC2AutoScale)(nil)
@@ -291,10 +322,23 @@ func NewPredictiveEC2AutoScale(policy Policy, horizon float64) (*EC2AutoScale, e
 // Name implements Controller.
 func (c *EC2AutoScale) Name() string { return "ec2-autoscale" }
 
+// EnableAudit implements Audited.
+func (c *EC2AutoScale) EnableAudit(log *AuditLog) { c.audit = log }
+
 // Evaluate implements Controller: VM-level scaling only, soft resources
 // are never touched.
 func (c *EC2AutoScale) Evaluate(view SystemView) []Action {
-	return c.vm.evaluate(view)
+	actions, holds := c.vm.evaluate(view)
+	if c.audit != nil {
+		c.audit.add(Decision{
+			At:         view.At,
+			Controller: c.Name(),
+			View:       view,
+			Actions:    actions,
+			Holds:      holds,
+		})
+	}
+	return actions
 }
 
 // DCMConfig parameterizes the DCM controller.
@@ -329,8 +373,9 @@ type DCMConfig struct {
 
 // DCM is the paper's two-level controller.
 type DCM struct {
-	vm  scaler
-	cfg DCMConfig
+	vm    scaler
+	cfg   DCMConfig
+	audit *AuditLog
 
 	appTrainers, dbTrainers map[epoch]*model.OnlineTrainer
 	periods                 int
@@ -384,6 +429,9 @@ func NewDCM(cfg DCMConfig) (*DCM, error) {
 // Name implements Controller.
 func (c *DCM) Name() string { return "dcm" }
 
+// EnableAudit implements Audited.
+func (c *DCM) EnableAudit(log *AuditLog) { c.audit = log }
+
 // Evaluate implements Controller: the VM-level decisions of the baseline,
 // plus a soft-resource reallocation whenever the model-derived optimum for
 // the *serving* topology differs from the applied allocation. Because the
@@ -391,22 +439,48 @@ func (c *DCM) Name() string { return "dcm" }
 // APP-agent naturally fires right after a VM-level change completes — the
 // ordering §IV prescribes — and also repairs any drift.
 func (c *DCM) Evaluate(view SystemView) []Action {
-	actions := c.vm.evaluate(view)
+	actions, holds := c.vm.evaluate(view)
 	if c.cfg.OnlineTraining {
 		c.observeAndRefit(view)
 	}
 
-	target, err := c.desiredAllocation(view)
+	var planned *model.Allocation
+	target, diag, err := c.desiredAllocation(view)
 	if err != nil {
 		// Topology not visible yet (e.g. before the first sample lands).
-		return actions
+		holds = append(holds, Hold{Code: CodeTopologyUnknown, Detail: err.Error()})
+	} else {
+		alloc := target
+		planned = &alloc
+		if diag.AppClamped || diag.DBClamped {
+			holds = append(holds, Hold{Code: CodeConcurrencyClamp,
+				Detail: fmt.Sprintf("planner raw app=%d db=%d clamped to floor 1",
+					diag.RawAppThreads, diag.RawDBConnsPerApp)})
+		}
+		if target != view.Allocation {
+			actions = append(actions, Action{
+				Type:       ActionSetAllocation,
+				Allocation: target,
+				Code:       CodeRealloc,
+				Reason: fmt.Sprintf("re-optimize soft resources for %d/%d/%d serving servers",
+					readyOf(view, ntier.TierWeb), readyOf(view, ntier.TierApp), readyOf(view, ntier.TierDB)),
+			})
+		} else {
+			holds = append(holds, Hold{Code: CodeAllocationOptimal,
+				Detail: fmt.Sprintf("allocation %s already optimal", target)})
+		}
 	}
-	if target != view.Allocation {
-		actions = append(actions, Action{
-			Type:       ActionSetAllocation,
-			Allocation: target,
-			Reason: fmt.Sprintf("re-optimize soft resources for %d/%d/%d serving servers",
-				readyOf(view, ntier.TierWeb), readyOf(view, ntier.TierApp), readyOf(view, ntier.TierDB)),
+	if c.audit != nil {
+		tomcat, mysql := c.Models()
+		c.audit.add(Decision{
+			At:          view.At,
+			Controller:  c.Name(),
+			View:        view,
+			Actions:     actions,
+			Holds:       holds,
+			TomcatModel: &tomcat,
+			MySQLModel:  &mysql,
+			Planned:     planned,
 		})
 	}
 	return actions
@@ -508,7 +582,7 @@ func (c *DCM) Models() (tomcat, mysql model.Params) {
 
 // desiredAllocation runs the concurrency-aware planner for the current
 // serving topology.
-func (c *DCM) desiredAllocation(view SystemView) (model.Allocation, error) {
+func (c *DCM) desiredAllocation(view SystemView) (model.Allocation, model.PlanDiag, error) {
 	web := readyOf(view, ntier.TierWeb)
 	if web == 0 {
 		web = 1 // the web tier is unmanaged; assume its fixed single server
@@ -516,10 +590,10 @@ func (c *DCM) desiredAllocation(view SystemView) (model.Allocation, error) {
 	app := readyOf(view, ntier.TierApp)
 	db := readyOf(view, ntier.TierDB)
 	if app == 0 || db == 0 {
-		return model.Allocation{}, errors.New("controller: tier counts unavailable")
+		return model.Allocation{}, model.PlanDiag{}, errors.New("controller: tier counts unavailable")
 	}
 	tomcat, mysql := c.Models()
-	return model.PlanAllocation(model.AllocationInput{
+	return model.PlanAllocationDetailed(model.AllocationInput{
 		Tomcat:     tomcat,
 		MySQL:      mysql,
 		WebServers: web,

@@ -89,7 +89,7 @@ func newPredictiveVMLevel(policy Policy, horizon, alpha, beta float64) (*predict
 // scale-out early, while scale-in still requires the measured utilization
 // itself to stay low (forecasts never accelerate removals, only
 // additions — the predictive analogue of "quick start, slow turn off").
-func (p *predictiveVMLevel) evaluate(view SystemView) []Action {
+func (p *predictiveVMLevel) evaluate(view SystemView) ([]Action, []Hold) {
 	adjusted := SystemView{
 		At:         view.At,
 		Tiers:      make(map[string]TierStats, len(view.Tiers)),

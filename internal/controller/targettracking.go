@@ -22,6 +22,7 @@ type TargetTracking struct {
 	// target is the CPU utilization setpoint (default 0.6).
 	target float64
 	lowRun map[string]int
+	audit  *AuditLog
 }
 
 var _ Controller = (*TargetTracking)(nil)
@@ -48,12 +49,22 @@ func NewTargetTracking(policy Policy, target float64) (*TargetTracking, error) {
 // Name implements Controller.
 func (c *TargetTracking) Name() string { return "target-tracking" }
 
+// EnableAudit implements Audited.
+func (c *TargetTracking) EnableAudit(log *AuditLog) { c.audit = log }
+
 // Evaluate implements Controller.
 func (c *TargetTracking) Evaluate(view SystemView) []Action {
 	var actions []Action
+	var holds []Hold
 	for _, tierName := range c.policy.ScalableTiers {
 		ts, ok := view.Tiers[tierName]
-		if !ok || ts.Ready == 0 || ts.NoData {
+		if !ok || ts.Ready == 0 {
+			holds = append(holds, Hold{Tier: tierName, Code: CodeTierUnseen})
+			continue
+		}
+		if ts.NoData {
+			holds = append(holds, Hold{Tier: tierName, Code: CodeNoDataHold,
+				Detail: "no monitoring samples this period"})
 			continue
 		}
 		desired := int(math.Ceil(float64(ts.Ready) * ts.MeanCPU / c.target))
@@ -68,34 +79,59 @@ func (c *TargetTracking) Evaluate(view SystemView) []Action {
 			c.lowRun[tierName] = 0
 			// One launch per period, and none while a VM is provisioning —
 			// the same pacing the threshold baseline uses.
-			if ts.Live > ts.Ready || ts.Live >= c.policy.MaxServers {
+			if ts.Live > ts.Ready {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
+					Detail: fmt.Sprintf("%d live > %d ready", ts.Live, ts.Ready)})
+				continue
+			}
+			if ts.Live >= c.policy.MaxServers {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeAtMaxServers,
+					Detail: fmt.Sprintf("want %d servers with %d live at max %d",
+						desired, ts.Live, c.policy.MaxServers)})
 				continue
 			}
 			actions = append(actions, Action{
 				Type: ActionScaleOut,
 				Tier: tierName,
+				Code: CodeTargetAbove,
 				Reason: fmt.Sprintf("target tracking: cpu %.0f%% wants %d servers (have %d)",
 					ts.MeanCPU*100, desired, ts.Ready),
 			})
 		case desired < ts.Ready:
 			if ts.Live != ts.Ready {
 				c.lowRun[tierName] = 0
+				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
+					Detail: fmt.Sprintf("%d live != %d ready", ts.Live, ts.Ready)})
 				continue
 			}
 			c.lowRun[tierName]++
 			if c.lowRun[tierName] < c.policy.LowerConsecutive {
+				holds = append(holds, Hold{Tier: tierName, Code: CodeAwaitingLow,
+					Detail: fmt.Sprintf("quiet period %d of %d",
+						c.lowRun[tierName], c.policy.LowerConsecutive)})
 				continue
 			}
 			c.lowRun[tierName] = 0
 			actions = append(actions, Action{
 				Type: ActionScaleIn,
 				Tier: tierName,
+				Code: CodeTargetBelow,
 				Reason: fmt.Sprintf("target tracking: cpu %.0f%% wants %d servers for %d periods",
 					ts.MeanCPU*100, desired, c.policy.LowerConsecutive),
 			})
 		default:
 			c.lowRun[tierName] = 0
+			holds = append(holds, Hold{Tier: tierName, Code: CodeSteady})
 		}
+	}
+	if c.audit != nil {
+		c.audit.add(Decision{
+			At:         view.At,
+			Controller: c.Name(),
+			View:       view,
+			Actions:    actions,
+			Holds:      holds,
+		})
 	}
 	return actions
 }

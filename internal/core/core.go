@@ -131,15 +131,15 @@ func New(eng *sim.Engine, app *ntier.App, ctrl controller.Controller, cfg Config
 		}
 	}
 	return &Framework{
-		eng:      eng,
-		app:      app,
-		ctrl:     ctrl,
-		cfg:      cfg,
-		b:        b,
-		hv:       hv,
-		fleet:    fleet,
-		vmAgent:  vmAgent,
-		appAgent: appAgent,
+		eng:         eng,
+		app:         app,
+		ctrl:        ctrl,
+		cfg:         cfg,
+		b:           b,
+		hv:          hv,
+		fleet:       fleet,
+		vmAgent:     vmAgent,
+		appAgent:    appAgent,
 		serverC:     b.NewConsumer(monitor.TopicServerMetrics, 0),
 		systemC:     b.NewConsumer(monitor.TopicSystemMetrics, 0),
 		prevCrashed: make(map[string]int),

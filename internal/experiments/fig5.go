@@ -91,6 +91,17 @@ type ScenarioConfig struct {
 	// ChaosAnalysis overrides the recovery-analysis parameters (zero
 	// values select the defaults).
 	ChaosAnalysis chaos.AnalysisConfig
+	// CaptureTrace attaches a request tracer to the application: every
+	// request records one span per tier hop, and the result carries the
+	// per-tier latency breakdown plus the raw event log (RequestTrace).
+	// Tracing never perturbs the simulation. TraceLimit caps the retained
+	// events (0 selects trace.DefaultEventLimit).
+	CaptureTrace bool
+	TraceLimit   int
+	// Audit attaches a decision audit log to the controller (when it
+	// implements controller.Audited): every control period records its
+	// inputs, actions and holds with machine-readable reason codes.
+	Audit bool
 }
 
 // ScenarioResult holds the per-second series Fig. 5 plots plus the
@@ -129,6 +140,48 @@ type ScenarioResult struct {
 	// Chaos is the fault-injection recovery report (nil without a
 	// schedule).
 	Chaos *chaos.Report `json:"chaos,omitempty"`
+	// TierLatency summarizes the always-on per-tier histograms (queue
+	// depth, service time, conn-pool wait) over the run, in tier order.
+	TierLatency []TierHistogramSummary `json:"tierLatency"`
+	// SeriesClamped counts out-of-order samples the series collector had
+	// to clamp — non-zero means the bus delivered samples out of time
+	// order.
+	SeriesClamped uint64 `json:"seriesClamped,omitempty"`
+	// LatencyBreakdown is the per-tier latency decomposition reconstructed
+	// from the request trace (CaptureTrace runs only).
+	LatencyBreakdown []trace.TierBreakdown `json:"latencyBreakdown,omitempty"`
+	// Decisions is the controller's audit log (Audit runs with an
+	// auditable controller only).
+	Decisions []controller.Decision `json:"decisions,omitempty"`
+
+	tracer *trace.RequestTracer
+	audit  *controller.AuditLog
+}
+
+// RequestTrace returns the run's request tracer (nil unless CaptureTrace
+// was set), for JSONL export of the raw event log.
+func (r *ScenarioResult) RequestTrace() *trace.RequestTracer { return r.tracer }
+
+// DecisionLog returns the run's audit log (nil unless Audit was set and
+// the controller implements controller.Audited), for JSONL export and
+// summary rendering.
+func (r *ScenarioResult) DecisionLog() *controller.AuditLog { return r.audit }
+
+// TierHistogramSummary condenses one tier's latency histograms.
+type TierHistogramSummary struct {
+	Tier string `json:"tier"`
+	// ServiceCount/P50/P95 summarize per-burst service times (seconds).
+	ServiceCount uint64  `json:"serviceCount"`
+	ServiceP50   float64 `json:"serviceP50"`
+	ServiceP95   float64 `json:"serviceP95"`
+	// QueueDepthP95/Max summarize the thread-pool queue depth seen at
+	// admission.
+	QueueDepthP95 float64 `json:"queueDepthP95"`
+	QueueDepthMax float64 `json:"queueDepthMax"`
+	// PoolWaitCount/P95 summarize conn-pool acquisition waits (seconds;
+	// app tier only).
+	PoolWaitCount uint64  `json:"poolWaitCount,omitempty"`
+	PoolWaitP95   float64 `json:"poolWaitP95,omitempty"`
 }
 
 // RunScenario executes one §V-B scenario.
@@ -166,9 +219,22 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, fmt.Errorf("experiments: scenario app: %w", err)
 	}
 
+	var reqTracer *trace.RequestTracer
+	if cfg.CaptureTrace {
+		reqTracer = trace.NewRequestTracer(cfg.TraceLimit)
+		app.SetRequestTracer(reqTracer)
+	}
+
 	ctrl, err := buildController(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var auditLog *controller.AuditLog
+	if cfg.Audit {
+		if a, ok := ctrl.(controller.Audited); ok {
+			auditLog = controller.NewAuditLog()
+			a.EnableAudit(auditLog)
+		}
 	}
 	fw, err := core.New(eng, app, ctrl, core.Config{
 		ControlPeriod:   cfg.ControlPeriod,
@@ -257,6 +323,15 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.TotalCompleted = app.TotalCompletions()
 	res.TotalErrors = app.TotalErrors()
 	res.FinalAllocation = app.Allocation()
+	res.TierLatency = tierLatencySummaries(app)
+	if reqTracer != nil {
+		res.tracer = reqTracer
+		res.LatencyBreakdown = reqTracer.Breakdown()
+	}
+	if auditLog != nil {
+		res.audit = auditLog
+		res.Decisions = auditLog.Decisions()
+	}
 	if injector != nil {
 		rep := chaos.Analyze(chaos.Input{
 			Schedule:        *cfg.Chaos,
@@ -269,6 +344,33 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		res.Chaos = &rep
 	}
 	return res, nil
+}
+
+// tierLatencySummaries condenses the per-tier histograms accumulated on
+// the application's current members (servers removed by scale-in take
+// their share of the counts with them).
+func tierLatencySummaries(app *ntier.App) []TierHistogramSummary {
+	out := make([]TierHistogramSummary, 0, len(ntier.Tiers()))
+	for _, tierName := range ntier.Tiers() {
+		hs, err := app.TierHistograms(tierName)
+		if err != nil {
+			continue
+		}
+		s := TierHistogramSummary{
+			Tier:          tierName,
+			ServiceCount:  hs.ServiceTime.Count(),
+			ServiceP50:    hs.ServiceTime.Quantile(0.5),
+			ServiceP95:    hs.ServiceTime.Quantile(0.95),
+			QueueDepthP95: hs.QueueDepth.Quantile(0.95),
+			QueueDepthMax: hs.QueueDepth.Max(),
+		}
+		if hs.PoolWait != nil {
+			s.PoolWaitCount = hs.PoolWait.Count()
+			s.PoolWaitP95 = hs.PoolWait.Quantile(0.95)
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // buildController constructs the scenario's policy.
@@ -319,8 +421,12 @@ func collectSeries(fw *core.Framework, res *ScenarioResult, horizon time.Duratio
 	if err != nil {
 		return fmt.Errorf("experiments: collect system series: %w", err)
 	}
-	// One sample per bus message at most: size every series once.
-	res.Seconds = make([]float64, 0, len(sysMsgs))
+	// One sample per bus message at most: size every series once. The time
+	// axis goes through a metrics.Series so out-of-order bus delivery is
+	// clamped AND counted — the clamp total lands on the result instead of
+	// being silently absorbed.
+	axis := metrics.NewSeries("system")
+	axis.Grow(len(sysMsgs))
 	res.Throughput = make([]float64, 0, len(sysMsgs))
 	res.MeanRTSec = make([]float64, 0, len(sysMsgs))
 	res.P95RTSec = make([]float64, 0, len(sysMsgs))
@@ -332,7 +438,7 @@ func collectSeries(fw *core.Framework, res *ScenarioResult, horizon time.Duratio
 		if !ok {
 			continue
 		}
-		res.Seconds = append(res.Seconds, s.At.Seconds())
+		axis.Append(s.At, s.Throughput)
 		res.Throughput = append(res.Throughput, s.Throughput)
 		res.MeanRTSec = append(res.MeanRTSec, s.MeanRTSeconds)
 		res.P95RTSec = append(res.P95RTSec, s.P95RTSeconds)
@@ -340,6 +446,11 @@ func collectSeries(fw *core.Framework, res *ScenarioResult, horizon time.Duratio
 		res.AppResSec = append(res.AppResSec, s.MeanAppResidence)
 		res.DBResSec = append(res.DBResSec, s.MeanDBResidence)
 	}
+	res.Seconds = make([]float64, 0, axis.Len())
+	for _, sm := range axis.Samples() {
+		res.Seconds = append(res.Seconds, sm.At.Seconds())
+	}
+	res.SeriesClamped += axis.Clamped()
 
 	srvMsgs, err := fw.Bus().Fetch(monitor.TopicServerMetrics, 0, 0)
 	if err != nil {
@@ -470,6 +581,29 @@ func RenderScenarioComparison(results ...*ScenarioResult) string {
 			fmtF(s.VMSeconds/3600, 2), fmtF(s.RequestsPerVMSecond, 0))
 	}
 	return tb.String()
+}
+
+// RenderTierLatency renders the always-on per-tier histogram summaries:
+// the textual latency-breakdown companion to the Fig. 5 series.
+func RenderTierLatency(r *ScenarioResult) string {
+	if len(r.TierLatency) == 0 {
+		return "no tier latency data\n"
+	}
+	tb := metrics.NewTable("tier", "bursts", "svc p50 (ms)", "svc p95 (ms)",
+		"queue p95", "queue max", "pool waits", "pool p95 (ms)")
+	for _, s := range r.TierLatency {
+		tb.AddRow(s.Tier,
+			fmt.Sprintf("%d", s.ServiceCount),
+			fmtF(s.ServiceP50*1e3, 2), fmtF(s.ServiceP95*1e3, 2),
+			fmtF(s.QueueDepthP95, 1), fmtF(s.QueueDepthMax, 0),
+			fmt.Sprintf("%d", s.PoolWaitCount), fmtF(s.PoolWaitP95*1e3, 2))
+	}
+	out := tb.String()
+	if r.SeriesClamped > 0 {
+		out += fmt.Sprintf("WARNING: %d out-of-order samples clamped during series collection\n",
+			r.SeriesClamped)
+	}
+	return out
 }
 
 // RenderScenarioSeries renders one run's per-second series (downsampled)

@@ -26,6 +26,7 @@ type Sample struct {
 type Series struct {
 	name    string
 	samples []Sample
+	clamped uint64
 }
 
 // NewSeries returns an empty named series.
@@ -53,13 +54,21 @@ func (s *Series) Grow(n int) {
 // Append adds a sample. Samples must be appended in non-decreasing time
 // order; out-of-order appends are clamped to the last timestamp so the
 // series stays sorted (a monitor never produces them, but a defensive
-// caller should not corrupt query results).
+// caller should not corrupt query results). Each clamp is counted and
+// reported by Clamped, so ordering bugs upstream stay visible instead of
+// being silently absorbed.
 func (s *Series) Append(at time.Duration, v float64) {
 	if n := len(s.samples); n > 0 && at < s.samples[n-1].At {
 		at = s.samples[n-1].At
+		s.clamped++
 	}
 	s.samples = append(s.samples, Sample{At: at, Value: v})
 }
+
+// Clamped returns the number of appends whose timestamp was out of order
+// and had to be clamped to keep the series sorted. A non-zero count means
+// the producer delivered samples out of time order.
+func (s *Series) Clamped() uint64 { return s.clamped }
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.samples) }

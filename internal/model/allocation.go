@@ -69,8 +69,29 @@ func (a Allocation) String() string {
 //
 // Every pool is at least 1 so a tier can never be starved completely.
 func PlanAllocation(in AllocationInput) (Allocation, error) {
+	alloc, _, err := PlanAllocationDetailed(in)
+	return alloc, err
+}
+
+// PlanDiag reports how the planner arrived at an allocation — in
+// particular whether either concurrency knob was clamped to the floor of
+// 1, which the decision audit log surfaces as an explainable
+// "concurrency-clamp" condition (a model whose optimum rounds to zero
+// pools, usually a degenerate online fit).
+type PlanDiag struct {
+	// RawAppThreads and RawDBConnsPerApp are the pre-clamp planner outputs.
+	RawAppThreads    int `json:"rawAppThreads"`
+	RawDBConnsPerApp int `json:"rawDBConnsPerApp"`
+	// AppClamped / DBClamped report that the knob was raised to the floor
+	// of 1.
+	AppClamped bool `json:"appClamped,omitempty"`
+	DBClamped  bool `json:"dbClamped,omitempty"`
+}
+
+// PlanAllocationDetailed is PlanAllocation returning clamp diagnostics.
+func PlanAllocationDetailed(in AllocationInput) (Allocation, PlanDiag, error) {
 	if in.AppServers < 1 || in.DBServers < 1 || in.WebServers < 1 {
-		return Allocation{}, fmt.Errorf("model: invalid topology %d/%d/%d",
+		return Allocation{}, PlanDiag{}, fmt.Errorf("model: invalid topology %d/%d/%d",
 			in.WebServers, in.AppServers, in.DBServers)
 	}
 	headroom := in.Headroom
@@ -84,22 +105,28 @@ func PlanAllocation(in AllocationInput) (Allocation, error) {
 
 	appN, ok := in.Tomcat.OptimalConcurrency()
 	if !ok {
-		return Allocation{}, fmt.Errorf("model: tomcat model: %w", ErrNoOptimum)
+		return Allocation{}, PlanDiag{}, fmt.Errorf("model: tomcat model: %w", ErrNoOptimum)
 	}
 	dbN, ok := in.MySQL.OptimalConcurrency()
 	if !ok {
-		return Allocation{}, fmt.Errorf("model: mysql model: %w", ErrNoOptimum)
+		return Allocation{}, PlanDiag{}, fmt.Errorf("model: mysql model: %w", ErrNoOptimum)
 	}
 
 	appThreads := int(math.Round(appN * headroom))
 	dbTotal := dbN * headroom * float64(in.DBServers)
 	dbPerApp := int(math.Round(dbTotal / float64(in.AppServers)))
 
+	diag := PlanDiag{
+		RawAppThreads:    appThreads,
+		RawDBConnsPerApp: dbPerApp,
+		AppClamped:       appThreads < 1,
+		DBClamped:        dbPerApp < 1,
+	}
 	return Allocation{
 		WebThreadsPerServer: webThreads,
 		AppThreadsPerServer: maxInt(1, appThreads),
 		DBConnsPerAppServer: maxInt(1, dbPerApp),
-	}, nil
+	}, diag, nil
 }
 
 func maxInt(a, b int) int {

@@ -39,14 +39,22 @@ type ServerSample struct {
 	// ActiveThreads is the time-weighted mean request-processing
 	// concurrency — the paper's "active threads number".
 	ActiveThreads float64 `json:"activeThreads"`
-	// QueueLen is the instantaneous thread-pool queue length.
-	QueueLen int `json:"queueLen"`
+	// MeanQueueWaitSeconds is the mean time requests admitted in the
+	// interval spent queued for a thread.
+	MeanQueueWaitSeconds float64 `json:"meanQueueWaitSeconds"`
+	// QueueLen is the instantaneous thread-pool queue length; QueuePeak is
+	// the peak length since the previous sample.
+	QueueLen  int `json:"queueLen"`
+	QueuePeak int `json:"queuePeak"`
 	// PoolSize is the thread pool size at sampling time.
 	PoolSize int `json:"poolSize"`
 	// ConnPoolSize and ConnWaiting describe the server's DB connection
-	// pool (app tier only; zero elsewhere).
+	// pool (app tier only; zero elsewhere). ConnInUse excludes leaked
+	// connections, which ConnLeaked counts separately.
 	ConnPoolSize int `json:"connPoolSize"`
 	ConnWaiting  int `json:"connWaiting"`
+	ConnInUse    int `json:"connInUse"`
+	ConnLeaked   int `json:"connLeaked,omitempty"`
 }
 
 // SystemSample is one whole-system measurement interval.
@@ -150,20 +158,24 @@ func (f *Fleet) Attach(tierName, vmName string) error {
 		srv := member.Server()
 		s := srv.TakeSample()
 		sample := ServerSample{
-			At:                 f.eng.Now(),
-			VM:                 vmName,
-			Tier:               tierName,
-			CPUUtil:            s.Utilization,
-			Throughput:         float64(s.Completions) / f.interval.Seconds(),
-			MeanServiceSeconds: s.MeanExecSeconds,
-			ActiveThreads:      s.MeanConcurrency,
-			QueueLen:           s.QueueLen,
-			PoolSize:           s.PoolSize,
+			At:                   f.eng.Now(),
+			VM:                   vmName,
+			Tier:                 tierName,
+			CPUUtil:              s.Utilization,
+			Throughput:           float64(s.Completions) / f.interval.Seconds(),
+			MeanServiceSeconds:   s.MeanExecSeconds,
+			ActiveThreads:        s.MeanConcurrency,
+			MeanQueueWaitSeconds: s.MeanQueueWaitSeconds,
+			QueueLen:             s.QueueLen,
+			QueuePeak:            s.QueuePeak,
+			PoolSize:             s.PoolSize,
 		}
 		if pool := member.Pool(); pool != nil {
 			ps := pool.TakeSample()
 			sample.ConnPoolSize = ps.Size
 			sample.ConnWaiting = ps.Waiting
+			sample.ConnInUse = ps.InUse
+			sample.ConnLeaked = ps.Leaked
 		}
 		// During a blackout the sample is taken (draining the server's
 		// interval accumulators, as a real agent would) but never shipped.

@@ -24,6 +24,7 @@ import (
 	"dcm/internal/rng"
 	"dcm/internal/server"
 	"dcm/internal/sim"
+	"dcm/internal/trace"
 )
 
 // Tier names.
@@ -179,6 +180,8 @@ type App struct {
 
 	traceRemaining int
 	traces         []*RequestTrace
+
+	reqTracer *trace.RequestTracer
 }
 
 // New builds the application with cfg's initial topology. rnd must be a
@@ -319,8 +322,61 @@ func (a *App) AddServer(tierName, name string) (*Member, error) {
 		return nil, fmt.Errorf("ntier: register %q: %w", name, err)
 	}
 	t.members[name] = m
+	if a.reqTracer != nil {
+		m.srv.SetTracer(a.reqTracer, tierName)
+		if m.pool != nil {
+			m.pool.SetTracer(a.reqTracer, tierName)
+		}
+	}
 	a.refreshDBConfigured()
 	return m, nil
+}
+
+// SetRequestTracer attaches a request tracer to every current and future
+// server and connection pool of the application (nil detaches). Requests
+// injected afterwards carry tracer-assigned IDs through every tier hop.
+func (a *App) SetRequestTracer(tr *trace.RequestTracer) {
+	a.reqTracer = tr
+	for tierName, t := range a.tiers {
+		for _, m := range t.members {
+			m.srv.SetTracer(tr, tierName)
+			if m.pool != nil {
+				m.pool.SetTracer(tr, tierName)
+			}
+		}
+	}
+}
+
+// TierHistogramSet is the merged always-on histogram view of one tier.
+type TierHistogramSet struct {
+	QueueDepth  *metrics.Histogram
+	ServiceTime *metrics.Histogram
+	PoolWait    *metrics.Histogram // nil except for the app tier
+}
+
+// TierHistograms merges every current member's lifetime histograms into
+// one per-tier view. Members removed earlier (drained or crashed) are not
+// included.
+func (a *App) TierHistograms(tierName string) (TierHistogramSet, error) {
+	if _, err := a.tierOf(tierName); err != nil {
+		return TierHistogramSet{}, err
+	}
+	var out TierHistogramSet
+	for _, m := range a.Members(tierName) {
+		if out.QueueDepth == nil {
+			out.QueueDepth = m.srv.QueueDepthHistogram().CloneEmpty()
+			out.ServiceTime = m.srv.ServiceTimeHistogram().CloneEmpty()
+		}
+		out.QueueDepth.Merge(m.srv.QueueDepthHistogram())
+		out.ServiceTime.Merge(m.srv.ServiceTimeHistogram())
+		if m.pool != nil {
+			if out.PoolWait == nil {
+				out.PoolWait = m.pool.WaitHistogram().CloneEmpty()
+			}
+			out.PoolWait.Merge(m.pool.WaitHistogram())
+		}
+	}
+	return out, nil
 }
 
 // refreshDBConfigured re-derives each DB server's configured concurrency:
@@ -539,9 +595,16 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 		servlet = a.pickServlet()
 	}
 	tr := a.beginTrace(servlet)
+	req := a.reqTracer.Begin()
+	a.reqTracer.Record(req, trace.EventArrive, "", "", start)
 	finish := func(ok bool) {
 		a.inFlight--
 		rt := a.eng.Now() - start
+		kind := trace.EventDone
+		if !ok {
+			kind = trace.EventFail
+		}
+		a.reqTracer.Record(req, kind, "", "", a.eng.Now())
 		if ok {
 			a.completions.Inc(1)
 			a.rts.Observe(rt.Seconds())
@@ -578,13 +641,13 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 		return
 	}
 	webStart := a.eng.Now()
-	web.srv.Acquire(func(webSess *server.Session) {
+	web.srv.AcquireFor(req, func(webSess *server.Session) {
 		if webSess == nil {
 			finish(false)
 			return
 		}
 		webSess.Exec(func() {
-			a.dispatchApp(servlet, tr, func(ok bool) {
+			a.dispatchApp(req, servlet, tr, func(ok bool) {
 				webSess.Release()
 				a.span(tr, "web", web.Name(), webStart)
 				finish(ok && !webSess.Killed())
@@ -593,9 +656,10 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 	})
 }
 
-// dispatchApp runs the application-tier stage of a request. servlet is nil
-// for the single-class flow; tr is nil unless the request is traced.
-func (a *App) dispatchApp(servlet *Servlet, tr *RequestTrace, done func(ok bool)) {
+// dispatchApp runs the application-tier stage of a request. req is the
+// tracing request ID (0 = untraced); servlet is nil for the single-class
+// flow; tr is nil unless the request is waterfall-traced.
+func (a *App) dispatchApp(req uint64, servlet *Servlet, tr *RequestTrace, done func(ok bool)) {
 	appBackend, err := a.tiers[TierApp].balancer.Pick()
 	if err != nil {
 		done(false)
@@ -611,13 +675,13 @@ func (a *App) dispatchApp(servlet *Servlet, tr *RequestTrace, done func(ok bool)
 		appDemand, queries, queryDemand = servlet.AppDemand, servlet.Queries, servlet.QueryDemand
 	}
 	appStart := a.eng.Now()
-	app.srv.Acquire(func(appSess *server.Session) {
+	app.srv.AcquireFor(req, func(appSess *server.Session) {
 		if appSess == nil {
 			done(false)
 			return
 		}
 		appSess.ExecDemand(appDemand, func() {
-			a.runQueries(app, tr, 0, queries, queryDemand, func(ok bool) {
+			a.runQueries(req, app, tr, 0, queries, queryDemand, func(ok bool) {
 				appSess.Release()
 				a.appRes.Observe((a.eng.Now() - appStart).Seconds())
 				a.span(tr, "app", app.Name(), appStart)
@@ -629,13 +693,13 @@ func (a *App) dispatchApp(servlet *Servlet, tr *RequestTrace, done func(ok bool)
 
 // runQueries issues the request's MySQL queries sequentially through the
 // app member's connection pool.
-func (a *App) runQueries(app *Member, tr *RequestTrace, issued, queries int, queryDemand float64, done func(ok bool)) {
+func (a *App) runQueries(req uint64, app *Member, tr *RequestTrace, issued, queries int, queryDemand float64, done func(ok bool)) {
 	if issued >= queries {
 		done(true)
 		return
 	}
 	queryStart := a.eng.Now()
-	app.pool.Acquire(func(conn *connpool.Conn) {
+	app.pool.AcquireFor(req, func(conn *connpool.Conn) {
 		dbBackend, err := a.tiers[TierDB].balancer.Pick()
 		if err != nil {
 			conn.Release()
@@ -648,7 +712,7 @@ func (a *App) runQueries(app *Member, tr *RequestTrace, issued, queries int, que
 			done(false)
 			return
 		}
-		db.srv.Acquire(func(dbSess *server.Session) {
+		db.srv.AcquireFor(req, func(dbSess *server.Session) {
 			if dbSess == nil {
 				conn.Release()
 				done(false)
@@ -664,7 +728,7 @@ func (a *App) runQueries(app *Member, tr *RequestTrace, issued, queries int, que
 					done(false)
 					return
 				}
-				a.runQueries(app, tr, issued+1, queries, queryDemand, done)
+				a.runQueries(req, app, tr, issued+1, queries, queryDemand, done)
 			})
 		})
 	})

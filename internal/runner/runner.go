@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,11 @@ func Workers(n int) int {
 // must not share mutable state across calls. On error Map returns the
 // failure with the smallest input index — exactly the error the
 // equivalent serial loop would have surfaced — and discards the results.
+//
+// A panic in fn is recovered and reported as an error attributed to the
+// offending input index: one poisoned run cannot kill the worker pool (or
+// the process) for a batch of otherwise independent simulations, and the
+// smallest-index error policy applies to panics and errors alike.
 func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	results := make([]R, n)
@@ -64,7 +70,7 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 	}
 	if w <= 1 {
 		for i, item := range items {
-			r, err := fn(i, item)
+			r, err := safeCall(fn, i, item)
 			if err != nil {
 				return nil, err
 			}
@@ -85,7 +91,7 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 				if i >= n {
 					return
 				}
-				results[i], errs[i] = fn(i, items[i])
+				results[i], errs[i] = safeCall(fn, i, items[i])
 			}
 		}()
 	}
@@ -96,6 +102,17 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 		}
 	}
 	return results, nil
+}
+
+// safeCall invokes fn(i, item), converting a panic into an error that
+// names the input index it came from.
+func safeCall[T, R any](fn func(i int, item T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: run %d panicked: %v", i, p)
+		}
+	}()
+	return fn(i, item)
 }
 
 // Spec describes one independent simulation run for RunMany.
@@ -117,11 +134,23 @@ type Result struct {
 // RunMany executes every spec with up to workers goroutines (<= 0 selects
 // the default) and returns one Result per spec in input order. Unlike
 // Map, RunMany does not stop at the first failure: sweeps want the
-// per-run error next to the runs that succeeded.
+// per-run error next to the runs that succeeded. A panicking Run becomes
+// that spec's Result.Err without disturbing the other runs.
 func RunMany(specs []Spec, workers int) []Result {
-	out, _ := Map(specs, workers, func(_ int, s Spec) (Result, error) {
-		v, err := s.Run()
+	out, _ := Map(specs, workers, func(i int, s Spec) (Result, error) {
+		v, err := runSpec(i, s)
 		return Result{Name: s.Name, Value: v, Err: err}, nil
 	})
 	return out
+}
+
+// runSpec invokes one spec, recovering a panic into its error so it stays
+// local to the spec instead of failing the whole Map.
+func runSpec(i int, s Spec) (v any, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("runner: run %d (%s) panicked: %v", i, s.Name, p)
+		}
+	}()
+	return s.Run()
 }

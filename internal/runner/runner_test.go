@@ -169,3 +169,56 @@ func TestWorkersResolution(t *testing.T) {
 		t.Fatalf("Workers(-1) = %d, want GOMAXPROCS", got)
 	}
 }
+
+// TestMapRecoversPanics: a panicking run becomes an error naming its
+// input index instead of crashing the pool, and the smallest-index
+// policy applies when panics and errors mix.
+func TestMapRecoversPanics(t *testing.T) {
+	t.Parallel()
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 8} {
+		_, err := Map(items, workers, func(i, item int) (int, error) {
+			if item == 6 {
+				return 0, fmt.Errorf("run %d failed", item)
+			}
+			if item >= 4 {
+				panic(fmt.Sprintf("poisoned input %d", item))
+			}
+			return item, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not surfaced", workers)
+		}
+		want := "runner: run 4 panicked: poisoned input 4"
+		if err.Error() != want {
+			t.Fatalf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}
+
+// TestRunManyRecoversPanics: a panicking spec gets its own Result.Err;
+// the other specs' results are unaffected.
+func TestRunManyRecoversPanics(t *testing.T) {
+	t.Parallel()
+	specs := []Spec{
+		{Name: "ok", Run: func() (any, error) { return 1, nil }},
+		{Name: "bad", Run: func() (any, error) { panic("kaboom") }},
+		{Name: "also-ok", Run: func() (any, error) { return 3, nil }},
+	}
+	for _, workers := range []int{1, 3} {
+		results := RunMany(specs, workers)
+		if len(results) != 3 {
+			t.Fatalf("got %d results", len(results))
+		}
+		if results[0].Err != nil || results[0].Value != 1 {
+			t.Fatalf("result ok = %+v", results[0])
+		}
+		if results[1].Err == nil ||
+			results[1].Err.Error() != "runner: run 1 (bad) panicked: kaboom" {
+			t.Fatalf("result bad = %+v", results[1])
+		}
+		if results[2].Err != nil || results[2].Value != 3 {
+			t.Fatalf("result also-ok = %+v", results[2])
+		}
+	}
+}

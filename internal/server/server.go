@@ -28,6 +28,7 @@ import (
 	"dcm/internal/model"
 	"dcm/internal/rng"
 	"dcm/internal/sim"
+	"dcm/internal/trace"
 )
 
 // Config describes a simulated server.
@@ -136,7 +137,21 @@ type Server struct {
 	execTimes   metrics.MeanAccumulator
 	queueWaits  metrics.MeanAccumulator
 	queuePeak   int
+
+	queueDepth *metrics.Histogram
+	svcTimes   *metrics.Histogram
+
+	tracer *trace.RequestTracer
+	tier   string
 }
+
+// Histogram bucket layouts shared by every server so per-tier merges are
+// well defined: queue depths on a coarse exponential grid, burst durations
+// from 0.1 ms to ~52 s.
+var (
+	queueDepthBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	svcTimeBounds    = metrics.ExpBuckets(1e-4, 2, 20)
+)
 
 // New constructs a server on the given engine. rnd must be a dedicated
 // stream (use rng.Rand.Split).
@@ -171,8 +186,26 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*Server, error) {
 		basis:      cfg.Basis,
 		betaOnConf: cfg.BetaOnConfigured,
 		dist:       cfg.Distribution,
+		queueDepth: metrics.NewHistogram(queueDepthBounds),
+		svcTimes:   metrics.NewHistogram(svcTimeBounds),
 	}, nil
 }
+
+// SetTracer attaches a request tracer (nil detaches) and the tier label
+// recorded on this server's events. Tracing changes only what is recorded,
+// never how requests are scheduled.
+func (s *Server) SetTracer(tr *trace.RequestTracer, tier string) {
+	s.tracer = tr
+	s.tier = tier
+}
+
+// QueueDepthHistogram returns the histogram of queue depths observed by
+// arriving requests over the server's lifetime.
+func (s *Server) QueueDepthHistogram() *metrics.Histogram { return s.queueDepth }
+
+// ServiceTimeHistogram returns the histogram of completed burst durations
+// (seconds) over the server's lifetime.
+func (s *Server) ServiceTimeHistogram() *metrics.Histogram { return s.svcTimes }
 
 // SetDegradeFactor scales the server's Equation 5 base service time S0 by
 // f for every subsequent burst — the chaos "degraded server" fault (a
@@ -193,6 +226,7 @@ func (s *Server) DegradeFactor() float64 { return s.degrade }
 // Session is one admitted request holding a server thread.
 type Session struct {
 	s         *Server
+	req       uint64
 	released  bool
 	executing bool
 	admitted  sim.Time
@@ -249,7 +283,11 @@ func (sess *Session) Killed() bool { return sess.s.dead }
 // thread is available — immediately if the pool has room, otherwise in FIFO
 // order as threads free up. On a dead server fn is invoked immediately
 // with a nil session: the caller must treat that as a failed request.
-func (s *Server) Acquire(fn func(*Session)) {
+func (s *Server) Acquire(fn func(*Session)) { s.AcquireFor(0, fn) }
+
+// AcquireFor is Acquire carrying the tracing request ID (0 = untraced).
+// The session remembers the ID so burst events attribute to the request.
+func (s *Server) AcquireFor(req uint64, fn func(*Session)) {
 	if fn == nil {
 		return
 	}
@@ -257,9 +295,16 @@ func (s *Server) Acquire(fn func(*Session)) {
 		fn(nil)
 		return
 	}
+	s.queueDepth.Observe(float64(len(s.queue)))
 	enqueueAt := s.eng.Now()
+	s.tracer.Record(req, trace.EventQueueEnter, s.tier, s.name, enqueueAt)
 	wrapped := func(sess *Session) {
-		s.queueWaits.Observe((s.eng.Now() - enqueueAt).Seconds())
+		now := s.eng.Now()
+		s.queueWaits.Observe((now - enqueueAt).Seconds())
+		if sess != nil {
+			sess.req = req
+			s.tracer.Record(req, trace.EventQueueExit, s.tier, s.name, now)
+		}
 		fn(sess)
 	}
 	if s.active < s.poolSize && len(s.queue) == 0 {
@@ -329,6 +374,7 @@ func (sess *Session) ExecDemand(demand float64, onDone func()) {
 	sess.executing = true
 	s.executing++
 	d := s.burstDuration(demand)
+	s.tracer.Record(sess.req, trace.EventServiceStart, s.tier, s.name, s.eng.Now())
 	s.cpu.Enter(s.eng.Now())
 	s.eng.Schedule(d, func() {
 		s.cpu.Exit(s.eng.Now())
@@ -336,6 +382,8 @@ func (sess *Session) ExecDemand(demand float64, onDone func()) {
 		s.executing--
 		s.completions.Inc(1)
 		s.execTimes.Observe(d.Seconds())
+		s.svcTimes.Observe(d.Seconds())
+		s.tracer.Record(sess.req, trace.EventServiceEnd, s.tier, s.name, s.eng.Now())
 		if onDone != nil {
 			onDone()
 		}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	t.Parallel()
+	var tr *RequestTracer
+	if id := tr.Begin(); id != 0 {
+		t.Fatalf("nil Begin = %d", id)
+	}
+	tr.Record(1, EventArrive, "web", "w1", 0) // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Events() != nil || tr.Breakdown() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntracedRequestIgnored(t *testing.T) {
+	t.Parallel()
+	tr := NewRequestTracer(0)
+	tr.Record(0, EventArrive, "web", "w1", 0)
+	if tr.Len() != 0 {
+		t.Fatalf("req 0 recorded: %d events", tr.Len())
+	}
+}
+
+func TestBeginAssignsSequentialIDs(t *testing.T) {
+	t.Parallel()
+	tr := NewRequestTracer(0)
+	if a, b := tr.Begin(), tr.Begin(); a != 1 || b != 2 {
+		t.Fatalf("ids = %d, %d", a, b)
+	}
+}
+
+func TestEventLimitDropsAndCounts(t *testing.T) {
+	t.Parallel()
+	tr := NewRequestTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(1, EventArrive, "web", "", time.Duration(i))
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+// record one full request through web and app, with a pool wait in app.
+func recordOne(tr *RequestTracer, req uint64, base time.Duration) {
+	ms := func(n int) time.Duration { return base + time.Duration(n)*time.Millisecond }
+	tr.Record(req, EventArrive, "", "", ms(0))
+	tr.Record(req, EventQueueEnter, "web", "w1", ms(0))
+	tr.Record(req, EventQueueExit, "web", "w1", ms(2))
+	tr.Record(req, EventServiceStart, "web", "w1", ms(2))
+	tr.Record(req, EventQueueEnter, "app", "a1", ms(3))
+	tr.Record(req, EventQueueExit, "app", "a1", ms(7))
+	tr.Record(req, EventServiceStart, "app", "a1", ms(7))
+	tr.Record(req, EventPoolWait, "app", "a1", ms(8))
+	tr.Record(req, EventPoolGrant, "app", "a1", ms(11))
+	tr.Record(req, EventServiceEnd, "app", "a1", ms(20))
+	tr.Record(req, EventServiceEnd, "web", "w1", ms(21))
+	tr.Record(req, EventDone, "", "", ms(21))
+}
+
+func TestBreakdownPairsSpans(t *testing.T) {
+	t.Parallel()
+	tr := NewRequestTracer(0)
+	for i := 0; i < 3; i++ {
+		recordOne(tr, tr.Begin(), time.Duration(i)*time.Second)
+	}
+	bd := tr.Breakdown()
+	if len(bd) != 2 {
+		t.Fatalf("tiers = %d, want 2 (%+v)", len(bd), bd)
+	}
+	// Sorted order: app before web.
+	app, web := bd[0], bd[1]
+	if app.Tier != "app" || web.Tier != "web" {
+		t.Fatalf("tier order: %s, %s", app.Tier, web.Tier)
+	}
+	if app.Requests != 3 || web.Requests != 3 {
+		t.Fatalf("requests: app=%d web=%d", app.Requests, web.Requests)
+	}
+	within := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	if !within(app.QueueWait.Mean, 0.004) {
+		t.Errorf("app queue mean = %v, want 4ms", app.QueueWait.Mean)
+	}
+	if !within(app.PoolWait.Mean, 0.003) {
+		t.Errorf("app pool mean = %v, want 3ms", app.PoolWait.Mean)
+	}
+	if !within(app.Service.Mean, 0.013) {
+		t.Errorf("app service mean = %v, want 13ms", app.Service.Mean)
+	}
+	if !within(web.Service.Mean, 0.019) {
+		t.Errorf("web service mean = %v, want 19ms", web.Service.Mean)
+	}
+	if web.PoolWait.Count != 0 {
+		t.Errorf("web pool waits = %d, want 0", web.PoolWait.Count)
+	}
+}
+
+func TestBreakdownIgnoresUnpaired(t *testing.T) {
+	t.Parallel()
+	tr := NewRequestTracer(0)
+	tr.Record(1, EventQueueEnter, "web", "w1", 0)             // never exits
+	tr.Record(2, EventQueueExit, "web", "w1", time.Second)    // never entered
+	tr.Record(3, EventServiceEnd, "app", "a1", 2*time.Second) // never started
+	if bd := tr.Breakdown(); len(bd) != 0 {
+		t.Fatalf("breakdown from unpaired events: %+v", bd)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	t.Parallel()
+	tr := NewRequestTracer(0)
+	recordOne(tr, tr.Begin(), 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", n, err)
+		}
+		if ev.Req != 1 {
+			t.Fatalf("line %d req = %d", n, ev.Req)
+		}
+		n++
+	}
+	if n != tr.Len() {
+		t.Fatalf("wrote %d lines for %d events", n, tr.Len())
+	}
+}
+
+func TestRenderBreakdown(t *testing.T) {
+	t.Parallel()
+	tr := NewRequestTracer(0)
+	recordOne(tr, tr.Begin(), 0)
+	out := RenderBreakdown(tr.Breakdown())
+	for _, want := range []string{"app", "web", "queue", "pool-wait", "service"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := RenderBreakdown(nil); !strings.Contains(got, "no trace events") {
+		t.Errorf("empty render = %q", got)
+	}
+}
