@@ -17,6 +17,7 @@ import (
 	"dcm/internal/chaos"
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
+	"dcm/internal/resilience"
 	"dcm/internal/runner"
 	"dcm/internal/trace"
 )
@@ -68,6 +69,9 @@ func run(args []string) error {
 		reqTrace       = fs.String("trace", "", "write the request-level trace to this JSONL file and print the per-tier latency breakdown (single-seed runs only)")
 		auditOut       = fs.String("audit", "", "write the controller decision audit log to this JSONL file and print its reason-code summary (single-seed runs only)")
 		pprofOut       = fs.String("pprof", "", "write a CPU profile of the run to this file")
+		resil          = fs.String("resilience", "off", "data-plane resilience preset: off | timeout | retries | full")
+		reqTimeout     = fs.Duration("timeout", 0, "per-request deadline for the resilience presets (0 = preset default)")
+		retryStorm     = fs.Bool("retrystorm", false, "run the retry-storm resilience ladder (none vs retries vs full) under a degraded-server fault instead of a scaling scenario")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +99,9 @@ func run(args []string) error {
 	if *seeds != "" && (*reqTrace != "" || *auditOut != "") {
 		return fmt.Errorf("-trace and -audit produce single-run detail output: drop -seeds or the detail flags")
 	}
+	if *retryStorm && (*seeds != "" || *reqTrace != "" || *auditOut != "") {
+		return fmt.Errorf("-retrystorm is a self-contained experiment: drop -seeds, -trace and -audit")
+	}
 	runner.SetDefaultWorkers(*parallel)
 
 	stopProfile, err := startCPUProfile(*pprofOut)
@@ -102,6 +109,25 @@ func run(args []string) error {
 		return err
 	}
 	defer stopProfile()
+
+	// Retry-storm mode: the bundled metastable-failure experiment. It runs
+	// its own fixed topology and degraded-server fault, so the scenario and
+	// controller flags do not apply.
+	if *retryStorm {
+		stormCfg := experiments.RetryStormConfig{Seed: *seed, Timeout: *reqTimeout}
+		results, err := experiments.RunRetryStorm(stormCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("retry-storm ladder (seed %d): degraded Tomcat under closed-loop overload\n\n", *seed)
+		fmt.Print(experiments.RenderRetryStorm(results))
+		return nil
+	}
+
+	resCfg, err := resilience.Preset(*resil, *reqTimeout)
+	if err != nil {
+		return err
+	}
 
 	if *list {
 		for _, name := range chaos.BuiltinNames() {
@@ -132,6 +158,7 @@ func run(args []string) error {
 		Chaos:         &sched,
 		CaptureTrace:  *reqTrace != "",
 		Audit:         *auditOut != "",
+		Resilience:    resCfg,
 	}
 
 	// Multi-seed mode: fan the seeds across the worker pool and print one
@@ -217,6 +244,10 @@ func run(args []string) error {
 	}
 	fmt.Println()
 	fmt.Println(res.Chaos.Render())
+	if disp := experiments.RenderDispositionSummary(res); disp != "" {
+		fmt.Println("request dispositions:")
+		fmt.Println(disp)
+	}
 	return nil
 }
 

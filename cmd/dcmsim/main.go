@@ -13,6 +13,7 @@ import (
 
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
+	"dcm/internal/resilience"
 	"dcm/internal/trace"
 )
 
@@ -58,6 +59,8 @@ func run(args []string) error {
 		reqTrace       = fs.String("reqtrace", "", "write the request-level trace (one span event per tier hop) to this JSONL file and print the per-tier latency breakdown")
 		auditOut       = fs.String("audit", "", "write the controller decision audit log to this JSONL file and print its reason-code summary")
 		pprofOut       = fs.String("pprof", "", "write a CPU profile of the run to this file")
+		resil          = fs.String("resilience", "off", "data-plane resilience preset: off | timeout | retries | full")
+		reqTimeout     = fs.Duration("timeout", 0, "per-request deadline for the resilience presets (0 = preset default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +84,11 @@ func run(args []string) error {
 		}
 	}
 
+	resCfg, err := resilience.Preset(*resil, *reqTimeout)
+	if err != nil {
+		return err
+	}
+
 	cfg := experiments.ScenarioConfig{
 		Seed:          *seed,
 		Kind:          experiments.ControllerKind(*controllerName),
@@ -90,6 +98,7 @@ func run(args []string) error {
 		PrepDelay:     *prep,
 		CaptureTrace:  *reqTrace != "",
 		Audit:         *auditOut != "",
+		Resilience:    resCfg,
 	}
 	res, err := experiments.RunScenario(cfg)
 	if err != nil {
@@ -157,6 +166,10 @@ func run(args []string) error {
 		results = append(results, base)
 	}
 	fmt.Println(experiments.RenderScenarioComparison(results...))
+	if disp := experiments.RenderDispositionSummary(results...); disp != "" {
+		fmt.Println("request dispositions:")
+		fmt.Println(disp)
+	}
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
+	"dcm/internal/resilience"
 	"dcm/internal/trace"
 )
 
@@ -94,6 +95,50 @@ func appendAblations(b *strings.Builder, seed uint64) error {
 	b.WriteString("### A8: Markov-modulated burstiness injection\n\n```\n")
 	b.WriteString(experiments.RenderScenarioComparison(a8...))
 	b.WriteString("```\n\n")
+	return nil
+}
+
+// appendResilience runs the data-plane resilience evaluation: the Fig. 5
+// scenario per controller under the "full" preset with the request
+// disposition taxonomy (timed-out / rejected / shed / retries per
+// success), and the retry-storm ladder showing goodput recovery under a
+// degraded-server fault.
+func appendResilience(b *strings.Builder, seed uint64) error {
+	b.WriteString("## Resilience\n\n")
+
+	res, err := resilience.Preset("full", 0)
+	if err != nil {
+		return err
+	}
+	var results []*experiments.ScenarioResult
+	for _, kind := range []experiments.ControllerKind{
+		experiments.ControllerDCM,
+		experiments.ControllerEC2,
+	} {
+		r, err := experiments.RunScenario(experiments.ScenarioConfig{
+			Seed: seed, Kind: kind, Resilience: res,
+		})
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	b.WriteString("### Request dispositions under the \"full\" preset (large-variation trace)\n\n```\n")
+	b.WriteString(experiments.RenderScenarioComparison(results...))
+	b.WriteString(experiments.RenderDispositionSummary(results...))
+	b.WriteString("```\n\n")
+
+	storm, err := experiments.RunRetryStorm(experiments.RetryStormConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	b.WriteString("### Retry-storm ladder under a degraded Tomcat\n\n```\n")
+	b.WriteString(experiments.RenderRetryStorm(storm))
+	b.WriteString("```\n\n")
+	b.WriteString("Goodput climbs the ladder: no resilience traps the closed-loop users " +
+		"behind the degraded server, retries alone free them but amplify load " +
+		"(the storm), and breakers plus admission control restore goodput by " +
+		"routing around the sick server and shedding standing-queue delay.\n\n")
 	return nil
 }
 
@@ -212,6 +257,11 @@ func run(args []string) error {
 			b.WriteString(log.RenderSummary())
 			b.WriteString("```\n\n")
 		}
+	}
+
+	fmt.Println("running resilience experiments...")
+	if err := appendResilience(&b, *seed); err != nil {
+		return err
 	}
 
 	if *full {

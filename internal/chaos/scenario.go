@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -52,10 +53,15 @@ func (f Fault) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON implements json.Unmarshaler, accepting duration strings.
+// Unknown fields are rejected: a typoed field name ("faktor", "kindd")
+// would otherwise silently decode to a fault that does something else
+// than the scenario author intended.
 func (f *Fault) UnmarshalJSON(data []byte) error {
 	var w faultWire
-	if err := json.Unmarshal(data, &w); err != nil {
-		return err
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return fmt.Errorf("chaos: fault: %w", err)
 	}
 	at, err := time.ParseDuration(w.At)
 	if err != nil {
@@ -80,10 +86,15 @@ func (f *Fault) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Parse decodes and validates a JSON scenario.
+// Parse decodes and validates a JSON scenario. Decoding is strict:
+// unknown fields — at the top level or inside a fault — are an error, and
+// Validate then rejects unknown fault kinds and negative times with a
+// message naming the offending fault.
 func Parse(data []byte) (Schedule, error) {
 	var s Schedule
-	if err := json.Unmarshal(data, &s); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
 		return Schedule{}, fmt.Errorf("chaos: parse scenario: %w", err)
 	}
 	if err := s.Validate(); err != nil {

@@ -32,20 +32,36 @@ var ErrBadSize = errors.New("connpool: size must be >= 1")
 // drains back to the invariant as connections release; it never admits
 // while free <= 0. CheckInvariant verifies the identity.
 type Pool struct {
-	eng     *sim.Engine
-	name    string
-	size    int
-	inUse   int
-	leaked  int
-	waiters []func(*Conn)
+	eng         *sim.Engine
+	name        string
+	size        int
+	inUse       int
+	leaked      int
+	waiters     []*waiter
+	waitersDead int // timed-out waiters still occupying queue slots
+	maxWaiters  int
 
-	held     metrics.TimeWeighted
-	waits    metrics.MeanAccumulator
-	grants   metrics.Counter
-	waitHist *metrics.Histogram
+	held       metrics.TimeWeighted
+	waits      metrics.MeanAccumulator
+	grants     metrics.Counter
+	timeouts   metrics.Counter
+	rejections metrics.Counter
+	waitHist   *metrics.Histogram
 
 	tracer *trace.RequestTracer
 	tier   string
+}
+
+// waiter is one blocked acquisition: the outcome-aware callback plus the
+// deadline bookkeeping (timer, enqueue time, and the done flag marking
+// timed-out waiters that occupy a slot until lazily removed).
+type waiter struct {
+	fn        func(*Conn, metrics.Disposition)
+	req       uint64
+	enqueueAt sim.Time
+	deadline  sim.Time
+	timer     sim.Timer
+	done      bool
 }
 
 // poolWaitBounds is the shared bucket layout for acquisition-wait
@@ -82,8 +98,20 @@ func (p *Pool) Size() int { return p.size }
 // unrepaired leak.
 func (p *Pool) InUse() int { return p.inUse }
 
-// Waiting returns the number of blocked acquirers.
-func (p *Pool) Waiting() int { return len(p.waiters) }
+// Waiting returns the number of blocked acquirers. Timed-out waiters whose
+// slots have not been compacted yet do not count.
+func (p *Pool) Waiting() int { return len(p.waiters) - p.waitersDead }
+
+// SetMaxWaiters bounds the waiter queue: an acquisition arriving when
+// MaxWaiters acquirers are already blocked is rejected immediately (its
+// callback runs with a nil connection and DispositionRejected). Zero or
+// negative disables the bound — the historical behaviour.
+func (p *Pool) SetMaxWaiters(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.maxWaiters = n
+}
 
 // Leaked returns the number of connections currently consumed by Leak.
 func (p *Pool) Leaked() int { return p.leaked }
@@ -106,8 +134,12 @@ func (p *Pool) CheckInvariant() error {
 		return fmt.Errorf("connpool %s: invariant broken: inUse(%d) + free(%d) + leaked(%d) = %d != size(%d)",
 			p.name, p.inUse, p.Free(), p.leaked, got, p.size)
 	}
-	if p.Free() > 0 && len(p.waiters) > 0 {
-		return fmt.Errorf("connpool %s: %d waiters blocked with free=%d", p.name, len(p.waiters), p.Free())
+	if p.Free() > 0 && p.Waiting() > 0 {
+		return fmt.Errorf("connpool %s: %d waiters blocked with free=%d", p.name, p.Waiting(), p.Free())
+	}
+	if p.waitersDead < 0 || p.waitersDead > len(p.waiters) {
+		return fmt.Errorf("connpool %s: dead-waiter accounting broken: dead=%d of %d slots",
+			p.name, p.waitersDead, len(p.waiters))
 	}
 	return nil
 }
@@ -160,34 +192,131 @@ func (p *Pool) AcquireFor(req uint64, fn func(*Conn)) {
 	if fn == nil {
 		return
 	}
-	at := p.eng.Now()
-	p.tracer.Record(req, trace.EventPoolWait, p.tier, p.name, at)
-	wrapped := func(c *Conn) {
-		now := p.eng.Now()
-		p.waits.Observe((now - at).Seconds())
-		p.waitHist.Observe((now - at).Seconds())
-		p.tracer.Record(req, trace.EventPoolGrant, p.tier, p.name, now)
-		fn(c)
-	}
-	if p.Free() > 0 && len(p.waiters) == 0 {
-		p.grant(wrapped)
-		return
-	}
-	p.waiters = append(p.waiters, wrapped)
+	p.AcquireDeadline(req, 0, func(c *Conn, _ metrics.Disposition) { fn(c) })
 }
 
-func (p *Pool) grant(fn func(*Conn)) {
+// AcquireDeadline is AcquireFor with resilience semantics: deadline (zero
+// = none) is the request's absolute deadline — a waiter still blocked when
+// it expires fails with DispositionTimeout and never consumes a
+// connection — and fn receives the disposition explaining a nil
+// connection (rejected by the waiter bound, or timeout). With a zero
+// deadline and no waiter bound this is exactly AcquireFor.
+func (p *Pool) AcquireDeadline(req uint64, deadline sim.Time, fn func(*Conn, metrics.Disposition)) {
+	if fn == nil {
+		return
+	}
+	now := p.eng.Now()
+	if deadline > 0 && now >= deadline {
+		p.timeouts.Inc(1)
+		p.tracer.Record(req, trace.EventTimeout, p.tier, p.name, now)
+		fn(nil, metrics.DispositionTimeout)
+		return
+	}
+	p.tracer.Record(req, trace.EventPoolWait, p.tier, p.name, now)
+	w := &waiter{fn: fn, req: req, enqueueAt: now, deadline: deadline}
+	if p.Free() > 0 && p.Waiting() == 0 {
+		p.grantWaiter(w)
+		return
+	}
+	if p.maxWaiters > 0 && p.Waiting() >= p.maxWaiters {
+		p.rejections.Inc(1)
+		p.tracer.Record(req, trace.EventReject, p.tier, p.name, now)
+		fn(nil, metrics.DispositionRejected)
+		return
+	}
+	if deadline > 0 {
+		w.timer = p.eng.Schedule(deadline-now, func() { p.timeoutWaiter(w) })
+	}
+	p.waiters = append(p.waiters, w)
+}
+
+// grantWaiter hands one connection to a waiter, accounting the wait.
+func (p *Pool) grantWaiter(w *waiter) {
 	p.inUse++
 	p.grants.Inc(1)
-	p.held.Set(p.eng.Now(), float64(p.inUse+p.leaked))
-	fn(&Conn{p: p})
+	now := p.eng.Now()
+	p.held.Set(now, float64(p.inUse+p.leaked))
+	p.waits.Observe((now - w.enqueueAt).Seconds())
+	p.waitHist.Observe((now - w.enqueueAt).Seconds())
+	p.tracer.Record(w.req, trace.EventPoolGrant, p.tier, p.name, now)
+	w.fn(&Conn{p: p}, metrics.DispositionOK)
+}
+
+// failWaiter completes a waiter without a connection. The wait still
+// counts toward the mean-wait statistic; the grant histogram records
+// acquisitions only.
+func (p *Pool) failWaiter(w *waiter, disp metrics.Disposition) {
+	p.waits.Observe((p.eng.Now() - w.enqueueAt).Seconds())
+	w.fn(nil, disp)
+}
+
+// timeoutWaiter is the deadline timer body for a blocked waiter: it marks
+// the slot dead (lazily removed) and fails the acquisition. No connection
+// is consumed.
+func (p *Pool) timeoutWaiter(w *waiter) {
+	if w.done {
+		return
+	}
+	w.done = true
+	p.waitersDead++
+	p.timeouts.Inc(1)
+	p.tracer.Record(w.req, trace.EventTimeout, p.tier, p.name, p.eng.Now())
+	p.failWaiter(w, metrics.DispositionTimeout)
+	p.maybeCompact()
+}
+
+// maybeCompact drops dead waiter slots once they dominate the queue.
+func (p *Pool) maybeCompact() {
+	if p.waitersDead < 64 || p.waitersDead*2 < len(p.waiters) {
+		return
+	}
+	live := p.waiters[:0]
+	for _, w := range p.waiters {
+		if !w.done {
+			live = append(live, w)
+		}
+	}
+	for i := len(live); i < len(p.waiters); i++ {
+		p.waiters[i] = nil
+	}
+	p.waiters = live
+	p.waitersDead = 0
+}
+
+// popWaiter removes and returns the first live waiter (nil when none).
+func (p *Pool) popWaiter() *waiter {
+	for len(p.waiters) > 0 {
+		w := p.waiters[0]
+		p.waiters[0] = nil
+		p.waiters = p.waiters[1:]
+		if w.done {
+			p.waitersDead--
+			continue
+		}
+		return w
+	}
+	return nil
 }
 
 func (p *Pool) admit() {
-	for p.Free() > 0 && len(p.waiters) > 0 {
-		fn := p.waiters[0]
-		p.waiters = p.waiters[1:]
-		p.grant(fn)
+	for p.Free() > 0 {
+		w := p.popWaiter()
+		if w == nil {
+			return
+		}
+		w.timer.Cancel()
+		now := p.eng.Now()
+		// A waiter whose deadline has passed by grant time must not consume
+		// the connection — it would hold a scarce downstream slot only to
+		// give it straight back. Fail it and hand the connection to the next
+		// live waiter instead.
+		if w.deadline > 0 && now >= w.deadline {
+			p.timeouts.Inc(1)
+			p.tracer.Record(w.req, trace.EventTimeout, p.tier, p.name, now)
+			p.failWaiter(w, metrics.DispositionTimeout)
+			continue
+		}
+		p.grantWaiter(w)
 	}
 }
 
@@ -233,6 +362,12 @@ type Sample struct {
 	Leaked int `json:"leaked,omitempty"`
 	// Size is the pool size at sampling time.
 	Size int `json:"size"`
+	// TimedOut and Rejected count the interval's resilience outcomes:
+	// acquisitions that expired before a grant and acquisitions refused by
+	// the waiter bound. Zero — and absent from JSON — when deadlines and
+	// waiter bounds are off.
+	TimedOut uint64 `json:"timedOut,omitempty"`
+	Rejected uint64 `json:"rejected,omitempty"`
 }
 
 // TakeSample returns the metrics accumulated since the previous call and
@@ -244,8 +379,17 @@ func (p *Pool) TakeSample() Sample {
 		MeanWaitSeconds: wait,
 		MeanHeld:        p.held.TakeAverage(p.eng.Now()),
 		InUse:           p.inUse,
-		Waiting:         len(p.waiters),
+		Waiting:         p.Waiting(),
 		Leaked:          p.leaked,
 		Size:            p.size,
+		TimedOut:        p.timeouts.TakeDelta(),
+		Rejected:        p.rejections.TakeDelta(),
 	}
 }
+
+// TotalTimeouts returns the lifetime number of acquisition deadline
+// expiries (while blocked or at grant time).
+func (p *Pool) TotalTimeouts() uint64 { return p.timeouts.Total() }
+
+// TotalRejections returns the lifetime number of waiter-bound rejections.
+func (p *Pool) TotalRejections() uint64 { return p.rejections.Total() }

@@ -13,6 +13,7 @@ import (
 	"dcm/internal/model"
 	"dcm/internal/monitor"
 	"dcm/internal/ntier"
+	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/sim"
 	"dcm/internal/trace"
@@ -102,6 +103,15 @@ type ScenarioConfig struct {
 	// implements controller.Audited): every control period records its
 	// inputs, actions and holds with machine-readable reason codes.
 	Audit bool
+	// Resilience, when non-nil, enables the data-plane resilience layer:
+	// per-request deadlines, client retries (fed from the seed's "retry"
+	// rng split), circuit breakers and admission control, per the config.
+	// nil leaves the run byte-identical to a build without the layer.
+	Resilience *resilience.Config
+	// AppServers overrides the initial Tomcat-tier server count (0 keeps
+	// ntier.DefaultConfig's single server). The retry-storm experiment
+	// starts with two so one can be degraded while the other stays healthy.
+	AppServers int
 }
 
 // ScenarioResult holds the per-second series Fig. 5 plots plus the
@@ -153,6 +163,12 @@ type ScenarioResult struct {
 	// Decisions is the controller's audit log (Audit runs with an
 	// auditable controller only).
 	Decisions []controller.Decision `json:"decisions,omitempty"`
+	// Goodput, Retries and Dispositions are filled on resilience runs
+	// only: completions within the SLA, client retry attempts, and the
+	// full request-outcome taxonomy.
+	Goodput      uint64                     `json:"goodput,omitempty"`
+	Retries      uint64                     `json:"retries,omitempty"`
+	Dispositions *metrics.DispositionCounts `json:"dispositions,omitempty"`
 
 	tracer *trace.RequestTracer
 	audit  *controller.AuditLog
@@ -214,6 +230,12 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.ServletMix {
 		appCfg.Servlets = ntier.DefaultServlets()
 	}
+	if cfg.AppServers > 0 {
+		appCfg.AppServers = cfg.AppServers
+	}
+	if cfg.Resilience != nil {
+		appCfg.Resilience = *cfg.Resilience
+	}
 	app, err := ntier.New(eng, root.Split("app"), appCfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scenario app: %w", err)
@@ -258,21 +280,43 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		injector.Install()
 	}
 
+	// The "retry" split is drawn only on retry-enabled runs, and after
+	// every unconditional split, so disabled runs consume exactly the
+	// same rng stream as before the resilience layer existed.
+	newRetrier := func() (*resilience.Retrier, error) {
+		if cfg.Resilience == nil || !cfg.Resilience.Retry.Enabled() {
+			return nil, nil
+		}
+		return resilience.NewRetrier(cfg.Resilience.Retry, root.Split("retry"))
+	}
 	var stopWorkload func()
+	var totalRetries func() uint64
 	if cfg.Bursty != nil {
 		bl, err := workload.NewBurstyLoop(eng, root.Split("wl"), app, *cfg.Bursty)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scenario workload: %w", err)
 		}
+		ret, err := newRetrier()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario retrier: %w", err)
+		}
+		bl.SetRetrier(ret)
 		bl.Start()
 		stopWorkload = bl.Stop
+		totalRetries = bl.TotalRetries
 	} else {
 		wl, err := workload.NewTraceDriven(eng, root.Split("wl"), app, cfg.Trace, cfg.ThinkTime, time.Second)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scenario workload: %w", err)
 		}
+		ret, err := newRetrier()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario retrier: %w", err)
+		}
+		wl.Loop().SetRetrier(ret)
 		wl.Start()
 		stopWorkload = wl.Stop
+		totalRetries = wl.Loop().TotalRetries
 	}
 
 	horizon := cfg.Trace.Duration() + cfg.Tail
@@ -323,6 +367,12 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	res.TotalCompleted = app.TotalCompletions()
 	res.TotalErrors = app.TotalErrors()
 	res.FinalAllocation = app.Allocation()
+	if cfg.Resilience != nil {
+		res.Goodput = app.TotalGood()
+		res.Retries = totalRetries()
+		disp := app.Dispositions()
+		res.Dispositions = &disp
+	}
 	res.TierLatency = tierLatencySummaries(app)
 	if reqTracer != nil {
 		res.tracer = reqTracer

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"dcm/internal/chaos"
+)
+
+// TestResilienceDisabledIsByteIdentical pins the full marshalled
+// ScenarioResult of two reference runs to the digests captured on main
+// immediately before the resilience subsystem landed. The resilience
+// code paths are threaded through the server, connection pool, tier graph
+// and workload generator; with resilience disabled (the default), every
+// run must stay byte-for-byte what it was before — same rng draw order,
+// same event order, same JSON. If this test fails, a disabled-path draw
+// or accounting change leaked into the baseline.
+func TestResilienceDisabledIsByteIdentical(t *testing.T) {
+	t.Parallel()
+	sched, err := chaos.Builtin("kitchen-sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  ScenarioConfig
+		want string
+	}{
+		{
+			name: "chaos-dcm-1234",
+			cfg:  ScenarioConfig{Seed: 1234, Kind: ControllerDCM, Chaos: &sched},
+			want: "9ffeff8326e4705a547228b3d05242f918509f86775266b732fc9e3879f041cd",
+		},
+		{
+			name: "plain-ec2-42",
+			cfg:  ScenarioConfig{Seed: 42, Kind: ControllerEC2},
+			want: "df0a119c06b4c70078439a12ecb4566fa93f7d3c9917604bca69898abee2e4c3",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(data)
+			if got := hex.EncodeToString(sum[:]); got != tc.want {
+				t.Errorf("result digest = %s, want %s (resilience-disabled output changed)", got, tc.want)
+			}
+		})
+	}
+}

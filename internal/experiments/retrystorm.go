@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dcm/internal/chaos"
+	"dcm/internal/cloud"
+	"dcm/internal/metrics"
+	"dcm/internal/ntier"
+	"dcm/internal/resilience"
+	"dcm/internal/rng"
+	"dcm/internal/runner"
+	"dcm/internal/sim"
+	"dcm/internal/workload"
+)
+
+// The retry-storm experiment reproduces the metastable-failure mode the
+// resilience layer exists to contain. Two Tomcats serve a closed-loop
+// population sized past the capacity the pair retains once one server is
+// degraded; a degraded-server chaos fault then inflates one Tomcat's base
+// service time for most of the run. Without deadlines the stricken server
+// traps its users at ever-higher concurrency — exactly Eq. 5's
+// degradation regime — and goodput (completions within the SLA)
+// collapses. Naive retries free the trapped users but amplify offered
+// load, the textbook retry storm. The full ladder adds circuit breakers
+// (route around the sick server), bounded queues and CoDel shedding
+// (keep the healthy server at its good-throughput operating point), which
+// is what actually restores goodput. RunRetryStorm measures the three
+// rungs under one seed so the ordering is directly comparable.
+
+// RetryStormConfig parameterizes the experiment. The zero value selects
+// calibrated defaults that produce the storm (see defaults).
+type RetryStormConfig struct {
+	// Seed drives all randomness (topology, fault victim draw, workload,
+	// retry jitter).
+	Seed uint64
+	// Users and ThinkTime shape the closed-loop population. The defaults
+	// (500 users, 500 ms think) offer roughly one healthy Tomcat's
+	// capacity — comfortable for the pair, a genuine overload once one
+	// server is degraded to a fraction of its throughput.
+	Users     int
+	ThinkTime time.Duration
+	// Timeout is the per-request deadline shared by the resilient rungs;
+	// it doubles as the goodput SLA for every rung including the
+	// resilience-free baseline (default 1 s).
+	Timeout time.Duration
+	// DegradeAt, DegradeFor and DegradeFactor shape the degraded-server
+	// fault on Tomcat "app-1" (defaults: 20 s into the run, lasting 100 s,
+	// base service time x12).
+	DegradeAt     time.Duration
+	DegradeFor    time.Duration
+	DegradeFactor float64
+	// Horizon bounds the run (default 140 s: the fault window plus a
+	// short recovery tail).
+	Horizon time.Duration
+}
+
+func (c *RetryStormConfig) defaults() {
+	if c.Users <= 0 {
+		c.Users = 500
+	}
+	if c.ThinkTime <= 0 {
+		c.ThinkTime = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.DegradeAt <= 0 {
+		c.DegradeAt = 20 * time.Second
+	}
+	if c.DegradeFor <= 0 {
+		c.DegradeFor = 100 * time.Second
+	}
+	if c.DegradeFactor <= 0 {
+		c.DegradeFactor = 12
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 140 * time.Second
+	}
+}
+
+// RetryStormVariants is the escalation ladder, weakest first.
+func RetryStormVariants() []string { return []string{"none", "retries", "full"} }
+
+// retryStormResilience maps a ladder rung to its resilience config. The
+// "none" rung enables SLA accounting only — zero data-plane features —
+// so the baseline's goodput is measured on the same yardstick.
+func retryStormResilience(variant string, timeout time.Duration) (*resilience.Config, error) {
+	switch variant {
+	case "none":
+		return &resilience.Config{SLA: timeout}, nil
+	case "retries":
+		return resilience.Preset("retries", timeout)
+	case "full":
+		return resilience.Preset("full", timeout)
+	default:
+		return nil, fmt.Errorf("experiments: unknown retry-storm variant %q (have %v)",
+			variant, RetryStormVariants())
+	}
+}
+
+// RetryStormResult is one rung's outcome.
+type RetryStormResult struct {
+	Variant string `json:"variant"`
+	// Goodput is completions within the SLA; GoodputPerSecond normalizes
+	// it by the horizon.
+	Goodput          uint64  `json:"goodput"`
+	GoodputPerSecond float64 `json:"goodputPerSecond"`
+	// Completed counts all completions, good or late.
+	Completed uint64 `json:"completed"`
+	// Errors is the client-visible failure count (after retries).
+	Errors uint64 `json:"errors"`
+	// Retries is the number of retry attempts the clients issued.
+	Retries uint64 `json:"retries"`
+	// Dispositions is the full request-outcome taxonomy.
+	Dispositions metrics.DispositionCounts `json:"dispositions"`
+}
+
+// RunRetryStormVariant executes one rung of the ladder.
+func RunRetryStormVariant(cfg RetryStormConfig, variant string) (RetryStormResult, error) {
+	cfg.defaults()
+	res, err := retryStormResilience(variant, cfg.Timeout)
+	if err != nil {
+		return RetryStormResult{}, err
+	}
+
+	eng := sim.NewEngine()
+	root := rng.New(cfg.Seed)
+
+	appCfg := ntier.DefaultConfig()
+	appCfg.AppServers = 2
+	appCfg.Resilience = *res
+	app, err := ntier.New(eng, root.Split("app"), appCfg)
+	if err != nil {
+		return RetryStormResult{}, fmt.Errorf("experiments: retry storm app: %w", err)
+	}
+
+	// The degraded-server fault targets "app-1" by name so every rung
+	// degrades the same Tomcat regardless of rng stream differences.
+	sched := chaos.Schedule{Name: "retry-storm", Faults: []chaos.Fault{{
+		Kind:     chaos.KindDegrade,
+		At:       cfg.DegradeAt,
+		Duration: cfg.DegradeFor,
+		Tier:     ntier.TierApp,
+		VM:       "app-1",
+		Factor:   cfg.DegradeFactor,
+	}}}
+	hv := cloud.NewHypervisor(eng, 15*time.Second)
+	inj, err := chaos.NewInjector(eng, root.Split("chaos"), app, hv, nil, sched)
+	if err != nil {
+		return RetryStormResult{}, fmt.Errorf("experiments: retry storm chaos: %w", err)
+	}
+	inj.Install()
+
+	wl, err := workload.NewClosedLoop(eng, root.Split("wl"), app, workload.ClosedLoopConfig{
+		Users:     cfg.Users,
+		ThinkTime: cfg.ThinkTime,
+	})
+	if err != nil {
+		return RetryStormResult{}, fmt.Errorf("experiments: retry storm workload: %w", err)
+	}
+	if res.Retry.Enabled() {
+		ret, err := resilience.NewRetrier(res.Retry, root.Split("retry"))
+		if err != nil {
+			return RetryStormResult{}, fmt.Errorf("experiments: retry storm retrier: %w", err)
+		}
+		wl.SetRetrier(ret)
+	}
+	wl.Start()
+
+	if err := eng.Run(cfg.Horizon); err != nil {
+		return RetryStormResult{}, fmt.Errorf("experiments: retry storm run: %w", err)
+	}
+	wl.Stop()
+
+	return RetryStormResult{
+		Variant:          variant,
+		Goodput:          app.TotalGood(),
+		GoodputPerSecond: float64(app.TotalGood()) / cfg.Horizon.Seconds(),
+		Completed:        app.TotalCompletions(),
+		Errors:           app.TotalErrors(),
+		Retries:          wl.TotalRetries(),
+		Dispositions:     app.Dispositions(),
+	}, nil
+}
+
+// RunRetryStorm runs the whole ladder concurrently (each rung has its own
+// engine and rng) and returns results in ladder order.
+func RunRetryStorm(cfg RetryStormConfig) ([]RetryStormResult, error) {
+	return runner.Map(RetryStormVariants(), 0, func(_ int, variant string) (RetryStormResult, error) {
+		return RunRetryStormVariant(cfg, variant)
+	})
+}
+
+// RenderRetryStorm renders the ladder comparison table. retries/succ is
+// the retry amplification: retry attempts per successful completion, the
+// storm's load-multiplication factor.
+func RenderRetryStorm(results []RetryStormResult) string {
+	tb := metrics.NewTable("variant", "goodput/s", "good", "completed", "errors",
+		"retries", "retries/succ", "timeouts", "rejected", "shed", "brk-open")
+	for _, r := range results {
+		perSucc := 0.0
+		if r.Completed > 0 {
+			perSucc = float64(r.Retries) / float64(r.Completed)
+		}
+		tb.AddRow(r.Variant,
+			fmtF(r.GoodputPerSecond, 1),
+			fmt.Sprintf("%d", r.Goodput),
+			fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.Errors),
+			fmt.Sprintf("%d", r.Retries),
+			fmtF(perSucc, 2),
+			fmt.Sprintf("%d", r.Dispositions.TimedOut),
+			fmt.Sprintf("%d", r.Dispositions.Rejected),
+			fmt.Sprintf("%d", r.Dispositions.Shed),
+			fmt.Sprintf("%d", r.Dispositions.BreakerOpen))
+	}
+	return tb.String()
+}
+
+// RenderDispositionSummary renders one row per resilience-enabled result:
+// goodput next to the full request-outcome taxonomy and the retry
+// amplification. Results without disposition data are skipped; the empty
+// string means none had any (render nothing).
+func RenderDispositionSummary(results ...*ScenarioResult) string {
+	tb := metrics.NewTable("controller", "goodput", "ok", "timed-out", "rejected",
+		"shed", "brk-open", "errors", "retries", "retries/succ")
+	rows := 0
+	for _, r := range results {
+		if r.Dispositions == nil {
+			continue
+		}
+		rows++
+		perSucc := 0.0
+		if r.TotalCompleted > 0 {
+			perSucc = float64(r.Retries) / float64(r.TotalCompleted)
+		}
+		d := r.Dispositions
+		tb.AddRow(string(r.Kind),
+			fmt.Sprintf("%d", r.Goodput),
+			fmt.Sprintf("%d", d.OK),
+			fmt.Sprintf("%d", d.TimedOut),
+			fmt.Sprintf("%d", d.Rejected),
+			fmt.Sprintf("%d", d.Shed),
+			fmt.Sprintf("%d", d.BreakerOpen),
+			fmt.Sprintf("%d", d.Errored),
+			fmt.Sprintf("%d", r.Retries),
+			fmtF(perSucc, 2))
+	}
+	if rows == 0 {
+		return ""
+	}
+	return tb.String()
+}

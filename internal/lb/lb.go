@@ -48,8 +48,13 @@ func (p Policy) String() string {
 // Errors returned by the balancer.
 var (
 	ErrNoBackends = errors.New("lb: no ready backends")
-	ErrDuplicate  = errors.New("lb: duplicate backend")
-	ErrUnknown    = errors.New("lb: unknown backend")
+	// ErrGuarded is returned when ready backends exist but the guard
+	// refused every one of them — the circuit-breaker signal, distinct
+	// from ErrNoBackends so callers can report "breaker open" rather than
+	// "tier down".
+	ErrGuarded   = errors.New("lb: all ready backends guarded")
+	ErrDuplicate = errors.New("lb: duplicate backend")
+	ErrUnknown   = errors.New("lb: unknown backend")
 )
 
 // Balancer distributes work over a mutable set of backends. The zero value
@@ -60,6 +65,7 @@ type Balancer struct {
 	backends []Backend
 	next     int
 	picks    map[string]uint64
+	guard    func(Backend) bool
 }
 
 // New returns a balancer with the given policy.
@@ -72,6 +78,14 @@ func New(policy Policy) *Balancer {
 
 // Policy returns the balancing policy.
 func (b *Balancer) Policy() Policy { return b.policy }
+
+// SetGuard installs a per-pick admission predicate consulted alongside
+// Accepting: a backend for which guard returns false is skipped as if it
+// were draining. This is the circuit-breaker hook — the tier graph guards
+// each backend with its breaker's Ready check. A nil guard (the default)
+// admits every accepting backend and leaves Pick byte-identical to the
+// unguarded balancer.
+func (b *Balancer) SetGuard(guard func(Backend) bool) { b.guard = guard }
 
 // Add registers a backend.
 func (b *Balancer) Add(backend Backend) error {
@@ -120,12 +134,16 @@ func (b *Balancer) ReadyCount() int {
 	return n
 }
 
-// Pick selects a ready backend according to the policy.
+// Pick selects a ready backend according to the policy, skipping guarded
+// backends. When ready backends exist but the guard refuses all of them,
+// Pick returns ErrGuarded; when no backend is accepting at all it returns
+// ErrNoBackends.
 func (b *Balancer) Pick() (Backend, error) {
 	n := len(b.backends)
 	if n == 0 {
 		return nil, ErrNoBackends
 	}
+	guarded := false
 	switch b.policy {
 	case LeastConnections:
 		var best Backend
@@ -135,11 +153,18 @@ func (b *Balancer) Pick() (Backend, error) {
 			if !cand.Accepting() {
 				continue
 			}
+			if b.guard != nil && !b.guard(cand) {
+				guarded = true
+				continue
+			}
 			if best == nil || cand.Load() < best.Load() {
 				best = cand
 			}
 		}
 		if best == nil {
+			if guarded {
+				return nil, ErrGuarded
+			}
 			return nil, ErrNoBackends
 		}
 		b.next = (b.next + 1) % n
@@ -149,10 +174,18 @@ func (b *Balancer) Pick() (Backend, error) {
 		for i := 0; i < n; i++ {
 			cand := b.backends[b.next%n]
 			b.next = (b.next + 1) % n
-			if cand.Accepting() {
-				b.picks[cand.Name()]++
-				return cand, nil
+			if !cand.Accepting() {
+				continue
 			}
+			if b.guard != nil && !b.guard(cand) {
+				guarded = true
+				continue
+			}
+			b.picks[cand.Name()]++
+			return cand, nil
+		}
+		if guarded {
+			return nil, ErrGuarded
 		}
 		return nil, ErrNoBackends
 	}

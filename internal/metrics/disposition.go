@@ -1,0 +1,91 @@
+package metrics
+
+// Request dispositions: the first-class outcome taxonomy of the resilience
+// layer. Every request leaving the system is classified exactly once —
+// succeeded, errored (crash or no backend), timed out against its deadline,
+// rejected by a bounded queue, shed by the CoDel queue-delay shedder, or
+// refused by an open circuit breaker. Keeping the taxonomy here (rather
+// than in the packages that produce outcomes) lets server, connpool, ntier
+// and the experiment reports all speak the same vocabulary.
+
+// Disposition classifies how a request left the system.
+type Disposition string
+
+// The disposition vocabulary. DispositionOK is the empty string so the
+// zero value of callback parameters means "granted / succeeded" and the
+// disabled resilience path never has to spell a disposition out.
+const (
+	// DispositionOK: the request completed successfully.
+	DispositionOK Disposition = ""
+	// DispositionError: infrastructure failure — no backend available, or
+	// the server crashed mid-request.
+	DispositionError Disposition = "error"
+	// DispositionTimeout: the request's deadline expired before it
+	// completed.
+	DispositionTimeout Disposition = "timeout"
+	// DispositionRejected: a bounded admission queue was full.
+	DispositionRejected Disposition = "rejected"
+	// DispositionShed: the CoDel shedder dropped the request because queue
+	// delay stayed above target for a full interval.
+	DispositionShed Disposition = "shed"
+	// DispositionBreakerOpen: every candidate backend's circuit breaker was
+	// open.
+	DispositionBreakerOpen Disposition = "breaker-open"
+)
+
+// String returns a human-readable name ("ok" for the zero value).
+func (d Disposition) String() string {
+	if d == DispositionOK {
+		return "ok"
+	}
+	return string(d)
+}
+
+// DispositionCounts tallies request outcomes by disposition.
+type DispositionCounts struct {
+	OK          uint64 `json:"ok"`
+	Errored     uint64 `json:"errored,omitempty"`
+	TimedOut    uint64 `json:"timedOut,omitempty"`
+	Rejected    uint64 `json:"rejected,omitempty"`
+	Shed        uint64 `json:"shed,omitempty"`
+	BreakerOpen uint64 `json:"breakerOpen,omitempty"`
+}
+
+// Observe tallies one outcome. Unknown dispositions count as errors so a
+// new producer can never silently vanish from the totals.
+func (c *DispositionCounts) Observe(d Disposition) {
+	switch d {
+	case DispositionOK:
+		c.OK++
+	case DispositionTimeout:
+		c.TimedOut++
+	case DispositionRejected:
+		c.Rejected++
+	case DispositionShed:
+		c.Shed++
+	case DispositionBreakerOpen:
+		c.BreakerOpen++
+	default:
+		c.Errored++
+	}
+}
+
+// Add accumulates other into c.
+func (c *DispositionCounts) Add(other DispositionCounts) {
+	c.OK += other.OK
+	c.Errored += other.Errored
+	c.TimedOut += other.TimedOut
+	c.Rejected += other.Rejected
+	c.Shed += other.Shed
+	c.BreakerOpen += other.BreakerOpen
+}
+
+// Total returns the number of classified requests.
+func (c DispositionCounts) Total() uint64 {
+	return c.OK + c.Failed()
+}
+
+// Failed returns the number of requests that did not complete successfully.
+func (c DispositionCounts) Failed() uint64 {
+	return c.Errored + c.TimedOut + c.Rejected + c.Shed + c.BreakerOpen
+}

@@ -21,6 +21,7 @@ import (
 	"dcm/internal/lb"
 	"dcm/internal/metrics"
 	"dcm/internal/model"
+	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/server"
 	"dcm/internal/sim"
@@ -73,6 +74,12 @@ type Config struct {
 	DBThrashCap  float64
 	// Policy selects the load-balancing policy (default round-robin).
 	Policy lb.Policy
+	// Resilience configures the data-plane resilience features: request
+	// deadlines propagated across every tier hop, per-backend circuit
+	// breakers at the tier boundaries, bounded admission queues and CoDel
+	// shedding. The zero value disables everything and leaves the request
+	// flow byte-identical to the resilience-free application.
+	Resilience resilience.Config
 }
 
 // DefaultConfig returns the calibrated simulator configuration:
@@ -182,6 +189,18 @@ type App struct {
 	traces         []*RequestTrace
 
 	reqTracer *trace.RequestTracer
+
+	// Resilience state. breakers is keyed by server name and empty unless
+	// the breaker feature is on; the interval counters feed Stats and stay
+	// zero (absent from JSON) when resilience is disabled.
+	res      resilience.Config
+	breakers map[string]*resilience.Breaker
+	disp     metrics.DispositionCounts
+	timedOut metrics.Counter
+	rejected metrics.Counter
+	shed     metrics.Counter
+	brkOpen  metrics.Counter
+	good     metrics.Counter
 }
 
 // New builds the application with cfg's initial topology. rnd must be a
@@ -206,6 +225,9 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 	}
+	if err := cfg.Resilience.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	servletWeight := 0.0
 	if len(cfg.Servlets) > 0 {
 		// Copy the mix so later caller mutations cannot skew the weights.
@@ -226,6 +248,8 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
 		nameSeq:       make(map[string]int, 3),
 		servletWeight: servletWeight,
 		servletStats:  make(map[string]*servletAccum, len(cfg.Servlets)),
+		res:           cfg.Resilience,
+		breakers:      make(map[string]*resilience.Breaker),
 	}
 	for i := range cfg.Servlets {
 		a.servletStats[cfg.Servlets[i].Name] = &servletAccum{}
@@ -235,6 +259,16 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
 			name:     name,
 			balancer: lb.New(cfg.Policy),
 			members:  make(map[string]*Member),
+		}
+		if a.res.Breaker.Enabled() {
+			// Breaker guard: a backend whose breaker is open (and not yet
+			// cooled down) is skipped like a draining one. Ready is the
+			// non-mutating check; the probe is consumed by Attempt at
+			// dispatch time.
+			a.tiers[name].balancer.SetGuard(func(be lb.Backend) bool {
+				br := a.breakers[be.Name()]
+				return br == nil || br.Ready(a.eng.Now())
+			})
 		}
 	}
 	for i := 0; i < cfg.WebServers; i++ {
@@ -288,6 +322,12 @@ func (a *App) AddServer(tierName, name string) (*Member, error) {
 		Name:       name,
 		NoiseSigma: a.cfg.NoiseSigma,
 	}
+	if a.res.Enabled() {
+		// Admission control applies uniformly at every tier boundary.
+		srvCfg.MaxQueue = a.res.MaxQueue
+		srvCfg.CoDelTarget = a.res.CoDelTarget
+		srvCfg.CoDelInterval = a.res.CoDelInterval
+	}
 	switch tierName {
 	case TierWeb:
 		srvCfg.Model, srvCfg.PoolSize = a.cfg.WebModel, a.cfg.WebThreads
@@ -316,7 +356,17 @@ func (a *App) AddServer(tierName, name string) (*Member, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ntier: add app server: %w", err)
 		}
+		if a.res.Enabled() && a.res.MaxPoolWaiters > 0 {
+			p.SetMaxWaiters(a.res.MaxPoolWaiters)
+		}
 		m.pool = p
+	}
+	// Breakers guard calls *into* downstream tiers (web→app, app→db). The
+	// web tier is the system's front door: opening a breaker there is a
+	// self-inflicted outage, so the entry tier relies on admission control
+	// (bounded queue + CoDel) instead.
+	if a.res.Breaker.Enabled() && tierName != TierWeb {
+		a.breakers[name] = resilience.NewBreaker(a.res.Breaker)
 	}
 	if err := t.balancer.Add(m); err != nil {
 		return nil, fmt.Errorf("ntier: register %q: %w", name, err)
@@ -496,6 +546,7 @@ func (a *App) RemoveServer(tierName, name string) error {
 		return fmt.Errorf("ntier: remove %s/%s: %w", tierName, name, err)
 	}
 	delete(t.members, name)
+	delete(a.breakers, name)
 	a.refreshDBConfigured()
 	return nil
 }
@@ -518,6 +569,7 @@ func (a *App) FailServer(tierName, name string) error {
 		return fmt.Errorf("ntier: fail %s/%s: %w", tierName, name, err)
 	}
 	delete(t.members, name)
+	delete(a.breakers, name)
 	m.srv.Kill()
 	a.refreshDBConfigured()
 	return nil
@@ -583,12 +635,94 @@ func (a *App) TotalCompletions() uint64 { return a.completions.Total() }
 // available).
 func (a *App) TotalErrors() uint64 { return a.errored.Total() }
 
+// TotalGood returns the lifetime number of good completions — requests
+// that finished within the resilience config's goodput SLA. Zero when
+// resilience is disabled (every completion is then merely "completed").
+func (a *App) TotalGood() uint64 { return a.good.Total() }
+
+// Dispositions returns the lifetime disposition tally of finished
+// requests (ok, error, timeout, rejected, shed, breaker-open).
+func (a *App) Dispositions() metrics.DispositionCounts { return a.disp }
+
+// Breaker returns the named server's circuit breaker, nil when breakers
+// are disabled or the server is unknown.
+func (a *App) Breaker(name string) *resilience.Breaker { return a.breakers[name] }
+
+// deadlineFor computes the absolute deadline for a request arriving at
+// start (zero when request timeouts are off).
+func (a *App) deadlineFor(start sim.Time) sim.Time {
+	if a.res.RequestTimeout <= 0 {
+		return 0
+	}
+	return start + a.res.RequestTimeout
+}
+
+// pickDisposition classifies a balancer Pick error: a guard refusal is a
+// breaker-open outcome, anything else a plain error (tier down).
+func pickDisposition(err error) metrics.Disposition {
+	if errors.Is(err, lb.ErrGuarded) {
+		return metrics.DispositionBreakerOpen
+	}
+	return metrics.DispositionError
+}
+
+// breakerAttempt consumes a breaker admission for the member (half-open
+// probe accounting); true when the call may proceed. Always true when
+// breakers are off.
+func (a *App) breakerAttempt(m *Member) bool {
+	br := a.breakers[m.Name()]
+	return br == nil || br.Attempt(a.eng.Now())
+}
+
+// breakerRecord feeds a call outcome to the member's breaker. Only
+// genuine backend verdicts count: OK is a success, errors and timeouts
+// are failures. Backpressure verdicts (rejected, shed, a downstream
+// breaker refusing) bypass the failure window — shedding is the admission
+// layer doing its job, not evidence this backend is sick, and counting it
+// would let a load spike open every breaker and escalate backpressure
+// into a full outage.
+func (a *App) breakerRecord(m *Member, disp metrics.Disposition) {
+	br := a.breakers[m.Name()]
+	if br == nil {
+		return
+	}
+	switch disp {
+	case metrics.DispositionOK:
+		br.Record(a.eng.Now(), true)
+	case metrics.DispositionError, metrics.DispositionTimeout:
+		br.Record(a.eng.Now(), false)
+	default:
+		br.RecordNeutral()
+	}
+}
+
+// tally folds one finished request's disposition into the app counters
+// (the per-disposition interval counters feed Stats; each counts finished
+// requests, wherever in the tier graph the outcome was decided).
+func (a *App) tally(d metrics.Disposition) {
+	a.disp.Observe(d)
+	switch d {
+	case metrics.DispositionTimeout:
+		a.timedOut.Inc(1)
+	case metrics.DispositionRejected:
+		a.rejected.Inc(1)
+	case metrics.DispositionShed:
+		a.shed.Inc(1)
+	case metrics.DispositionBreakerOpen:
+		a.brkOpen.Inc(1)
+	}
+}
+
 // Inject sends one HTTP request through the system. done (optional) is
 // invoked on completion with the end-to-end response time and whether the
 // request succeeded. With a servlet mix configured, the request's class is
-// drawn by weight.
+// drawn by weight. When resilience is configured the request carries an
+// absolute deadline across every tier hop; its outcome is tallied as a
+// disposition (Dispositions) and, when it completes within the goodput
+// SLA, as a good completion (TotalGood).
 func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 	start := a.eng.Now()
+	deadline := a.deadlineFor(start)
 	a.inFlight++
 	var servlet *Servlet
 	if len(a.cfg.Servlets) > 0 {
@@ -597,7 +731,8 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 	tr := a.beginTrace(servlet)
 	req := a.reqTracer.Begin()
 	a.reqTracer.Record(req, trace.EventArrive, "", "", start)
-	finish := func(ok bool) {
+	finish := func(disp metrics.Disposition) {
+		ok := disp == metrics.DispositionOK
 		a.inFlight--
 		rt := a.eng.Now() - start
 		kind := trace.EventDone
@@ -605,10 +740,16 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 			kind = trace.EventFail
 		}
 		a.reqTracer.Record(req, kind, "", "", a.eng.Now())
+		a.tally(disp)
 		if ok {
 			a.completions.Inc(1)
 			a.rts.Observe(rt.Seconds())
 			a.rtWindow = append(a.rtWindow, rt.Seconds())
+			if a.res.Enabled() {
+				if sla := a.res.GoodputSLA(); sla <= 0 || rt <= sla {
+					a.good.Inc(1)
+				}
+			}
 		} else {
 			a.errored.Inc(1)
 		}
@@ -632,42 +773,75 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 
 	webBackend, err := a.tiers[TierWeb].balancer.Pick()
 	if err != nil {
-		finish(false)
+		if errors.Is(err, lb.ErrGuarded) {
+			a.reqTracer.Record(req, trace.EventBreakerOpen, TierWeb, "", a.eng.Now())
+		}
+		finish(pickDisposition(err))
 		return
 	}
 	web, ok := a.tiers[TierWeb].members[webBackend.Name()]
 	if !ok {
-		finish(false)
+		finish(metrics.DispositionError)
+		return
+	}
+	if !a.breakerAttempt(web) {
+		a.reqTracer.Record(req, trace.EventBreakerOpen, TierWeb, web.Name(), a.eng.Now())
+		finish(metrics.DispositionBreakerOpen)
 		return
 	}
 	webStart := a.eng.Now()
-	web.srv.AcquireFor(req, func(webSess *server.Session) {
+	web.srv.AcquireDeadline(req, deadline, func(webSess *server.Session, acqDisp metrics.Disposition) {
 		if webSess == nil {
-			finish(false)
+			a.breakerRecord(web, acqDisp)
+			finish(acqDisp)
 			return
 		}
 		webSess.Exec(func() {
-			a.dispatchApp(req, servlet, tr, func(ok bool) {
+			if webSess.TimedOut() {
 				webSess.Release()
 				a.span(tr, "web", web.Name(), webStart)
-				finish(ok && !webSess.Killed())
+				a.breakerRecord(web, metrics.DispositionTimeout)
+				finish(metrics.DispositionTimeout)
+				return
+			}
+			a.dispatchApp(req, deadline, servlet, tr, func(disp metrics.Disposition) {
+				webSess.Release()
+				a.span(tr, "web", web.Name(), webStart)
+				if disp == metrics.DispositionOK && webSess.Killed() {
+					disp = metrics.DispositionError
+				}
+				a.breakerRecord(web, disp)
+				finish(disp)
 			})
 		})
 	})
 }
 
 // dispatchApp runs the application-tier stage of a request. req is the
-// tracing request ID (0 = untraced); servlet is nil for the single-class
-// flow; tr is nil unless the request is waterfall-traced.
-func (a *App) dispatchApp(req uint64, servlet *Servlet, tr *RequestTrace, done func(ok bool)) {
+// tracing request ID (0 = untraced); deadline is the request's absolute
+// deadline (0 = none); servlet is nil for the single-class flow; tr is nil
+// unless the request is waterfall-traced.
+func (a *App) dispatchApp(req uint64, deadline sim.Time, servlet *Servlet, tr *RequestTrace, done func(metrics.Disposition)) {
+	if deadline > 0 && a.eng.Now() >= deadline {
+		done(metrics.DispositionTimeout)
+		return
+	}
 	appBackend, err := a.tiers[TierApp].balancer.Pick()
 	if err != nil {
-		done(false)
+		if errors.Is(err, lb.ErrGuarded) {
+			a.reqTracer.Record(req, trace.EventBreakerOpen, TierApp, "", a.eng.Now())
+		}
+		done(pickDisposition(err))
 		return
 	}
 	app, ok := a.tiers[TierApp].members[appBackend.Name()]
 	if !ok {
-		done(false)
+		done(metrics.DispositionError)
+		return
+	}
+	if !a.breakerAttempt(app) {
+		a.reqTracer.Record(req, trace.EventBreakerOpen, TierApp, app.Name(), a.eng.Now())
+		done(metrics.DispositionBreakerOpen)
 		return
 	}
 	appDemand, queries, queryDemand := 1.0, a.cfg.QueriesPerRequest, 1.0
@@ -675,60 +849,98 @@ func (a *App) dispatchApp(req uint64, servlet *Servlet, tr *RequestTrace, done f
 		appDemand, queries, queryDemand = servlet.AppDemand, servlet.Queries, servlet.QueryDemand
 	}
 	appStart := a.eng.Now()
-	app.srv.AcquireFor(req, func(appSess *server.Session) {
+	app.srv.AcquireDeadline(req, deadline, func(appSess *server.Session, acqDisp metrics.Disposition) {
 		if appSess == nil {
-			done(false)
+			a.breakerRecord(app, acqDisp)
+			done(acqDisp)
 			return
 		}
 		appSess.ExecDemand(appDemand, func() {
-			a.runQueries(req, app, tr, 0, queries, queryDemand, func(ok bool) {
+			if appSess.TimedOut() {
 				appSess.Release()
 				a.appRes.Observe((a.eng.Now() - appStart).Seconds())
 				a.span(tr, "app", app.Name(), appStart)
-				done(ok && !appSess.Killed())
+				a.breakerRecord(app, metrics.DispositionTimeout)
+				done(metrics.DispositionTimeout)
+				return
+			}
+			a.runQueries(req, deadline, app, tr, 0, queries, queryDemand, func(disp metrics.Disposition) {
+				appSess.Release()
+				a.appRes.Observe((a.eng.Now() - appStart).Seconds())
+				a.span(tr, "app", app.Name(), appStart)
+				if disp == metrics.DispositionOK && appSess.Killed() {
+					disp = metrics.DispositionError
+				}
+				a.breakerRecord(app, disp)
+				done(disp)
 			})
 		})
 	})
 }
 
 // runQueries issues the request's MySQL queries sequentially through the
-// app member's connection pool.
-func (a *App) runQueries(req uint64, app *Member, tr *RequestTrace, issued, queries int, queryDemand float64, done func(ok bool)) {
+// app member's connection pool, checking the deadline before each query.
+func (a *App) runQueries(req uint64, deadline sim.Time, app *Member, tr *RequestTrace, issued, queries int, queryDemand float64, done func(metrics.Disposition)) {
 	if issued >= queries {
-		done(true)
+		done(metrics.DispositionOK)
+		return
+	}
+	if deadline > 0 && a.eng.Now() >= deadline {
+		done(metrics.DispositionTimeout)
 		return
 	}
 	queryStart := a.eng.Now()
-	app.pool.AcquireFor(req, func(conn *connpool.Conn) {
+	app.pool.AcquireDeadline(req, deadline, func(conn *connpool.Conn, acqDisp metrics.Disposition) {
+		if conn == nil {
+			done(acqDisp)
+			return
+		}
 		dbBackend, err := a.tiers[TierDB].balancer.Pick()
 		if err != nil {
 			conn.Release()
-			done(false)
+			if errors.Is(err, lb.ErrGuarded) {
+				a.reqTracer.Record(req, trace.EventBreakerOpen, TierDB, "", a.eng.Now())
+			}
+			done(pickDisposition(err))
 			return
 		}
 		db, ok := a.tiers[TierDB].members[dbBackend.Name()]
 		if !ok {
 			conn.Release()
-			done(false)
+			done(metrics.DispositionError)
 			return
 		}
-		db.srv.AcquireFor(req, func(dbSess *server.Session) {
+		if !a.breakerAttempt(db) {
+			conn.Release()
+			a.reqTracer.Record(req, trace.EventBreakerOpen, TierDB, db.Name(), a.eng.Now())
+			done(metrics.DispositionBreakerOpen)
+			return
+		}
+		db.srv.AcquireDeadline(req, deadline, func(dbSess *server.Session, dbDisp metrics.Disposition) {
 			if dbSess == nil {
 				conn.Release()
-				done(false)
+				a.breakerRecord(db, dbDisp)
+				done(dbDisp)
 				return
 			}
 			dbSess.ExecDemand(queryDemand, func() {
 				killed := dbSess.Killed()
+				timedOut := dbSess.TimedOut()
 				dbSess.Release()
 				conn.Release()
 				a.dbRes.Observe((a.eng.Now() - queryStart).Seconds())
 				a.span(tr, fmt.Sprintf("db-query-%d", issued+1), db.Name(), queryStart)
-				if killed {
-					done(false)
-					return
+				switch {
+				case killed:
+					a.breakerRecord(db, metrics.DispositionError)
+					done(metrics.DispositionError)
+				case timedOut:
+					a.breakerRecord(db, metrics.DispositionTimeout)
+					done(metrics.DispositionTimeout)
+				default:
+					a.breakerRecord(db, metrics.DispositionOK)
+					a.runQueries(req, deadline, app, tr, issued+1, queries, queryDemand, done)
 				}
-				a.runQueries(req, app, tr, issued+1, queries, queryDemand, done)
 			})
 		})
 	})
@@ -752,6 +964,15 @@ type Stats struct {
 	RT metrics.Summary `json:"rt"`
 	// InFlight is the instantaneous number of requests in the system.
 	InFlight int `json:"inFlight"`
+	// Resilience outcome counts for requests finished in the interval
+	// (subsets of Errors, except Good which is the subset of Completions
+	// within the goodput SLA). All zero — and absent from JSON — when
+	// resilience is disabled.
+	Good        uint64 `json:"good,omitempty"`
+	TimedOut    uint64 `json:"timedOut,omitempty"`
+	Rejected    uint64 `json:"rejected,omitempty"`
+	Shed        uint64 `json:"shed,omitempty"`
+	BreakerOpen uint64 `json:"breakerOpen,omitempty"`
 }
 
 // TakeStats returns system metrics accumulated since the previous call and
@@ -768,6 +989,11 @@ func (a *App) TakeStats() Stats {
 		MeanDBResidence:  dbMean,
 		RT:               metrics.Summarize(a.rtWindow),
 		InFlight:         a.inFlight,
+		Good:             a.good.TakeDelta(),
+		TimedOut:         a.timedOut.TakeDelta(),
+		Rejected:         a.rejected.TakeDelta(),
+		Shed:             a.shed.TakeDelta(),
+		BreakerOpen:      a.brkOpen.TakeDelta(),
 	}
 	a.rtWindow = a.rtWindow[:0]
 	return st

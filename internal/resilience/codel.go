@@ -1,0 +1,79 @@
+package resilience
+
+import (
+	"math"
+	"time"
+)
+
+// CoDel is the on-dequeue queue-delay shedder (after Nichols & Jacobson's
+// CoDel AQM, adapted from packet drops to request shedding): while the
+// sojourn time of dequeued requests stays below Target the queue is
+// healthy. Once sojourn has stayed at or above Target for a full Interval
+// the shedder enters the dropping state and sheds with the CoDel control
+// law — successive sheds Interval/sqrt(count) apart, so a standing queue
+// that refuses to drain is shed at an accelerating rate until sojourn
+// falls back under Target. Shedding on dequeue (not on arrival) targets
+// exactly the requests that have already waited too long to be worth
+// serving — standing-queue delay, not bursts.
+type CoDel struct {
+	target   time.Duration
+	interval time.Duration
+
+	firstAbove time.Duration // when sojourn first rose above target, plus interval (0 = below)
+	dropping   bool
+	dropNext   time.Duration // earliest time of the next shed while dropping
+	count      int           // sheds this dropping episode
+}
+
+// NewCoDel returns a shedder; target <= 0 disables it (Enabled reports
+// false and OnDequeue never sheds). interval defaults to 10x target.
+func NewCoDel(target, interval time.Duration) *CoDel {
+	if target > 0 && interval <= 0 {
+		interval = 10 * target
+	}
+	return &CoDel{target: target, interval: interval}
+}
+
+// Enabled reports whether the shedder is active.
+func (c *CoDel) Enabled() bool { return c != nil && c.target > 0 }
+
+// OnDequeue classifies one dequeue at now of a request enqueued at
+// enqueued, returning true when the request should be shed.
+func (c *CoDel) OnDequeue(now, enqueued time.Duration) bool {
+	if !c.Enabled() {
+		return false
+	}
+	sojourn := now - enqueued
+	if sojourn < c.target {
+		// Queue is healthy again: leave the dropping state entirely.
+		c.firstAbove = 0
+		c.dropping = false
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now + c.interval
+		return false
+	}
+	if !c.dropping {
+		if now < c.firstAbove {
+			return false
+		}
+		c.dropping = true
+		c.count = 1
+		c.dropNext = now + c.nextGap()
+		return true
+	}
+	if now >= c.dropNext {
+		c.count++
+		c.dropNext += c.nextGap()
+		return true
+	}
+	return false
+}
+
+// nextGap is the control law: the gap to the next shed shrinks as
+// Interval/sqrt(count), the CoDel schedule that drives a standing queue
+// back under target no matter how fast it is being refilled.
+func (c *CoDel) nextGap() time.Duration {
+	return time.Duration(float64(c.interval) / math.Sqrt(float64(c.count)))
+}

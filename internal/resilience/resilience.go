@@ -1,0 +1,142 @@
+// Package resilience holds the data-plane resilience policies threaded
+// through the request path: per-request deadlines, client-side retries
+// with exponential backoff and a retry budget, circuit breakers at tier
+// boundaries, and admission control (bounded queues plus a CoDel-style
+// queue-delay shedder).
+//
+// The package is deliberately a leaf: it knows nothing about servers,
+// pools or tiers. The mechanism lives in internal/server, internal/connpool,
+// internal/lb, internal/ntier and internal/workload; this package supplies
+// the policy objects they consult. Everything is deterministic — the only
+// randomness is retry jitter, drawn from an rng split the caller provides —
+// and the zero Config disables every feature, leaving the simulation
+// byte-identical to a build without the resilience layer.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrBadConfig is returned for invalid resilience configurations.
+var ErrBadConfig = errors.New("resilience: invalid config")
+
+// Config is the complete resilience policy for one run. The zero value
+// disables everything.
+type Config struct {
+	// RequestTimeout is the per-request deadline, set at injection and
+	// propagated across every tier hop: once it expires the request fails
+	// immediately and never acquires another thread or connection. Zero
+	// disables deadlines.
+	RequestTimeout time.Duration `json:"requestTimeout,omitempty"`
+	// SLA is the goodput threshold: completions with end-to-end response
+	// time at or under SLA count as good. Zero falls back to
+	// RequestTimeout; both zero counts every completion. SLA is pure
+	// accounting and never changes scheduling.
+	SLA time.Duration `json:"sla,omitempty"`
+	// MaxQueue bounds each server's admission queue: a request arriving to
+	// a full queue is rejected outright instead of waiting. Zero means
+	// unbounded (the historical behaviour).
+	MaxQueue int `json:"maxQueue,omitempty"`
+	// MaxPoolWaiters bounds each DB connection pool's waiter list the same
+	// way. Zero means unbounded.
+	MaxPoolWaiters int `json:"maxPoolWaiters,omitempty"`
+	// CoDelTarget and CoDelInterval enable the CoDel-style shedder on
+	// server queues: once queue delay has stayed above CoDelTarget for a
+	// full CoDelInterval, one request is shed per interval until delay
+	// drops back under target. Zero CoDelTarget disables shedding;
+	// CoDelInterval defaults to 10x the target.
+	CoDelTarget   time.Duration `json:"codelTarget,omitempty"`
+	CoDelInterval time.Duration `json:"codelInterval,omitempty"`
+	// Retry is the client-side retry policy (applied by the workload
+	// generators, not inside the tiers).
+	Retry RetryPolicy `json:"retry,omitempty"`
+	// Breaker is the per-backend circuit breaker policy applied at every
+	// tier boundary.
+	Breaker BreakerConfig `json:"breaker,omitempty"`
+}
+
+// Enabled reports whether any data-plane feature is on (SLA alone is
+// accounting, not a data-plane feature, but still marks the config as
+// enabled so results surface disposition counts).
+func (c Config) Enabled() bool {
+	return c != Config{}
+}
+
+// Validate rejects nonsensical configurations with a descriptive error.
+func (c Config) Validate() error {
+	if c.RequestTimeout < 0 || c.SLA < 0 || c.CoDelTarget < 0 || c.CoDelInterval < 0 {
+		return fmt.Errorf("%w: negative duration", ErrBadConfig)
+	}
+	if c.MaxQueue < 0 || c.MaxPoolWaiters < 0 {
+		return fmt.Errorf("%w: negative queue bound", ErrBadConfig)
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	return c.Breaker.Validate()
+}
+
+// GoodputSLA resolves the effective goodput threshold: SLA when set,
+// otherwise RequestTimeout (0 = count every completion).
+func (c Config) GoodputSLA() time.Duration {
+	if c.SLA > 0 {
+		return c.SLA
+	}
+	return c.RequestTimeout
+}
+
+// Preset names understood by Preset, in escalation order.
+func Presets() []string { return []string{"off", "timeout", "retries", "full"} }
+
+// Preset returns a named canonical configuration, the ladder the
+// retry-storm experiment climbs:
+//
+//	off      — nil: the resilience layer fully disabled
+//	timeout  — per-request deadlines only
+//	retries  — deadlines plus aggressive client retries (no budget): the
+//	           configuration that produces retry storms under overload
+//	full     — deadlines, budgeted retries, circuit breakers, bounded
+//	           queues and the CoDel shedder
+//
+// timeout is the deadline all presets share (zero selects 2 s).
+func Preset(name string, timeout time.Duration) (*Config, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	base := Config{RequestTimeout: timeout}
+	switch name {
+	case "off", "":
+		return nil, nil
+	case "timeout":
+		return &base, nil
+	case "retries":
+		cfg := base
+		cfg.Retry = RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: timeout / 20,
+			MaxBackoff:  timeout / 2,
+			Jitter:      0.2,
+		}
+		return &cfg, nil
+	case "full":
+		cfg := base
+		cfg.Retry = RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: timeout / 20,
+			MaxBackoff:  timeout / 2,
+			Jitter:      0.2,
+			BudgetRatio: 0.1,
+			BudgetBurst: 20,
+		}
+		cfg.Breaker = DefaultBreakerConfig()
+		cfg.MaxQueue = 200
+		cfg.MaxPoolWaiters = 200
+		cfg.CoDelTarget = timeout / 4
+		cfg.CoDelInterval = timeout / 2
+		return &cfg, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown preset %q (have %v)", ErrBadConfig, name, Presets())
+	}
+}

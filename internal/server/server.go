@@ -26,6 +26,7 @@ import (
 
 	"dcm/internal/metrics"
 	"dcm/internal/model"
+	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/sim"
 	"dcm/internal/trace"
@@ -77,6 +78,17 @@ type Config struct {
 	// while the scheduling-contention α and the thrash term follow actual
 	// load.
 	BetaOnConfigured bool
+	// MaxQueue bounds the admission queue: a request arriving when
+	// MaxQueue requests are already waiting is rejected immediately
+	// (its callback runs with a nil session and DispositionRejected).
+	// Zero means unbounded — the historical behaviour.
+	MaxQueue int
+	// CoDelTarget and CoDelInterval enable the CoDel-style on-dequeue
+	// shedder (see resilience.CoDel): requests whose queue delay exceeds
+	// the target for a sustained interval are shed at dequeue time instead
+	// of being granted a thread. Zero CoDelTarget disables shedding.
+	CoDelTarget   time.Duration
+	CoDelInterval time.Duration
 }
 
 // ServiceDistribution selects the burst-duration distribution.
@@ -119,7 +131,10 @@ type Server struct {
 	accepting bool
 	dead      bool
 	noise     float64
-	queue     []func(*Session)
+	queue     []*waiter
+	queueDead int // timed-out waiters still occupying queue slots
+	maxQueue  int
+	codel     *resilience.CoDel
 
 	thrashKnee int
 	thrashCoef float64
@@ -137,6 +152,9 @@ type Server struct {
 	execTimes   metrics.MeanAccumulator
 	queueWaits  metrics.MeanAccumulator
 	queuePeak   int
+	timeouts    metrics.Counter
+	rejections  metrics.Counter
+	sheds       metrics.Counter
 
 	queueDepth *metrics.Histogram
 	svcTimes   *metrics.Histogram
@@ -171,6 +189,9 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*Server, error) {
 	if cfg.ThrashKnee < 0 || cfg.ThrashCoef < 0 || cfg.ThrashCap < 0 {
 		return nil, fmt.Errorf("%w: negative thrash parameters", ErrBadConfig)
 	}
+	if cfg.MaxQueue < 0 || cfg.CoDelTarget < 0 || cfg.CoDelInterval < 0 {
+		return nil, fmt.Errorf("%w: negative admission-control parameters", ErrBadConfig)
+	}
 	return &Server{
 		eng:        eng,
 		rnd:        rnd,
@@ -186,6 +207,8 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*Server, error) {
 		basis:      cfg.Basis,
 		betaOnConf: cfg.BetaOnConfigured,
 		dist:       cfg.Distribution,
+		maxQueue:   cfg.MaxQueue,
+		codel:      resilience.NewCoDel(cfg.CoDelTarget, cfg.CoDelInterval),
 		queueDepth: metrics.NewHistogram(queueDepthBounds),
 		svcTimes:   metrics.NewHistogram(svcTimeBounds),
 	}, nil
@@ -230,6 +253,29 @@ type Session struct {
 	released  bool
 	executing bool
 	admitted  sim.Time
+	deadline  sim.Time // zero = no deadline
+	timedOut  bool     // a burst was preempted by the deadline
+}
+
+// Deadline returns the request deadline carried by the session (zero
+// when none was set at acquisition).
+func (sess *Session) Deadline() sim.Time { return sess.deadline }
+
+// TimedOut reports whether a burst on this session was preempted by the
+// deadline; the caller must fail the request.
+func (sess *Session) TimedOut() bool { return sess.timedOut }
+
+// waiter is one queued acquisition: the outcome-aware callback plus the
+// bookkeeping the resilience layer needs (deadline timer, enqueue time for
+// CoDel, and the done flag marking timed-out waiters that still occupy a
+// queue slot until lazily removed).
+type waiter struct {
+	fn        func(*Session, metrics.Disposition)
+	req       uint64
+	enqueueAt sim.Time
+	deadline  sim.Time
+	timer     sim.Timer
+	done      bool
 }
 
 // Name returns the server name.
@@ -244,8 +290,9 @@ func (s *Server) PoolSize() int { return s.poolSize }
 // Active returns the number of admitted (thread-holding) requests.
 func (s *Server) Active() int { return s.active }
 
-// QueueLen returns the number of requests waiting for a thread.
-func (s *Server) QueueLen() int { return len(s.queue) }
+// QueueLen returns the number of requests waiting for a thread. Timed-out
+// waiters whose slots have not been compacted yet do not count.
+func (s *Server) QueueLen() int { return len(s.queue) - s.queueDead }
 
 // Accepting reports whether the server is taking new work (load balancers
 // skip non-accepting servers; in-flight work is unaffected).
@@ -267,8 +314,14 @@ func (s *Server) Kill() {
 	s.accepting = false
 	waiters := s.queue
 	s.queue = nil
-	for _, fn := range waiters {
-		fn(nil)
+	s.queueDead = 0
+	for _, w := range waiters {
+		if w.done {
+			continue
+		}
+		w.done = true
+		w.timer.Cancel()
+		s.failWaiter(w, metrics.DispositionError)
 	}
 }
 
@@ -291,45 +344,146 @@ func (s *Server) AcquireFor(req uint64, fn func(*Session)) {
 	if fn == nil {
 		return
 	}
+	s.AcquireDeadline(req, 0, func(sess *Session, _ metrics.Disposition) { fn(sess) })
+}
+
+// AcquireDeadline is AcquireFor with resilience semantics: deadline (zero
+// = none) is the request's absolute deadline — a waiter still queued when
+// it expires fails with DispositionTimeout and never occupies a thread —
+// and fn receives the disposition explaining a nil session (error on a
+// dead server, rejected by the bounded queue, shed by CoDel, or timeout).
+// With a zero deadline and admission control off this is exactly
+// AcquireFor.
+func (s *Server) AcquireDeadline(req uint64, deadline sim.Time, fn func(*Session, metrics.Disposition)) {
+	if fn == nil {
+		return
+	}
 	if s.dead {
-		fn(nil)
+		fn(nil, metrics.DispositionError)
 		return
 	}
-	s.queueDepth.Observe(float64(len(s.queue)))
-	enqueueAt := s.eng.Now()
-	s.tracer.Record(req, trace.EventQueueEnter, s.tier, s.name, enqueueAt)
-	wrapped := func(sess *Session) {
-		now := s.eng.Now()
-		s.queueWaits.Observe((now - enqueueAt).Seconds())
-		if sess != nil {
-			sess.req = req
-			s.tracer.Record(req, trace.EventQueueExit, s.tier, s.name, now)
-		}
-		fn(sess)
-	}
-	if s.active < s.poolSize && len(s.queue) == 0 {
-		s.grant(wrapped)
+	now := s.eng.Now()
+	if deadline > 0 && now >= deadline {
+		s.timeouts.Inc(1)
+		s.tracer.Record(req, trace.EventTimeout, s.tier, s.name, now)
+		fn(nil, metrics.DispositionTimeout)
 		return
 	}
-	s.queue = append(s.queue, wrapped)
-	if len(s.queue) > s.queuePeak {
-		s.queuePeak = len(s.queue)
+	s.queueDepth.Observe(float64(s.QueueLen()))
+	w := &waiter{fn: fn, req: req, enqueueAt: now, deadline: deadline}
+	if s.active < s.poolSize && s.QueueLen() == 0 {
+		s.tracer.Record(req, trace.EventQueueEnter, s.tier, s.name, now)
+		s.grantWaiter(w)
+		return
+	}
+	if s.maxQueue > 0 && s.QueueLen() >= s.maxQueue {
+		s.rejections.Inc(1)
+		s.tracer.Record(req, trace.EventReject, s.tier, s.name, now)
+		fn(nil, metrics.DispositionRejected)
+		return
+	}
+	s.tracer.Record(req, trace.EventQueueEnter, s.tier, s.name, now)
+	if deadline > 0 {
+		w.timer = s.eng.Schedule(deadline-now, func() { s.timeoutWaiter(w) })
+	}
+	s.queue = append(s.queue, w)
+	if s.QueueLen() > s.queuePeak {
+		s.queuePeak = s.QueueLen()
 	}
 }
 
-// grant admits one request, accounting concurrency.
-func (s *Server) grant(fn func(*Session)) {
+// grantWaiter admits one request, accounting concurrency.
+func (s *Server) grantWaiter(w *waiter) {
 	s.active++
-	s.concurrency.Set(s.eng.Now(), float64(s.active))
-	fn(&Session{s: s, admitted: s.eng.Now()})
+	now := s.eng.Now()
+	s.concurrency.Set(now, float64(s.active))
+	s.queueWaits.Observe((now - w.enqueueAt).Seconds())
+	s.tracer.Record(w.req, trace.EventQueueExit, s.tier, s.name, now)
+	w.fn(&Session{s: s, req: w.req, admitted: now, deadline: w.deadline}, metrics.DispositionOK)
 }
 
-// admitWaiters grants queued requests while threads are available.
-func (s *Server) admitWaiters() {
-	for s.active < s.poolSize && len(s.queue) > 0 {
-		fn := s.queue[0]
+// failWaiter completes a waiter without a session. The queue wait still
+// counts toward the wait statistics — a request that waited and then
+// failed waited all the same.
+func (s *Server) failWaiter(w *waiter, disp metrics.Disposition) {
+	s.queueWaits.Observe((s.eng.Now() - w.enqueueAt).Seconds())
+	w.fn(nil, disp)
+}
+
+// timeoutWaiter is the deadline timer body for a queued waiter: it marks
+// the slot dead (lazily removed) and fails the request.
+func (s *Server) timeoutWaiter(w *waiter) {
+	if w.done {
+		return
+	}
+	w.done = true
+	s.queueDead++
+	s.timeouts.Inc(1)
+	s.tracer.Record(w.req, trace.EventTimeout, s.tier, s.name, s.eng.Now())
+	s.failWaiter(w, metrics.DispositionTimeout)
+	s.maybeCompactQueue()
+}
+
+// maybeCompactQueue drops dead waiter slots once they dominate the queue,
+// keeping QueueLen O(1) without paying O(n) per timeout.
+func (s *Server) maybeCompactQueue() {
+	if s.queueDead < 64 || s.queueDead*2 < len(s.queue) {
+		return
+	}
+	live := s.queue[:0]
+	for _, w := range s.queue {
+		if !w.done {
+			live = append(live, w)
+		}
+	}
+	for i := len(live); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = live
+	s.queueDead = 0
+}
+
+// popWaiter removes and returns the first live waiter (nil when none).
+func (s *Server) popWaiter() *waiter {
+	for len(s.queue) > 0 {
+		w := s.queue[0]
+		s.queue[0] = nil
 		s.queue = s.queue[1:]
-		s.grant(fn)
+		if w.done {
+			s.queueDead--
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+// admitWaiters grants queued requests while threads are available,
+// applying grant-time deadline checks and CoDel shedding.
+func (s *Server) admitWaiters() {
+	for s.active < s.poolSize {
+		w := s.popWaiter()
+		if w == nil {
+			return
+		}
+		w.timer.Cancel()
+		now := s.eng.Now()
+		// The deadline may expire at the very timestamp of the grant, with
+		// the timer event still pending behind this one: the waiter must
+		// fail, not occupy a thread it would have to give straight back.
+		if w.deadline > 0 && now >= w.deadline {
+			s.timeouts.Inc(1)
+			s.tracer.Record(w.req, trace.EventTimeout, s.tier, s.name, now)
+			s.failWaiter(w, metrics.DispositionTimeout)
+			continue
+		}
+		if s.codel.Enabled() && s.codel.OnDequeue(now, w.enqueueAt) {
+			s.sheds.Inc(1)
+			s.tracer.Record(w.req, trace.EventShed, s.tier, s.name, now)
+			s.failWaiter(w, metrics.DispositionShed)
+			continue
+		}
+		s.grantWaiter(w)
 	}
 }
 
@@ -374,16 +528,35 @@ func (sess *Session) ExecDemand(demand float64, onDone func()) {
 	sess.executing = true
 	s.executing++
 	d := s.burstDuration(demand)
-	s.tracer.Record(sess.req, trace.EventServiceStart, s.tier, s.name, s.eng.Now())
-	s.cpu.Enter(s.eng.Now())
-	s.eng.Schedule(d, func() {
+	now := s.eng.Now()
+	// Deadline preemption: a burst that would finish past the request's
+	// deadline is cut short at the deadline instead — the thread and CPU are
+	// given back at the deadline, not when the doomed work would have
+	// finished, so a timed-out request never occupies resources past its
+	// deadline. The truncated burst counts as neither a completion nor a
+	// service-time observation; the caller sees TimedOut() and must fail the
+	// request.
+	preempt := sess.deadline > 0 && now+d > sess.deadline
+	run := d
+	if preempt {
+		run = sess.deadline - now
+	}
+	s.tracer.Record(sess.req, trace.EventServiceStart, s.tier, s.name, now)
+	s.cpu.Enter(now)
+	s.eng.Schedule(run, func() {
 		s.cpu.Exit(s.eng.Now())
 		sess.executing = false
 		s.executing--
-		s.completions.Inc(1)
-		s.execTimes.Observe(d.Seconds())
-		s.svcTimes.Observe(d.Seconds())
-		s.tracer.Record(sess.req, trace.EventServiceEnd, s.tier, s.name, s.eng.Now())
+		if preempt {
+			sess.timedOut = true
+			s.timeouts.Inc(1)
+			s.tracer.Record(sess.req, trace.EventTimeout, s.tier, s.name, s.eng.Now())
+		} else {
+			s.completions.Inc(1)
+			s.execTimes.Observe(d.Seconds())
+			s.svcTimes.Observe(d.Seconds())
+			s.tracer.Record(sess.req, trace.EventServiceEnd, s.tier, s.name, s.eng.Now())
+		}
 		if onDone != nil {
 			onDone()
 		}
@@ -488,6 +661,13 @@ type Sample struct {
 	QueuePeak int `json:"queuePeak"`
 	// PoolSize is the thread pool size at sampling time.
 	PoolSize int `json:"poolSize"`
+	// TimedOut, Rejected and Shed count the interval's resilience outcomes:
+	// deadline expiries (queued, at grant, or mid-burst), bounded-queue
+	// rejections, and CoDel sheds. All zero — and absent from JSON — when
+	// resilience features are off.
+	TimedOut uint64 `json:"timedOut,omitempty"`
+	Rejected uint64 `json:"rejected,omitempty"`
+	Shed     uint64 `json:"shed,omitempty"`
 }
 
 // TakeSample returns the metrics accumulated since the previous TakeSample
@@ -503,13 +683,26 @@ func (s *Server) TakeSample() Sample {
 		Utilization:          s.cpu.TakeUtilization(now),
 		MeanConcurrency:      s.concurrency.TakeAverage(now),
 		Active:               s.active,
-		QueueLen:             len(s.queue),
+		QueueLen:             s.QueueLen(),
 		QueuePeak:            s.queuePeak,
 		PoolSize:             s.poolSize,
+		TimedOut:             s.timeouts.TakeDelta(),
+		Rejected:             s.rejections.TakeDelta(),
+		Shed:                 s.sheds.TakeDelta(),
 	}
-	s.queuePeak = len(s.queue)
+	s.queuePeak = s.QueueLen()
 	return sample
 }
 
 // TotalCompletions returns the lifetime number of completed CPU bursts.
 func (s *Server) TotalCompletions() uint64 { return s.completions.Total() }
+
+// TotalTimeouts returns the lifetime number of deadline expiries observed
+// by this server (queued waiters, grant-time checks and preempted bursts).
+func (s *Server) TotalTimeouts() uint64 { return s.timeouts.Total() }
+
+// TotalRejections returns the lifetime number of bounded-queue rejections.
+func (s *Server) TotalRejections() uint64 { return s.rejections.Total() }
+
+// TotalSheds returns the lifetime number of CoDel sheds.
+func (s *Server) TotalSheds() uint64 { return s.sheds.Total() }

@@ -42,6 +42,15 @@ const (
 	EventServiceEnd   EventKind = "service-end"
 	EventDone         EventKind = "done"
 	EventFail         EventKind = "fail"
+	// Resilience dispositions: a request can additionally record a deadline
+	// expiry (in a queue, waiting on a pool, or mid-burst), a bounded-queue
+	// rejection, a CoDel shed, a breaker refusal at a tier boundary, or a
+	// client-side retry of the whole request.
+	EventTimeout     EventKind = "timeout"
+	EventReject      EventKind = "reject"
+	EventShed        EventKind = "shed"
+	EventBreakerOpen EventKind = "breaker-open"
+	EventRetry       EventKind = "retry"
 )
 
 // Event is one recorded step of one request.

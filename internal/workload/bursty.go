@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dcm/internal/metrics"
+	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/sim"
 )
@@ -40,7 +41,9 @@ type BurstyLoop struct {
 	stopped   bool
 	started   bool
 	completed metrics.Counter
+	retries   metrics.Counter
 	surge     bool
+	retrier   *resilience.Retrier
 }
 
 // NewBurstyLoop returns an unstarted generator.
@@ -102,14 +105,39 @@ func (b *BurstyLoop) Surging() bool { return b.surge }
 // TotalCompleted returns the lifetime completed-request count.
 func (b *BurstyLoop) TotalCompleted() uint64 { return b.completed.Total() }
 
+// TotalRetries returns the lifetime number of retry attempts issued.
+func (b *BurstyLoop) TotalRetries() uint64 { return b.retries.Total() }
+
+// SetRetrier attaches a client-side retrier (see ClosedLoop.SetRetrier);
+// nil disables retries.
+func (b *BurstyLoop) SetRetrier(r *resilience.Retrier) { b.retrier = r }
+
 // cycle is one user's request loop; think times follow the shared state.
 func (b *BurstyLoop) cycle() {
 	if b.stopped {
 		return
 	}
+	b.startRequest(1)
+}
+
+// startRequest issues one attempt of a user's request, retrying failures
+// after backoff while the retrier allows.
+func (b *BurstyLoop) startRequest(attempt int) {
 	b.target.Inject(func(_ time.Duration, ok bool) {
 		if ok {
 			b.completed.Inc(1)
+			if b.retrier != nil {
+				b.retrier.OnSuccess()
+			}
+		} else if b.retrier != nil && b.retrier.Allow(attempt) {
+			b.retries.Inc(1)
+			b.eng.Schedule(b.retrier.Backoff(attempt), func() {
+				if b.stopped {
+					return
+				}
+				b.startRequest(attempt + 1)
+			})
+			return
 		}
 		mean := b.cfg.NormalThink
 		if b.surge {

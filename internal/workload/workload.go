@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"dcm/internal/metrics"
+	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/sim"
 	"dcm/internal/trace"
@@ -60,9 +61,12 @@ type ClosedLoop struct {
 	started bool
 	stopped bool
 
+	retrier *resilience.Retrier
+
 	issued    metrics.Counter
 	completed metrics.Counter
 	errored   metrics.Counter
+	retries   metrics.Counter
 	rts       metrics.MeanAccumulator
 }
 
@@ -82,6 +86,17 @@ func NewClosedLoop(eng *sim.Engine, rnd *rng.Rand, target Target, cfg ClosedLoop
 	}
 	return &ClosedLoop{eng: eng, rnd: rnd, target: target, cfg: cfg, want: cfg.Users}, nil
 }
+
+// SetRetrier attaches a client-side retrier: a user whose request fails
+// retries it after the retrier's jittered backoff, up to the policy's
+// attempt cap and budget, before giving up and thinking. Each retry is
+// re-issued through the target like any request (it is a new HTTP request
+// from the server's point of view). nil (the default) disables retries
+// and leaves the cycle byte-identical to the retry-free generator.
+func (c *ClosedLoop) SetRetrier(r *resilience.Retrier) { c.retrier = r }
+
+// Retrier returns the attached retrier (nil when retries are off).
+func (c *ClosedLoop) Retrier() *resilience.Retrier { return c.retrier }
 
 // Start launches the initial user population. Start is idempotent.
 func (c *ClosedLoop) Start() {
@@ -136,11 +151,34 @@ func (c *ClosedLoop) userCycle() {
 		c.live--
 		return
 	}
+	c.startRequest(1)
+}
+
+// startRequest issues one attempt of a user's request (attempt 1 is the
+// original). A failed attempt retries after backoff while the retrier
+// allows; the user thinks and cycles once the request succeeds or is
+// abandoned.
+func (c *ClosedLoop) startRequest(attempt int) {
 	c.issued.Inc(1)
 	c.target.Inject(func(rt time.Duration, ok bool) {
 		if ok {
 			c.completed.Inc(1)
 			c.rts.Observe(rt.Seconds())
+			if c.retrier != nil {
+				c.retrier.OnSuccess()
+			}
+		} else if c.retrier != nil && c.retrier.Allow(attempt) {
+			c.retries.Inc(1)
+			c.eng.Schedule(c.retrier.Backoff(attempt), func() {
+				// The user may have been retired (or the run stopped) while
+				// backing off.
+				if c.stopped || c.live > c.want {
+					c.live--
+					return
+				}
+				c.startRequest(attempt + 1)
+			})
+			return
 		} else {
 			c.errored.Inc(1)
 		}
@@ -159,6 +197,9 @@ type Stats struct {
 	MeanRTSeconds float64 `json:"meanRTSeconds"`
 	// Users is the desired population at sampling time.
 	Users int `json:"users"`
+	// Retries counts retry attempts issued in the interval (a subset of
+	// Issued). Zero — and absent from JSON — without a retrier.
+	Retries uint64 `json:"retries,omitempty"`
 }
 
 // TakeStats returns interval metrics and resets the interval.
@@ -170,11 +211,15 @@ func (c *ClosedLoop) TakeStats() Stats {
 		Errors:        c.errored.TakeDelta(),
 		MeanRTSeconds: mean,
 		Users:         c.want,
+		Retries:       c.retries.TakeDelta(),
 	}
 }
 
 // TotalCompleted returns the lifetime number of completed requests.
 func (c *ClosedLoop) TotalCompleted() uint64 { return c.completed.Total() }
+
+// TotalRetries returns the lifetime number of retry attempts issued.
+func (c *ClosedLoop) TotalRetries() uint64 { return c.retries.Total() }
 
 // TraceDriven replays a user-population trace through a ClosedLoop — the
 // revised RUBBoS client emulator of §II-A.
