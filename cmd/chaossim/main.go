@@ -16,6 +16,7 @@ import (
 
 	"dcm/internal/chaos"
 	"dcm/internal/experiments"
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/resilience"
 	"dcm/internal/runner"
@@ -72,6 +73,7 @@ func run(args []string) error {
 		resil          = fs.String("resilience", "off", "data-plane resilience preset: off | timeout | retries | full")
 		reqTimeout     = fs.Duration("timeout", 0, "per-request deadline for the resilience presets (0 = preset default)")
 		retryStorm     = fs.Bool("retrystorm", false, "run the retry-storm resilience ladder (none vs retries vs full) under a degraded-server fault instead of a scaling scenario")
+		invariants     = fs.Bool("invariants", false, "run the runtime invariant checker alongside the simulation and fail on any structural-law violation (results are byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,13 +116,26 @@ func run(args []string) error {
 	// its own fixed topology and degraded-server fault, so the scenario and
 	// controller flags do not apply.
 	if *retryStorm {
-		stormCfg := experiments.RetryStormConfig{Seed: *seed, Timeout: *reqTimeout}
+		stormCfg := experiments.RetryStormConfig{Seed: *seed, Timeout: *reqTimeout, Invariants: *invariants}
 		results, err := experiments.RunRetryStorm(stormCfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("retry-storm ladder (seed %d): degraded Tomcat under closed-loop overload\n\n", *seed)
 		fmt.Print(experiments.RenderRetryStorm(results))
+		if *invariants {
+			bad := 0
+			for _, r := range results {
+				if len(r.InvariantViolations) > 0 {
+					bad += len(r.InvariantViolations)
+					fmt.Printf("invariant violations (%s):\n%s", r.Variant, invariant.Render(r.InvariantViolations))
+				}
+			}
+			if bad > 0 {
+				return fmt.Errorf("%d invariant violation(s)", bad)
+			}
+			fmt.Println("invariants: clean (0 violations)")
+		}
 		return nil
 	}
 
@@ -159,6 +174,7 @@ func run(args []string) error {
 		CaptureTrace:  *reqTrace != "",
 		Audit:         *auditOut != "",
 		Resilience:    resCfg,
+		Invariants:    *invariants,
 	}
 
 	// Multi-seed mode: fan the seeds across the worker pool and print one
@@ -197,6 +213,9 @@ func run(args []string) error {
 				strconv.FormatUint(res.TotalErrors, 10), recovered)
 		}
 		fmt.Print(tb.String())
+		if *invariants {
+			return reportInvariants(results...)
+		}
 		return nil
 	}
 
@@ -248,6 +267,26 @@ func run(args []string) error {
 		fmt.Println("request dispositions:")
 		fmt.Println(disp)
 	}
+	if *invariants {
+		return reportInvariants(res)
+	}
+	return nil
+}
+
+// reportInvariants prints the invariant-checker verdict for each result
+// and returns an error if any run recorded structural-law violations.
+func reportInvariants(results ...*experiments.ScenarioResult) error {
+	bad := 0
+	for _, r := range results {
+		if len(r.InvariantViolations) > 0 {
+			bad += len(r.InvariantViolations)
+			fmt.Printf("invariant violations (%s):\n%s", r.Kind, invariant.Render(r.InvariantViolations))
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d invariant violation(s)", bad)
+	}
+	fmt.Println("invariants: clean (0 violations)")
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"dcm/internal/experiments"
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/resilience"
 	"dcm/internal/trace"
@@ -61,6 +62,7 @@ func run(args []string) error {
 		pprofOut       = fs.String("pprof", "", "write a CPU profile of the run to this file")
 		resil          = fs.String("resilience", "off", "data-plane resilience preset: off | timeout | retries | full")
 		reqTimeout     = fs.Duration("timeout", 0, "per-request deadline for the resilience presets (0 = preset default)")
+		invariants     = fs.Bool("invariants", false, "run the runtime invariant checker alongside the simulation and fail on any structural-law violation (results are byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +101,7 @@ func run(args []string) error {
 		CaptureTrace:  *reqTrace != "",
 		Audit:         *auditOut != "",
 		Resilience:    resCfg,
+		Invariants:    *invariants,
 	}
 	res, err := experiments.RunScenario(cfg)
 	if err != nil {
@@ -170,6 +173,26 @@ func run(args []string) error {
 		fmt.Println("request dispositions:")
 		fmt.Println(disp)
 	}
+	if *invariants {
+		return reportInvariants(results...)
+	}
+	return nil
+}
+
+// reportInvariants prints the invariant-checker verdict for each result
+// and returns an error if any run recorded structural-law violations.
+func reportInvariants(results ...*experiments.ScenarioResult) error {
+	bad := 0
+	for _, r := range results {
+		if len(r.InvariantViolations) > 0 {
+			bad += len(r.InvariantViolations)
+			fmt.Printf("invariant violations (%s):\n%s", r.Kind, invariant.Render(r.InvariantViolations))
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d invariant violation(s)", bad)
+	}
+	fmt.Println("invariants: clean (0 violations)")
 	return nil
 }
 

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dcm/internal/experiments"
+	"dcm/internal/resilience"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/report -run %s -update` to regenerate)", err, t.Name())
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file %s.\ngot:\n%s\nwant:\n%s", t.Name(), path, got, want)
+	}
+}
+
+// fig5Results runs the two Fig. 5 scenarios once (seed 42, audit and
+// trace capture on — the same configuration cmd/report uses) and caches
+// them for every golden test in the package.
+var fig5Results = sync.OnceValues(func() ([]*experiments.ScenarioResult, error) {
+	var results []*experiments.ScenarioResult
+	for _, kind := range []experiments.ControllerKind{
+		experiments.ControllerDCM,
+		experiments.ControllerEC2,
+	} {
+		res, err := experiments.RunScenario(experiments.ScenarioConfig{
+			Seed: 42, Kind: kind, CaptureTrace: true, Audit: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+})
+
+func TestFig5SectionGolden(t *testing.T) {
+	results, err := fig5Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig5-section", fig5Section(results...))
+}
+
+func TestScenarioDetailSectionGolden(t *testing.T) {
+	results, err := fig5Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		golden(t, "detail-"+string(res.Kind), scenarioDetailSection(res))
+	}
+}
+
+func TestAuditSectionGolden(t *testing.T) {
+	results, err := fig5Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if res.DecisionLog() == nil {
+			t.Fatalf("%s scenario captured no audit log", res.Kind)
+		}
+		golden(t, "audit-"+string(res.Kind), auditSection(res))
+	}
+	// Without an audit log the section disappears entirely.
+	plain, err := experiments.RunScenario(experiments.ScenarioConfig{Seed: 42, Kind: experiments.ControllerDCM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := auditSection(plain); got != "" {
+		t.Fatalf("auditSection without a log = %q, want empty", got)
+	}
+}
+
+func TestResilienceSectionGolden(t *testing.T) {
+	res, err := resilience.Preset("full", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*experiments.ScenarioResult
+	for _, kind := range []experiments.ControllerKind{
+		experiments.ControllerDCM,
+		experiments.ControllerEC2,
+	} {
+		r, err := experiments.RunScenario(experiments.ScenarioConfig{
+			Seed: 42, Kind: kind, Resilience: res,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	// A scaled-down ladder keeps the golden run fast while exercising the
+	// same renderer as the full report.
+	storm, err := experiments.RunRetryStorm(experiments.RetryStormConfig{
+		Seed:       42,
+		Users:      200,
+		DegradeAt:  5 * time.Second,
+		DegradeFor: 20 * time.Second,
+		Horizon:    40 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "resilience-section", resilienceSection(results, storm))
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dcm/internal/experiments"
+	"dcm/internal/invariant"
 	"dcm/internal/runner"
 )
 
@@ -33,6 +34,7 @@ func run(args []string) error {
 		users      = fs.Int("users", 3000, "sustained user population (fig2b)")
 		parallel   = fs.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
 		pprofOut   = fs.String("pprof", "", "write a CPU profile of the run to this file")
+		invariants = fs.Bool("invariants", false, "run the runtime invariant checker alongside every point and fail on any structural-law violation (results are byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,9 +46,14 @@ func run(args []string) error {
 	}
 	defer stopProfile()
 
+	var chk *invariant.Checker
+	if *invariants {
+		chk = invariant.New()
+	}
+
 	switch *experiment {
 	case "fig2a":
-		rows, err := experiments.Fig2aMySQLSweep(*seed, nil, *measure)
+		rows, err := experiments.Fig2aMySQLSweepChecked(*seed, nil, *measure, chk)
 		if err != nil {
 			return err
 		}
@@ -54,7 +61,7 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(experiments.RenderFig2a(rows))
 	case "fig2b":
-		res, err := experiments.Fig2bScaleOut(*seed, *users, 60*time.Second)
+		res, err := experiments.Fig2bScaleOutChecked(*seed, *users, 60*time.Second, chk)
 		if err != nil {
 			return err
 		}
@@ -64,7 +71,7 @@ func run(args []string) error {
 		printWindow(res.SeriesDefault, res.ScaleAtSecond, "default  ")
 		printWindow(res.SeriesCorrected, res.ScaleAtSecond, "corrected")
 	case "fig4a":
-		rows, allocs, err := experiments.Fig4a(*seed, nil, *measure)
+		rows, allocs, err := experiments.Fig4aChecked(*seed, nil, *measure, chk)
 		if err != nil {
 			return err
 		}
@@ -72,7 +79,7 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(experiments.RenderFig4(rows, allocs))
 	case "fig4b":
-		rows, allocs, err := experiments.Fig4b(*seed, nil, *measure)
+		rows, allocs, err := experiments.Fig4bChecked(*seed, nil, *measure, chk)
 		if err != nil {
 			return err
 		}
@@ -81,6 +88,14 @@ func run(args []string) error {
 		fmt.Print(experiments.RenderFig4(rows, allocs))
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	if chk != nil {
+		if vs := chk.Violations(); len(vs) > 0 {
+			fmt.Println("invariant violations:")
+			fmt.Print(invariant.Render(vs))
+			return fmt.Errorf("%d invariant violation(s)", chk.Total())
+		}
+		fmt.Println("invariants: clean (0 violations)")
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/sim"
 	"dcm/internal/trace"
@@ -50,6 +51,12 @@ type Pool struct {
 
 	tracer *trace.RequestTracer
 	tier   string
+
+	// releases is the lifetime number of returned connections; together
+	// with grants and inUse it forms the conservation law
+	// grants = releases + inUse checked by CheckInvariant.
+	releases uint64
+	chk      *invariant.Checker
 }
 
 // waiter is one blocked acquisition: the outcome-aware callback plus the
@@ -141,8 +148,19 @@ func (p *Pool) CheckInvariant() error {
 		return fmt.Errorf("connpool %s: dead-waiter accounting broken: dead=%d of %d slots",
 			p.name, p.waitersDead, len(p.waiters))
 	}
+	if p.grants.Total() != p.releases+uint64(p.inUse) {
+		return fmt.Errorf("connpool %s: grants %d != releases %d + inUse %d",
+			p.name, p.grants.Total(), p.releases, p.inUse)
+	}
+	if p.maxWaiters > 0 && p.Waiting() > p.maxWaiters {
+		return fmt.Errorf("connpool %s: %d waiters exceed cap %d", p.name, p.Waiting(), p.maxWaiters)
+	}
 	return nil
 }
+
+// SetInvariantChecker attaches an invariant checker (nil detaches).
+// Checking is read-only and never perturbs scheduling.
+func (p *Pool) SetInvariantChecker(c *invariant.Checker) { p.chk = c }
 
 // SetTracer attaches a request tracer (nil detaches) and the tier label
 // recorded on this pool's wait events.
@@ -235,6 +253,19 @@ func (p *Pool) grantWaiter(w *waiter) {
 	p.inUse++
 	p.grants.Inc(1)
 	now := p.eng.Now()
+	if p.chk != nil {
+		// Grants happen only while Free() > 0, so post-grant headroom may
+		// never be negative; and an expired waiter must fail, not consume
+		// a scarce downstream connection.
+		if p.Free() < 0 {
+			p.chk.Violatef(now, invariant.RulePoolAccounting, "connpool "+p.name, w.req,
+				"grant drove free negative (%d) at size %d", p.Free(), p.size)
+		}
+		if w.deadline > 0 && now >= w.deadline {
+			p.chk.Violatef(now, invariant.RuleDeadline, "connpool "+p.name, w.req,
+				"granted a connection %v past the deadline", now-w.deadline)
+		}
+	}
 	p.held.Set(now, float64(p.inUse+p.leaked))
 	p.waits.Observe((now - w.enqueueAt).Seconds())
 	p.waitHist.Observe((now - w.enqueueAt).Seconds())
@@ -329,6 +360,11 @@ func (c *Conn) Release() {
 	c.released = true
 	p := c.p
 	p.inUse--
+	p.releases++
+	if p.chk != nil && p.inUse < 0 {
+		p.chk.Violatef(p.eng.Now(), invariant.RulePoolAccounting, "connpool "+p.name, 0,
+			"release drove inUse negative (%d)", p.inUse)
+	}
 	p.held.Set(p.eng.Now(), float64(p.inUse+p.leaked))
 	p.admit()
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
 	"dcm/internal/rng"
@@ -31,12 +32,20 @@ type Measurement struct {
 
 // steadyState builds an app from cfg, drives it with a closed loop of
 // users (think time think), discards warmup, and measures for measure.
-func steadyState(seed uint64, cfg ntier.Config, users int, think, warmup, measure time.Duration) (Measurement, error) {
+// A non-nil chk attaches the runtime invariant checker to the app and
+// engine and sweeps the structural laws once at the end of the run; the
+// checker is read-only and draws no randomness, so the measurement is
+// byte-identical either way.
+func steadyState(seed uint64, cfg ntier.Config, users int, think, warmup, measure time.Duration, chk *invariant.Checker) (Measurement, error) {
 	eng := sim.NewEngine()
 	root := rng.New(seed)
 	app, err := ntier.New(eng, root.Split("app"), cfg)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("experiments: %w", err)
+	}
+	if chk != nil {
+		app.SetInvariantChecker(chk)
+		invariant.AttachEngine(chk, eng)
 	}
 	wl, err := workload.NewClosedLoop(eng, root.Split("wl"), app, workload.ClosedLoopConfig{
 		Users:     users,
@@ -54,6 +63,10 @@ func steadyState(seed uint64, cfg ntier.Config, users int, think, warmup, measur
 		return Measurement{}, fmt.Errorf("experiments: measure: %w", err)
 	}
 	st := app.TakeStats()
+	if chk != nil {
+		app.CheckInvariants()
+		invariant.CheckEngine(chk, eng)
+	}
 	return Measurement{
 		Throughput: float64(st.Completions) / measure.Seconds(),
 		RT:         st.RT,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
 	"dcm/internal/rng"
@@ -33,6 +34,13 @@ func DefaultFig2aConcurrencies() []int {
 // and declines steeply afterwards while per-query latency grows
 // superlinearly.
 func Fig2aMySQLSweep(seed uint64, concurrencies []int, measure time.Duration) ([]Fig2aRow, error) {
+	return Fig2aMySQLSweepChecked(seed, concurrencies, measure, nil)
+}
+
+// Fig2aMySQLSweepChecked is Fig2aMySQLSweep with the runtime invariant
+// checker attached to every sweep point (chk may be nil; the checker is
+// mutex-protected, so sharing it across the fanned-out points is safe).
+func Fig2aMySQLSweepChecked(seed uint64, concurrencies []int, measure time.Duration, chk *invariant.Checker) ([]Fig2aRow, error) {
 	if len(concurrencies) == 0 {
 		concurrencies = DefaultFig2aConcurrencies()
 	}
@@ -44,11 +52,11 @@ func Fig2aMySQLSweep(seed uint64, concurrencies []int, measure time.Duration) ([
 	// split keyed by n), so the points fan out across the worker pool and
 	// come back in input order — identical rows to the serial loop.
 	return runner.Map(concurrencies, 0, func(_ int, n int) (Fig2aRow, error) {
-		return fig2aPoint(seed, cfg, n, measure)
+		return fig2aPoint(seed, cfg, n, measure, chk)
 	})
 }
 
-func fig2aPoint(seed uint64, cfg ntier.Config, n int, measure time.Duration) (Fig2aRow, error) {
+func fig2aPoint(seed uint64, cfg ntier.Config, n int, measure time.Duration, chk *invariant.Checker) (Fig2aRow, error) {
 	eng := sim.NewEngine()
 	srv, err := server.New(eng, rng.New(seed).Split(fmt.Sprintf("db/%d", n)), server.Config{
 		Name:       "mysql",
@@ -60,6 +68,10 @@ func fig2aPoint(seed uint64, cfg ntier.Config, n int, measure time.Duration) (Fi
 	})
 	if err != nil {
 		return Fig2aRow{}, fmt.Errorf("experiments: fig2a: %w", err)
+	}
+	if chk != nil {
+		srv.SetInvariantChecker(chk)
+		invariant.AttachEngine(chk, eng)
 	}
 	var rts metrics.MeanAccumulator
 	var cycle func()
@@ -87,6 +99,10 @@ func fig2aPoint(seed uint64, cfg ntier.Config, n int, measure time.Duration) (Fi
 	}
 	s := srv.TakeSample()
 	mean, _ := rts.TakeMean()
+	if chk != nil {
+		chk.Check(eng.Now(), invariant.RulePoolAccounting, fmt.Sprintf("server mysql/n=%d", n), srv.CheckInvariant())
+		invariant.CheckEngine(chk, eng)
+	}
 	return Fig2aRow{
 		Concurrency: n,
 		QueriesPerS: float64(s.Completions) / measure.Seconds(),
@@ -124,6 +140,12 @@ type Fig2bResult struct {
 // sustained user population (default 3000, which saturates the 1/1/1
 // system). phase is how long each phase runs (default 60 s).
 func Fig2bScaleOut(seed uint64, users int, phase time.Duration) (Fig2bResult, error) {
+	return Fig2bScaleOutChecked(seed, users, phase, nil)
+}
+
+// Fig2bScaleOutChecked is Fig2bScaleOut with the runtime invariant
+// checker attached to both variants' apps and engines (chk may be nil).
+func Fig2bScaleOutChecked(seed uint64, users int, phase time.Duration, chk *invariant.Checker) (Fig2bResult, error) {
 	if users <= 0 {
 		users = 3000
 	}
@@ -139,6 +161,10 @@ func Fig2bScaleOut(seed uint64, users int, phase time.Duration) (Fig2bResult, er
 		app, err := ntier.New(eng, root.Split("app"), cfg)
 		if err != nil {
 			return 0, 0, nil, fmt.Errorf("experiments: fig2b: %w", err)
+		}
+		if chk != nil {
+			app.SetInvariantChecker(chk)
+			invariant.AttachEngine(chk, eng)
 		}
 		wl, err := workload.NewClosedLoop(eng, root.Split("wl"), app, workload.ClosedLoopConfig{
 			Users:     users,
@@ -178,6 +204,10 @@ func Fig2bScaleOut(seed uint64, users int, phase time.Duration) (Fig2bResult, er
 			return 0, 0, nil, fmt.Errorf("experiments: fig2b phase B: %w", err)
 		}
 		after = meanTail(series, int(phase.Seconds()))
+		if chk != nil {
+			app.CheckInvariants()
+			invariant.CheckEngine(chk, eng)
+		}
 		return before, after, series, nil
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
 	"dcm/internal/runner"
@@ -66,6 +67,14 @@ func Fig4bAllocations() []Allocation {
 // against each allocation at each user level. appServers selects the
 // topology: 1 reproduces Fig. 4(a), 2 reproduces Fig. 4(b).
 func Fig4Validation(seed uint64, appServers int, allocations []Allocation, users []int, measure time.Duration) ([]Fig4Row, error) {
+	return Fig4ValidationChecked(seed, appServers, allocations, users, measure, nil)
+}
+
+// Fig4ValidationChecked is Fig4Validation with the runtime invariant
+// checker attached to every grid cell's app and engine (chk may be nil;
+// the checker is mutex-protected, so sharing it across the fanned-out
+// cells is safe).
+func Fig4ValidationChecked(seed uint64, appServers int, allocations []Allocation, users []int, measure time.Duration, chk *invariant.Checker) ([]Fig4Row, error) {
 	if appServers < 1 {
 		return nil, fmt.Errorf("experiments: fig4: app servers %d", appServers)
 	}
@@ -97,7 +106,7 @@ func Fig4Validation(seed uint64, appServers int, allocations []Allocation, users
 		cfg.AppServers = appServers
 		cfg.AppThreads = c.alloc.AppThreads
 		cfg.DBConnsPerApp = c.alloc.DBConnsPerApp
-		m, err := steadyState(seed, cfg, c.users, think, warmup, measure)
+		m, err := steadyState(seed, cfg, c.users, think, warmup, measure, chk)
 		if err != nil {
 			return Measurement{}, fmt.Errorf("experiments: fig4 %s at %d users: %w", c.alloc.Label, c.users, err)
 		}
@@ -125,15 +134,25 @@ func Fig4Validation(seed uint64, appServers int, allocations []Allocation, users
 
 // Fig4a runs the Fig. 4(a) validation (1/1/1, Tomcat thread pool sweep).
 func Fig4a(seed uint64, users []int, measure time.Duration) ([]Fig4Row, []Allocation, error) {
+	return Fig4aChecked(seed, users, measure, nil)
+}
+
+// Fig4aChecked is Fig4a with the runtime invariant checker attached.
+func Fig4aChecked(seed uint64, users []int, measure time.Duration, chk *invariant.Checker) ([]Fig4Row, []Allocation, error) {
 	allocs := Fig4aAllocations()
-	rows, err := Fig4Validation(seed, 1, allocs, users, measure)
+	rows, err := Fig4ValidationChecked(seed, 1, allocs, users, measure, chk)
 	return rows, allocs, err
 }
 
 // Fig4b runs the Fig. 4(b) validation (1/2/1, DB connection pool sweep).
 func Fig4b(seed uint64, users []int, measure time.Duration) ([]Fig4Row, []Allocation, error) {
+	return Fig4bChecked(seed, users, measure, nil)
+}
+
+// Fig4bChecked is Fig4b with the runtime invariant checker attached.
+func Fig4bChecked(seed uint64, users []int, measure time.Duration, chk *invariant.Checker) ([]Fig4Row, []Allocation, error) {
 	allocs := Fig4bAllocations()
-	rows, err := Fig4Validation(seed, 2, allocs, users, measure)
+	rows, err := Fig4ValidationChecked(seed, 2, allocs, users, measure, chk)
 	return rows, allocs, err
 }
 

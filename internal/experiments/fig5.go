@@ -9,6 +9,7 @@ import (
 	"dcm/internal/cloud"
 	"dcm/internal/controller"
 	"dcm/internal/core"
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/model"
 	"dcm/internal/monitor"
@@ -112,6 +113,12 @@ type ScenarioConfig struct {
 	// ntier.DefaultConfig's single server). The retry-storm experiment
 	// starts with two so one can be degraded while the other stays healthy.
 	AppServers int
+	// Invariants attaches the runtime invariant checker to the run: the
+	// structural laws (request conservation, pool accounting, event-order,
+	// breaker transitions) are swept once per simulated second and at the
+	// end of the run, and any violations land on the result. Checking is
+	// read-only — an Invariants run is byte-identical to a plain one.
+	Invariants bool
 }
 
 // ScenarioResult holds the per-second series Fig. 5 plots plus the
@@ -169,9 +176,15 @@ type ScenarioResult struct {
 	Goodput      uint64                     `json:"goodput,omitempty"`
 	Retries      uint64                     `json:"retries,omitempty"`
 	Dispositions *metrics.DispositionCounts `json:"dispositions,omitempty"`
+	// InvariantViolations lists the structural-law breaches detected by an
+	// Invariants run. Absent on clean runs (and on runs without the
+	// checker), so enabling the checker never changes the marshaled bytes
+	// of a correct run.
+	InvariantViolations []invariant.Violation `json:"invariantViolations,omitempty"`
 
-	tracer *trace.RequestTracer
-	audit  *controller.AuditLog
+	tracer  *trace.RequestTracer
+	audit   *controller.AuditLog
+	checker *invariant.Checker
 }
 
 // RequestTrace returns the run's request tracer (nil unless CaptureTrace
@@ -182,6 +195,10 @@ func (r *ScenarioResult) RequestTrace() *trace.RequestTracer { return r.tracer }
 // the controller implements controller.Audited), for JSONL export and
 // summary rendering.
 func (r *ScenarioResult) DecisionLog() *controller.AuditLog { return r.audit }
+
+// InvariantChecker returns the run's invariant checker (nil unless
+// Invariants was set).
+func (r *ScenarioResult) InvariantChecker() *invariant.Checker { return r.checker }
 
 // TierHistogramSummary condenses one tier's latency histograms.
 type TierHistogramSummary struct {
@@ -245,6 +262,13 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if cfg.CaptureTrace {
 		reqTracer = trace.NewRequestTracer(cfg.TraceLimit)
 		app.SetRequestTracer(reqTracer)
+	}
+
+	var chk *invariant.Checker
+	if cfg.Invariants {
+		chk = invariant.New()
+		app.SetInvariantChecker(chk)
+		invariant.AttachEngine(chk, eng)
 	}
 
 	ctrl, err := buildController(cfg)
@@ -338,10 +362,17 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		res.TierCounts[tierName] = make([]int, 0, expectSamples)
 	}
 	// Per-second topology sampler (server counts incl. provisioning VMs).
+	// The invariant sweep piggybacks on this existing tick so checking adds
+	// no events of its own — the event stream (and so the result bytes) is
+	// identical with the checker on or off.
 	stopSampler := eng.Ticker(time.Second, func() {
 		for _, tierName := range ntier.Tiers() {
 			count := app.ServerCount(tierName) + fw.VMAgent().Pending(tierName)
 			res.TierCounts[tierName] = append(res.TierCounts[tierName], count)
+		}
+		if chk != nil {
+			app.CheckInvariants()
+			invariant.CheckEngine(chk, eng)
 		}
 	})
 	if err := eng.Run(horizon); err != nil {
@@ -381,6 +412,12 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if auditLog != nil {
 		res.audit = auditLog
 		res.Decisions = auditLog.Decisions()
+	}
+	if chk != nil {
+		app.CheckInvariants()
+		invariant.CheckEngine(chk, eng)
+		res.checker = chk
+		res.InvariantViolations = chk.Violations()
 	}
 	if injector != nil {
 		rep := chaos.Analyze(chaos.Input{

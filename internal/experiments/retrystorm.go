@@ -6,6 +6,7 @@ import (
 
 	"dcm/internal/chaos"
 	"dcm/internal/cloud"
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
 	"dcm/internal/resilience"
@@ -54,6 +55,10 @@ type RetryStormConfig struct {
 	// Horizon bounds the run (default 140 s: the fault window plus a
 	// short recovery tail).
 	Horizon time.Duration
+	// Invariants enables the runtime invariant checker for every rung.
+	// The checker is read-only and draws no randomness, so results are
+	// byte-identical to a plain run.
+	Invariants bool
 }
 
 func (c *RetryStormConfig) defaults() {
@@ -115,6 +120,10 @@ type RetryStormResult struct {
 	Retries uint64 `json:"retries"`
 	// Dispositions is the full request-outcome taxonomy.
 	Dispositions metrics.DispositionCounts `json:"dispositions"`
+	// InvariantViolations holds any structural-law violations the runtime
+	// checker recorded (only populated when RetryStormConfig.Invariants is
+	// set; omitted when the run was clean).
+	InvariantViolations []invariant.Violation `json:"invariantViolations,omitempty"`
 }
 
 // RunRetryStormVariant executes one rung of the ladder.
@@ -134,6 +143,12 @@ func RunRetryStormVariant(cfg RetryStormConfig, variant string) (RetryStormResul
 	app, err := ntier.New(eng, root.Split("app"), appCfg)
 	if err != nil {
 		return RetryStormResult{}, fmt.Errorf("experiments: retry storm app: %w", err)
+	}
+	var chk *invariant.Checker
+	if cfg.Invariants {
+		chk = invariant.New()
+		app.SetInvariantChecker(chk)
+		invariant.AttachEngine(chk, eng)
 	}
 
 	// The degraded-server fault targets "app-1" by name so every rung
@@ -174,7 +189,7 @@ func RunRetryStormVariant(cfg RetryStormConfig, variant string) (RetryStormResul
 	}
 	wl.Stop()
 
-	return RetryStormResult{
+	out := RetryStormResult{
 		Variant:          variant,
 		Goodput:          app.TotalGood(),
 		GoodputPerSecond: float64(app.TotalGood()) / cfg.Horizon.Seconds(),
@@ -182,7 +197,13 @@ func RunRetryStormVariant(cfg RetryStormConfig, variant string) (RetryStormResul
 		Errors:           app.TotalErrors(),
 		Retries:          wl.TotalRetries(),
 		Dispositions:     app.Dispositions(),
-	}, nil
+	}
+	if chk != nil {
+		app.CheckInvariants()
+		invariant.CheckEngine(chk, eng)
+		out.InvariantViolations = chk.Violations()
+	}
+	return out, nil
 }
 
 // RunRetryStorm runs the whole ladder concurrently (each rung has its own

@@ -45,7 +45,7 @@ func TrainTomcatModel(seed uint64, concurrencies []int, measure time.Duration) (
 	for _, n := range concurrencies {
 		cfg := ntier.DefaultConfig()
 		cfg.AppThreads = n
-		m, err := steadyState(seed, cfg, n, 0, 5*time.Second, measure)
+		m, err := steadyState(seed, cfg, n, 0, 5*time.Second, measure, nil)
 		if err != nil {
 			return Table1Row{}, fmt.Errorf("experiments: tomcat training at N=%d: %w", n, err)
 		}
@@ -97,7 +97,7 @@ func TrainMySQLModel(seed uint64, concurrencies []int, measure time.Duration) (T
 	}
 	obs := make([]model.Observation, 0, len(concurrencies))
 	for _, n := range concurrencies {
-		row, err := fig2aPoint(seed, cfg, n, measure)
+		row, err := fig2aPoint(seed, cfg, n, measure, nil)
 		if err != nil {
 			return Table1Row{}, fmt.Errorf("experiments: mysql training at N=%d: %w", n, err)
 		}

@@ -1,0 +1,29 @@
+// Package conformance is the property-based model-conformance harness:
+// it closes the loop between the discrete-event simulator and the paper's
+// analytical models by asserting, under the runtime invariant checker,
+// that simulated steady-state behaviour matches the closed forms.
+//
+// Three layers of properties live here:
+//
+//   - Equation 5/7 conformance at the model optimum: a single server
+//     driven at exactly N_b concurrent requests (matched pool,
+//     zero-think closed loop, deterministic service) must produce
+//     X = N_b/S*(N_b) within 5%.
+//
+//   - Randomized MVA conformance: seeded sweeps over Table I-range
+//     parameters (S0, alpha, beta), pool sizes, populations, think
+//     times and per-request demands, cross-validated against the exact
+//     load-dependent MVA solution (internal/mva) for the equivalent
+//     closed network with exponential service, within 10%.
+//
+//   - Scenario fuzzing (FuzzScenario): go test -fuzz explores chaos
+//     schedules, seeds and resilience presets for full §V-B scenario
+//     runs with the invariant checker enabled; any structural-law
+//     violation fails the run and the fuzzer shrinks the schedule JSON
+//     to a minimal failing scenario.
+//
+// Every property runs with the invariant checker attached and also
+// asserts that the run itself was structurally clean, so a conformance
+// failure distinguishes "the simulator disagrees with the model" from
+// "the simulator broke its own laws".
+package conformance

@@ -1,0 +1,25 @@
+package invariant
+
+import "dcm/internal/sim"
+
+// AttachEngine installs c as the engine's violation hook, so the event
+// core's self-checks (event-order monotonicity, timer-generation
+// legality) report through the checker with the engine clock. No-op for
+// a nil checker or engine.
+func AttachEngine(c *Checker, e *sim.Engine) {
+	if c == nil || e == nil {
+		return
+	}
+	e.SetViolationHook(func(rule, detail string) {
+		c.Violatef(e.Now(), Rule(rule), "engine", 0, "%s", detail)
+	})
+}
+
+// CheckEngine runs the engine's O(n) heap self-check and records any
+// failure. No-op for a nil checker.
+func CheckEngine(c *Checker, e *sim.Engine) {
+	if c == nil || e == nil {
+		return
+	}
+	c.Check(e.Now(), RuleHeap, "engine", e.VerifyHeap())
+}

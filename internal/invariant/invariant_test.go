@@ -1,0 +1,152 @@
+package invariant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCheckerIsDisabledNoOp(t *testing.T) {
+	t.Parallel()
+	var c *Checker
+	if c.Enabled() {
+		t.Fatal("nil checker reports enabled")
+	}
+	// Every method must be callable on nil without panicking.
+	c.Violatef(time.Second, RuleConservation, "app", 1, "boom %d", 1)
+	c.Check(time.Second, RuleHeap, "engine", errors.New("boom"))
+	c.BreakerTransition(time.Second, "breaker", "closed", "half-open")
+	if c.Total() != 0 {
+		t.Fatalf("nil checker total = %d", c.Total())
+	}
+	if c.Violations() != nil {
+		t.Fatal("nil checker has violations")
+	}
+	if c.Err() != nil {
+		t.Fatalf("nil checker err = %v", c.Err())
+	}
+}
+
+func TestRecordAndRender(t *testing.T) {
+	t.Parallel()
+	c := New()
+	if !c.Enabled() {
+		t.Fatal("new checker not enabled")
+	}
+	c.Violatef(1500*time.Millisecond, RulePoolAccounting, "server app-0", 42, "active went to %d", -1)
+	c.Check(2*time.Second, RuleHeap, "engine", nil) // pass: no record
+	c.Check(2*time.Second, RuleHeap, "engine", errors.New("heap property broken"))
+	if c.Total() != 2 {
+		t.Fatalf("total = %d, want 2", c.Total())
+	}
+	vs := c.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("recorded = %d, want 2", len(vs))
+	}
+	if vs[0].Rule != RulePoolAccounting || vs[0].Req != 42 || vs[0].Where != "server app-0" {
+		t.Fatalf("first violation = %+v", vs[0])
+	}
+	if got := vs[0].String(); !strings.Contains(got, "t=1.500s") ||
+		!strings.Contains(got, "[pool-accounting]") || !strings.Contains(got, "(req 42)") {
+		t.Fatalf("String() = %q", got)
+	}
+	// The request id is omitted when zero.
+	if got := vs[1].String(); strings.Contains(got, "req") {
+		t.Fatalf("String() shows a zero request id: %q", got)
+	}
+	r := Render(vs)
+	if strings.Count(r, "\n") != 2 || !strings.HasPrefix(r, "  t=") {
+		t.Fatalf("Render() = %q", r)
+	}
+	if Render(nil) != "" {
+		t.Fatal("Render(nil) not empty")
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "2 violation(s)") {
+		t.Fatalf("Err() = %v", err)
+	}
+	// Mutating the returned slice must not affect the checker's copy.
+	vs[0].Detail = "mutated"
+	if c.Violations()[0].Detail == "mutated" {
+		t.Fatal("Violations() returned internal storage")
+	}
+}
+
+func TestRecordingCapKeepsCounting(t *testing.T) {
+	t.Parallel()
+	c := New()
+	for i := 0; i < maxRecorded+100; i++ {
+		c.Violatef(0, RuleConservation, "app", 0, "v%d", i)
+	}
+	if got := c.Total(); got != maxRecorded+100 {
+		t.Fatalf("total = %d, want %d", got, maxRecorded+100)
+	}
+	if got := len(c.Violations()); got != maxRecorded {
+		t.Fatalf("recorded = %d, want cap %d", got, maxRecorded)
+	}
+}
+
+func TestCleanViolationsAreNilForOmitempty(t *testing.T) {
+	t.Parallel()
+	// A clean checker must contribute zero bytes through an omitempty
+	// field — that is what keeps checked runs byte-identical.
+	out, err := json.Marshal(struct {
+		V []Violation `json:"v,omitempty"`
+	}{V: New().Violations()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "{}" {
+		t.Fatalf("clean checker marshals as %s", out)
+	}
+}
+
+func TestLegalBreakerTransitions(t *testing.T) {
+	t.Parallel()
+	states := []string{"closed", "open", "half-open"}
+	legal := map[string]bool{
+		"closed->open":      true,
+		"open->half-open":   true,
+		"half-open->closed": true,
+		"half-open->open":   true,
+	}
+	for _, from := range states {
+		for _, to := range states {
+			key := from + "->" + to
+			if got := LegalBreakerTransition(from, to); got != legal[key] {
+				t.Errorf("LegalBreakerTransition(%s) = %v, want %v", key, got, legal[key])
+			}
+		}
+	}
+	c := New()
+	c.BreakerTransition(0, "breaker app-0", "closed", "open")
+	if c.Total() != 0 {
+		t.Fatal("legal transition recorded a violation")
+	}
+	c.BreakerTransition(0, "breaker app-0", "closed", "half-open")
+	if c.Total() != 1 || c.Violations()[0].Rule != RuleBreakerTransition {
+		t.Fatalf("illegal transition not recorded: %+v", c.Violations())
+	}
+}
+
+func TestCheckerIsGoroutineSafe(t *testing.T) {
+	t.Parallel()
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Violatef(0, RuleConservation, fmt.Sprintf("g%d", g), 0, "v%d", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Total(); got != 4000 {
+		t.Fatalf("total = %d, want 4000", got)
+	}
+}

@@ -1,5 +1,7 @@
 package metrics
 
+import "fmt"
+
 // Request dispositions: the first-class outcome taxonomy of the resilience
 // layer. Every request leaving the system is classified exactly once —
 // succeeded, errored (crash or no backend), timed out against its deadline,
@@ -88,4 +90,23 @@ func (c DispositionCounts) Total() uint64 {
 // Failed returns the number of requests that did not complete successfully.
 func (c DispositionCounts) Failed() uint64 {
 	return c.Errored + c.TimedOut + c.Rejected + c.Shed + c.BreakerOpen
+}
+
+// CheckConsistent verifies the taxonomy against independently tracked
+// completion and failure totals: every completed request must be an OK
+// disposition and every failure exactly one failed disposition, so
+// OK == completed, Failed() == failed and Total() == completed + failed.
+// It returns a descriptive error on the first mismatch, nil when the
+// metrics-layer conservation law holds.
+func (c DispositionCounts) CheckConsistent(completed, failed uint64) error {
+	if c.OK != completed {
+		return fmt.Errorf("metrics: %d ok dispositions != %d completions", c.OK, completed)
+	}
+	if got := c.Failed(); got != failed {
+		return fmt.Errorf("metrics: %d failed dispositions != %d failures", got, failed)
+	}
+	if got, want := c.Total(), completed+failed; got != want {
+		return fmt.Errorf("metrics: disposition total %d != %d completions+failures", got, want)
+	}
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dcm/internal/connpool"
+	"dcm/internal/invariant"
 	"dcm/internal/lb"
 	"dcm/internal/metrics"
 	"dcm/internal/model"
@@ -196,6 +197,12 @@ type App struct {
 	res      resilience.Config
 	breakers map[string]*resilience.Breaker
 	disp     metrics.DispositionCounts
+
+	// injected counts lifetime request arrivals; with the disposition
+	// tally and inFlight it forms the request-conservation law
+	// injected = dispositions + in-flight that CheckInvariants asserts.
+	injected uint64
+	chk      *invariant.Checker
 	timedOut metrics.Counter
 	rejected metrics.Counter
 	shed     metrics.Counter
@@ -378,6 +385,15 @@ func (a *App) AddServer(tierName, name string) (*Member, error) {
 			m.pool.SetTracer(a.reqTracer, tierName)
 		}
 	}
+	if a.chk != nil {
+		m.srv.SetInvariantChecker(a.chk)
+		if m.pool != nil {
+			m.pool.SetInvariantChecker(a.chk)
+		}
+		if br := a.breakers[name]; br != nil {
+			br.SetStateHook(a.breakerTransitionHook(name))
+		}
+	}
 	a.refreshDBConfigured()
 	return m, nil
 }
@@ -392,6 +408,72 @@ func (a *App) SetRequestTracer(tr *trace.RequestTracer) {
 			m.srv.SetTracer(tr, tierName)
 			if m.pool != nil {
 				m.pool.SetTracer(tr, tierName)
+			}
+		}
+	}
+}
+
+// breakerTransitionHook returns the state-change observer validating the
+// named server's breaker transitions against the legal state machine.
+func (a *App) breakerTransitionHook(name string) func(from, to resilience.BreakerState) {
+	return func(from, to resilience.BreakerState) {
+		a.chk.BreakerTransition(a.eng.Now(), "breaker "+name, from.String(), to.String())
+	}
+}
+
+// SetInvariantChecker attaches an invariant checker to the application
+// and every current and future server, connection pool and circuit
+// breaker (nil detaches). Like tracing, checking is read-only: it draws
+// no randomness and schedules no events, so checked and unchecked runs
+// are byte-identical.
+func (a *App) SetInvariantChecker(c *invariant.Checker) {
+	a.chk = c
+	for _, t := range a.tiers {
+		for _, m := range t.members {
+			m.srv.SetInvariantChecker(c)
+			if m.pool != nil {
+				m.pool.SetInvariantChecker(c)
+			}
+		}
+	}
+	for name, br := range a.breakers {
+		if c == nil {
+			br.SetStateHook(nil)
+		} else {
+			br.SetStateHook(a.breakerTransitionHook(name))
+		}
+	}
+}
+
+// CheckInvariants sweeps the application's structural laws into the
+// attached checker (no-op without one): request conservation (arrivals =
+// dispositions + in-flight), agreement between the disposition taxonomy
+// and the completion/error counters, and every current member's pool
+// accounting. Removed or crashed members are no longer swept; their
+// accounting froze when they left the tier.
+func (a *App) CheckInvariants() {
+	if a.chk == nil {
+		return
+	}
+	now := a.eng.Now()
+	if a.inFlight < 0 {
+		a.chk.Violatef(now, invariant.RuleConservation, "app", 0,
+			"in-flight count negative (%d)", a.inFlight)
+	}
+	if total := a.disp.Total(); a.injected != total+uint64(a.inFlight) {
+		a.chk.Violatef(now, invariant.RuleConservation, "app", 0,
+			"injected %d != %d finished dispositions + %d in-flight",
+			a.injected, total, a.inFlight)
+	}
+	a.chk.Check(now, invariant.RuleMetrics, "app",
+		a.disp.CheckConsistent(a.completions.Total(), a.errored.Total()))
+	for _, tierName := range Tiers() {
+		for _, m := range a.Members(tierName) {
+			a.chk.Check(now, invariant.RulePoolAccounting, tierName+"/"+m.Name(),
+				m.srv.CheckInvariant())
+			if m.pool != nil {
+				a.chk.Check(now, invariant.RulePoolAccounting, tierName+"/"+m.pool.Name(),
+					m.pool.CheckInvariant())
 			}
 		}
 	}
@@ -724,6 +806,7 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 	start := a.eng.Now()
 	deadline := a.deadlineFor(start)
 	a.inFlight++
+	a.injected++
 	var servlet *Servlet
 	if len(a.cfg.Servlets) > 0 {
 		servlet = a.pickServlet()
@@ -734,6 +817,10 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 	finish := func(disp metrics.Disposition) {
 		ok := disp == metrics.DispositionOK
 		a.inFlight--
+		if a.chk != nil && a.inFlight < 0 {
+			a.chk.Violatef(a.eng.Now(), invariant.RuleConservation, "app", req,
+				"request finish drove in-flight negative (%d)", a.inFlight)
+		}
 		rt := a.eng.Now() - start
 		kind := trace.EventDone
 		if !ok {

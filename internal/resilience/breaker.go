@@ -123,6 +123,24 @@ type Breaker struct {
 	probeSucc int // consecutive probe successes
 
 	opened uint64 // lifetime count of closed/half-open -> open transitions
+
+	// stateHook, when installed, observes every state transition (from,
+	// to). Used by the invariant checker to validate transition legality;
+	// nil (the default) costs one comparison per transition, never per
+	// request.
+	stateHook func(from, to BreakerState)
+}
+
+// SetStateHook installs fn to observe every state transition (nil
+// uninstalls). The hook must not mutate the breaker.
+func (b *Breaker) SetStateHook(fn func(from, to BreakerState)) { b.stateHook = fn }
+
+// transition moves the machine to state `to`, notifying the hook.
+func (b *Breaker) transition(to BreakerState) {
+	if b.stateHook != nil && b.state != to {
+		b.stateHook(b.state, to)
+	}
+	b.state = to
 }
 
 // NewBreaker returns a closed breaker. A disabled config yields a breaker
@@ -201,7 +219,7 @@ func (b *Breaker) Attempt(now time.Duration) bool {
 		if now < b.openUntil {
 			return false
 		}
-		b.state = StateHalfOpen
+		b.transition(StateHalfOpen)
 		b.probeSucc = 0
 		b.probes = 1
 		return true
@@ -272,7 +290,7 @@ func (b *Breaker) RecordNeutral() {
 
 // open trips the breaker.
 func (b *Breaker) open(now time.Duration) {
-	b.state = StateOpen
+	b.transition(StateOpen)
 	b.openUntil = now + b.cfg.Cooldown
 	b.probes = 0
 	b.probeSucc = 0
@@ -281,7 +299,7 @@ func (b *Breaker) open(now time.Duration) {
 
 // close resets the breaker to closed with a clean window.
 func (b *Breaker) close() {
-	b.state = StateClosed
+	b.transition(StateClosed)
 	b.probes = 0
 	b.probeSucc = 0
 	for i := range b.succ {

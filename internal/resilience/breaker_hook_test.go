@@ -1,0 +1,118 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"dcm/internal/invariant"
+)
+
+// TestStateHookTransitionsAreLegal drives a breaker through its whole
+// lifecycle — trip, cooldown, probe failure (re-open), probe successes
+// (close), re-trip — while a state hook records every edge. Every observed
+// transition must satisfy the invariant package's legality table, and the
+// hook must fire only on actual changes, in lifecycle order.
+func TestStateHookTransitionsAreLegal(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker(BreakerConfig{
+		FailureRate: 0.5,
+		MinSamples:  4,
+		Cooldown:    time.Second,
+		CloseAfter:  2,
+	})
+	type edge struct{ from, to BreakerState }
+	var edges []edge
+	chk := invariant.New()
+	b.SetStateHook(func(from, to BreakerState) {
+		edges = append(edges, edge{from, to})
+		chk.BreakerTransition(0, "breaker test", from.String(), to.String())
+	})
+
+	now := time.Duration(0)
+	// Trip: four failures at a 100% failure rate.
+	for i := 0; i < 4; i++ {
+		if !b.Attempt(now) {
+			t.Fatalf("closed breaker refused attempt %d", i)
+		}
+		b.Record(now, false)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state after trip = %v", b.State())
+	}
+	// Cooldown elapses; the next attempt is the half-open probe. It fails,
+	// re-opening the breaker.
+	now += 2 * time.Second
+	if !b.Attempt(now) {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	b.Record(now, false)
+	// Cooldown again; this time CloseAfter consecutive probes succeed.
+	now += 2 * time.Second
+	for i := 0; i < 2; i++ {
+		if !b.Attempt(now) {
+			t.Fatalf("half-open breaker refused probe %d", i)
+		}
+		b.Record(now, true)
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state after probe successes = %v", b.State())
+	}
+	// Re-trip from the fresh window.
+	for i := 0; i < 4; i++ {
+		b.Attempt(now)
+		b.Record(now, false)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state after re-trip = %v", b.State())
+	}
+
+	want := []edge{
+		{StateClosed, StateOpen},
+		{StateOpen, StateHalfOpen},
+		{StateHalfOpen, StateOpen},
+		{StateOpen, StateHalfOpen},
+		{StateHalfOpen, StateClosed},
+		{StateClosed, StateOpen},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("observed %d transitions %v, want %d", len(edges), edges, len(want))
+	}
+	for i, e := range edges {
+		if e != want[i] {
+			t.Fatalf("transition %d = %v->%v, want %v->%v", i, e.from, e.to, want[i].from, want[i].to)
+		}
+		if !invariant.LegalBreakerTransition(e.from.String(), e.to.String()) {
+			t.Fatalf("transition %d (%v->%v) is illegal", i, e.from, e.to)
+		}
+	}
+	if chk.Total() != 0 {
+		t.Fatalf("checker recorded %d violation(s):\n%s", chk.Total(), invariant.Render(chk.Violations()))
+	}
+}
+
+// TestStateHookFiresOnlyOnChange pins that self-transitions never reach
+// the hook: repeated failures while already open, probe bookkeeping while
+// half-open and successes while closed are all silent.
+func TestStateHookFiresOnlyOnChange(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker(BreakerConfig{FailureRate: 0.5, MinSamples: 4, Cooldown: time.Second})
+	calls := 0
+	b.SetStateHook(func(from, to BreakerState) {
+		calls++
+		if from == to {
+			t.Fatalf("hook fired on self-transition %v", from)
+		}
+	})
+	now := time.Duration(0)
+	for i := 0; i < 8; i++ { // trips once, then stragglers land while open
+		b.Attempt(now)
+		b.Record(now, false)
+	}
+	if calls != 1 {
+		t.Fatalf("hook fired %d times for a single trip", calls)
+	}
+	b.SetStateHook(nil) // detaching must be safe mid-lifecycle
+	now += 2 * time.Second
+	b.Attempt(now)
+	b.Record(now, true)
+}

@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMapErrorBeatsLaterPanic completes the smallest-index error policy:
+// TestMapRecoversPanics pins a panic beating a later error; here an
+// ordinary error at a smaller index must win over a later panic, on both
+// the serial and parallel paths.
+func TestMapErrorBeatsLaterPanic(t *testing.T) {
+	t.Parallel()
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for _, workers := range []int{1, 8} {
+		_, err := Map(items, workers, func(i, item int) (int, error) {
+			if item == 2 {
+				return 0, fmt.Errorf("run %d failed", item)
+			}
+			if item >= 5 {
+				panic("poisoned")
+			}
+			return item, nil
+		})
+		if err == nil || err.Error() != "run 2 failed" {
+			t.Fatalf("workers=%d: err = %v, want run 2's error", workers, err)
+		}
+	}
+}
+
+// TestMapRecoversNonStringPanics pins that panic values which are not
+// strings — errors, typed values, nil-adjacent sentinels — still surface
+// as indexed errors rather than killing the pool.
+func TestMapRecoversNonStringPanics(t *testing.T) {
+	t.Parallel()
+	payloads := []any{errors.New("wrapped failure"), 42, struct{ x int }{7}}
+	for pi, payload := range payloads {
+		payload := payload
+		for _, workers := range []int{1, 4} {
+			_, err := Map([]int{0, 1, 2}, workers, func(i, item int) (int, error) {
+				if item == 1 {
+					panic(payload)
+				}
+				return item, nil
+			})
+			if err == nil {
+				t.Fatalf("payload %d workers=%d: panic not surfaced", pi, workers)
+			}
+			if !strings.HasPrefix(err.Error(), "runner: run 1 panicked: ") {
+				t.Fatalf("payload %d workers=%d: err = %q", pi, workers, err)
+			}
+		}
+	}
+}
+
+// TestMapAllPanicsReportsSmallestIndex floods every run with a panic;
+// the surfaced error must still be run 0's, matching the serial loop.
+func TestMapAllPanicsReportsSmallestIndex(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 8} {
+		_, err := Map(make([]int, 16), workers, func(i, item int) (int, error) {
+			panic(fmt.Sprintf("run %d", i))
+		})
+		want := "runner: run 0 panicked: run 0"
+		if err == nil || err.Error() != want {
+			t.Fatalf("workers=%d: err = %v, want %q", workers, err, want)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/model"
 	"dcm/internal/resilience"
@@ -161,6 +162,13 @@ type Server struct {
 
 	tracer *trace.RequestTracer
 	tier   string
+
+	// granted and released are lifetime thread grants/returns; together
+	// with active they form the pool-accounting conservation law the
+	// invariant checker asserts (granted = released + active).
+	granted  uint64
+	released uint64
+	chk      *invariant.Checker
 }
 
 // Histogram bucket layouts shared by every server so per-tier merges are
@@ -220,6 +228,46 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*Server, error) {
 func (s *Server) SetTracer(tr *trace.RequestTracer, tier string) {
 	s.tracer = tr
 	s.tier = tier
+}
+
+// SetInvariantChecker attaches an invariant checker (nil detaches). Like
+// tracing, checking is read-only: it never changes how requests are
+// scheduled, so enabled and disabled runs are byte-identical.
+func (s *Server) SetInvariantChecker(c *invariant.Checker) { s.chk = c }
+
+// CheckInvariant sweeps the server's structural laws and returns the
+// first breach found (nil when all hold): occupancy and queue accounting
+// never negative, executing bursts bounded by held threads, lifetime
+// grants = releases + active, the bounded queue's cap respected, and
+// work conservation (no request waiting while a thread is free).
+func (s *Server) CheckInvariant() error {
+	if s.active < 0 {
+		return fmt.Errorf("server %s: active %d negative", s.name, s.active)
+	}
+	if s.executing < 0 || s.executing > s.active {
+		return fmt.Errorf("server %s: executing %d outside [0, active %d]", s.name, s.executing, s.active)
+	}
+	if s.poolSize < 1 {
+		return fmt.Errorf("server %s: pool size %d below 1", s.name, s.poolSize)
+	}
+	if s.queueDead < 0 || s.queueDead > len(s.queue) {
+		return fmt.Errorf("server %s: queueDead %d outside [0, %d]", s.name, s.queueDead, len(s.queue))
+	}
+	if s.granted != s.released+uint64(s.active) {
+		return fmt.Errorf("server %s: grants %d != releases %d + active %d",
+			s.name, s.granted, s.released, s.active)
+	}
+	if s.maxQueue > 0 && s.QueueLen() > s.maxQueue {
+		return fmt.Errorf("server %s: queue length %d exceeds cap %d", s.name, s.QueueLen(), s.maxQueue)
+	}
+	// Note active > poolSize is legal after a pool shrink (in-flight
+	// requests drain down to the new size), so it is checked at grant
+	// time, not here.
+	if s.active < s.poolSize && s.QueueLen() > 0 {
+		return fmt.Errorf("server %s: %d request(s) queued while %d thread(s) free",
+			s.name, s.QueueLen(), s.poolSize-s.active)
+	}
+	return nil
 }
 
 // QueueDepthHistogram returns the histogram of queue depths observed by
@@ -395,7 +443,20 @@ func (s *Server) AcquireDeadline(req uint64, deadline sim.Time, fn func(*Session
 // grantWaiter admits one request, accounting concurrency.
 func (s *Server) grantWaiter(w *waiter) {
 	s.active++
+	s.granted++
 	now := s.eng.Now()
+	if s.chk != nil {
+		// A grant may never push occupancy past the pool (shrinks drain,
+		// they do not grant) nor admit an already-expired request.
+		if s.active > s.poolSize {
+			s.chk.Violatef(now, invariant.RulePoolAccounting, "server "+s.name, w.req,
+				"grant raised active to %d with pool size %d", s.active, s.poolSize)
+		}
+		if w.deadline > 0 && now >= w.deadline {
+			s.chk.Violatef(now, invariant.RuleDeadline, "server "+s.name, w.req,
+				"granted a thread %v past the deadline", now-w.deadline)
+		}
+	}
 	s.concurrency.Set(now, float64(s.active))
 	s.queueWaits.Observe((now - w.enqueueAt).Seconds())
 	s.tracer.Record(w.req, trace.EventQueueExit, s.tier, s.name, now)
@@ -634,6 +695,11 @@ func (sess *Session) Release() {
 	sess.released = true
 	s := sess.s
 	s.active--
+	s.released++
+	if s.chk != nil && s.active < 0 {
+		s.chk.Violatef(s.eng.Now(), invariant.RulePoolAccounting, "server "+s.name, sess.req,
+			"release drove active negative (%d)", s.active)
+	}
 	s.concurrency.Set(s.eng.Now(), float64(s.active))
 	s.admitWaiters()
 }

@@ -56,7 +56,20 @@ type Timer struct {
 // already fired, was already canceled, or was never scheduled (the zero
 // Timer) is a no-op.
 func (t Timer) Cancel() {
-	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled {
+	if t.ev == nil {
+		return
+	}
+	if t.ev.gen != t.gen {
+		// A handle generation behind the event's is a legally stale timer
+		// (the event fired and its storage was recycled); a handle AHEAD
+		// of the event means the free list recycled a live event.
+		if t.gen > t.ev.gen && t.eng != nil && t.eng.vhook != nil {
+			t.eng.vhook(RuleTimerGeneration, fmt.Sprintf(
+				"timer generation %d ahead of event generation %d", t.gen, t.ev.gen))
+		}
+		return
+	}
+	if t.ev.cancelled {
 		return
 	}
 	t.ev.cancelled = true
@@ -97,7 +110,27 @@ type Engine struct {
 
 	processed uint64
 	maxEvents uint64
+
+	// vhook, when installed, receives descriptions of structural-law
+	// violations detected by the engine's own self-checks (event-order,
+	// timer-generation). It is a plain callback rather than a concrete
+	// checker type so the event core stays dependency-free; the hot path
+	// pays one nil comparison when disabled.
+	vhook func(rule, detail string)
 }
+
+// Violation rule names passed to the hook installed by SetViolationHook.
+// They mirror internal/invariant's rule constants without importing it.
+const (
+	RuleEventOrder      = "event-order"
+	RuleTimerGeneration = "timer-generation"
+)
+
+// SetViolationHook installs fn to receive engine self-check violations
+// (nil uninstalls). The engine never calls it on a correct run: firing an
+// event before the clock or seeing a timer handle from the future both
+// mean the heap or free list corrupted state.
+func (e *Engine) SetViolationHook(fn func(rule, detail string)) { e.vhook = fn }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -249,6 +282,10 @@ func (e *Engine) Run(horizon Time) error {
 			continue
 		}
 		fn := ev.fn
+		if e.vhook != nil && next.at < e.now {
+			e.vhook(RuleEventOrder, fmt.Sprintf(
+				"event fired at %v with clock already at %v", next.at, e.now))
+		}
 		e.now = next.at
 		// Recycle before firing so the rearm pattern (fire → schedule)
 		// reuses this event's storage; fn was copied out above and the
@@ -411,6 +448,57 @@ func (e *Engine) heapify() {
 	for i := (n - 2) >> 2; i >= 0; i-- {
 		e.siftDown(i)
 	}
+}
+
+// VerifyHeap runs the engine's O(n) structural self-check: the 4-ary
+// heap property over (at, seq), no queued event in the past, entry sort
+// keys consistent with their events, dead-entry accounting, and
+// disjointness of the queue and the free list. It is read-only and
+// intended for periodic or end-of-run invariant sweeps, not hot paths.
+func (e *Engine) VerifyHeap() error {
+	q := e.queue
+	if e.dead < 0 || e.dead > len(q) {
+		return fmt.Errorf("sim: dead count %d out of range [0,%d]", e.dead, len(q))
+	}
+	cancelled := 0
+	for i := range q {
+		en := q[i]
+		if en.ev == nil {
+			return fmt.Errorf("sim: queue[%d] has nil event", i)
+		}
+		if en.ev.at != en.at || en.ev.seq != en.seq {
+			return fmt.Errorf("sim: queue[%d] sort key (%v,%d) disagrees with event (%v,%d)",
+				i, en.at, en.seq, en.ev.at, en.ev.seq)
+		}
+		if en.at < e.now {
+			return fmt.Errorf("sim: queue[%d] scheduled at %v, before clock %v", i, en.at, e.now)
+		}
+		if en.ev.cancelled {
+			cancelled++
+		}
+		if i > 0 {
+			parent := (i - 1) >> 2
+			if eventLess(en, q[parent]) {
+				return fmt.Errorf("sim: heap property violated at index %d (parent %d)", i, parent)
+			}
+		}
+	}
+	if cancelled != e.dead {
+		return fmt.Errorf("sim: %d cancelled entries in queue but dead count is %d", cancelled, e.dead)
+	}
+	onFreeList := make(map[*Event]bool)
+	for ev := e.free; ev != nil; ev = ev.next {
+		if onFreeList[ev] {
+			return fmt.Errorf("sim: free list contains a cycle")
+		}
+		onFreeList[ev] = true
+	}
+	for i := range q {
+		if onFreeList[q[i].ev] {
+			return fmt.Errorf("sim: queue[%d] event is also on the free list", i)
+		}
+	}
+	return nil
 }
 
 // compactionThreshold is the minimum number of dead entries before a
