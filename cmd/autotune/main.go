@@ -1,0 +1,112 @@
+// Command autotune searches the declarative policy space for controller
+// configurations on the SLO-attainment-vs-server-hours Pareto frontier.
+//
+// Each controller's policy template (tunable knobs with ranges) is swept
+// over a deterministic grid, then refined with seeded random perturbations
+// of the running frontier; every candidate is scored on a scenario
+// portfolio (steady, bursty, chaos, retry-storm). The search is
+// byte-identical for any -parallel value.
+//
+//	autotune -o pareto.json                          # full search
+//	autotune -quick -budget 4 -portfolio steady      # smoke run
+//	autotune -controllers dcm,target-tracking        # subset
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcm/internal/autotune"
+	"dcm/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "autotune:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("autotune", flag.ContinueOnError)
+	var (
+		out         = fs.String("o", "", "write the JSON report to this file (default stdout table only)")
+		portfolio   = fs.String("portfolio", "", "comma-separated scenario subset (default all: "+strings.Join(autotune.ScenarioNames(), ",")+")")
+		controllers = fs.String("controllers", "", "comma-separated controller subset (default all templates)")
+		budget      = fs.Int("budget", 24, "candidate evaluations per controller")
+		seeds       = fs.Int("seeds", 2, "perturbations per frontier point per refinement round (0 disables refinement)")
+		rounds      = fs.Int("rounds", 2, "refinement rounds")
+		parallel    = fs.Int("parallel", 0, "worker pool size (<= 0 selects the runner default; any value yields identical output)")
+		seed        = fs.Uint64("seed", 42, "scenario seed")
+		searchSeed  = fs.Uint64("search-seed", 1, "refinement perturbation seed")
+		quick       = fs.Bool("quick", false, "shrunken scenario horizons for smoke runs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	names := splitList(*portfolio)
+	port, err := autotune.Portfolio(names, *seed, *quick)
+	if err != nil {
+		return err
+	}
+
+	templates := autotune.DefaultTemplates()
+	if sel := splitList(*controllers); len(sel) > 0 {
+		templates = templates[:0]
+		for _, name := range sel {
+			tmpl, err := autotune.TemplateFor(experiments.ControllerKind(name))
+			if err != nil {
+				return err
+			}
+			templates = append(templates, tmpl)
+		}
+	}
+
+	refineSeeds := *seeds
+	if refineSeeds == 0 {
+		// Config treats 0 as "use the default"; the CLI's 0 means "off".
+		refineSeeds = -1
+	}
+	cfg := autotune.Config{
+		Templates: templates,
+		Portfolio: port,
+		Budget:    *budget,
+		Seeds:     refineSeeds,
+		Rounds:    *rounds,
+		Workers:   *parallel,
+		Seed:      *searchSeed,
+	}
+	rep, err := autotune.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(autotune.RenderReport(rep))
+	if *out != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

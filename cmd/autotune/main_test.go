@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dcm/internal/autotune"
+)
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-bad-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-portfolio", "bogus"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run([]string{"-controllers", "bogus"}); err == nil {
+		t.Fatal("unknown controller accepted")
+	}
+}
+
+// TestRunDeterministicAcrossParallel is the CLI-level acceptance check:
+// the same search written under -parallel 1 and -parallel 4 produces
+// byte-identical JSON reports.
+func TestRunDeterministicAcrossParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real scenario simulations")
+	}
+	dir := t.TempDir()
+	var files [][]byte
+	for _, parallel := range []string{"1", "4"} {
+		out := filepath.Join(dir, "pareto-"+parallel+".json")
+		err := run([]string{
+			"-quick", "-portfolio", "steady", "-controllers", "target-tracking",
+			"-budget", "4", "-seeds", "1", "-rounds", "1",
+			"-parallel", parallel, "-o", out,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, b)
+	}
+	if !bytes.Equal(files[0], files[1]) {
+		t.Fatal("-parallel 1 and -parallel 4 reports differ")
+	}
+	var rep autotune.Report
+	if err := json.Unmarshal(files[0], &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if len(rep.Controllers) != 1 || rep.Controllers[0].Controller != "target-tracking" {
+		t.Fatalf("controller selection wrong: %+v", rep.Controllers)
+	}
+	if len(rep.Controllers[0].Frontier) == 0 {
+		t.Fatal("empty frontier in written report")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	if got := splitList(""); got != nil {
+		t.Fatalf("empty list: %v", got)
+	}
+	if got, want := splitList("a, b,,c"), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("split %v, want %v", got, want)
+	}
+}

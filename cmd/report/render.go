@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dcm/internal/autotune"
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
 	"dcm/internal/trace"
@@ -40,8 +41,10 @@ func scenarioDetailSection(res *experiments.ScenarioResult) string {
 	return b.String()
 }
 
-// auditSection renders the controller decision audit summary, or nothing
-// when the run did not capture one.
+// auditSection renders the controller decision audit summary — the
+// per-code tallies plus, for planner-equipped controllers, the clamp
+// diagnostics (raw vs applied concurrency knobs whenever a floor or
+// ceiling fired) — or nothing when the run did not capture a log.
 func auditSection(res *experiments.ScenarioResult) string {
 	log := res.DecisionLog()
 	if log == nil {
@@ -50,7 +53,24 @@ func auditSection(res *experiments.ScenarioResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s controller decision audit\n\n```\n", res.Kind)
 	b.WriteString(log.RenderSummary())
+	if diag := log.RenderPlanDiag(); diag != "" {
+		b.WriteString(diag)
+	}
 	b.WriteString("```\n\n")
+	return b.String()
+}
+
+// autotuneSection renders a previously generated autotune Pareto report
+// (see cmd/autotune) as a markdown section.
+func autotuneSection(rep *autotune.Report) string {
+	var b strings.Builder
+	b.WriteString("## Policy autotuning: SLO attainment vs server-hours\n\n```\n")
+	b.WriteString(autotune.RenderReport(rep))
+	b.WriteString("```\n\n")
+	b.WriteString("Each frontier row is a policy no other evaluated candidate beats on " +
+		"both axes: attainment (fraction of run seconds within the SLO, discounted " +
+		"by failed requests, averaged over the portfolio) and server-hours " +
+		"(summed scalable-tier VM time). Regenerate with `cmd/autotune`.\n\n")
 	return b.String()
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -8,7 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"dcm/internal/autotune"
 	"dcm/internal/experiments"
+	"dcm/internal/policy"
 	"dcm/internal/resilience"
 )
 
@@ -93,6 +96,63 @@ func TestAuditSectionGolden(t *testing.T) {
 	}
 	if got := auditSection(plain); got != "" {
 		t.Fatalf("auditSection without a log = %q, want empty", got)
+	}
+}
+
+// TestAutotuneSectionGolden renders a fixture Pareto report (no search
+// run — the section renderer is a pure function of the report) and also
+// covers the loader's round trip and its unknown-field rejection.
+func TestAutotuneSectionGolden(t *testing.T) {
+	rules := policy.Default()
+	rules.Name = "autotune:dcm:headroom=1.2,upperCPU=0.75"
+	rep := &autotune.Report{
+		Portfolio: []autotune.Scenario{{Name: "steady", SLOSec: 0.5, Seed: 42}},
+		Budget:    4, Seeds: 1, Rounds: 1, Seed: 1,
+		Controllers: []autotune.ControllerReport{{
+			Controller: "dcm",
+			Tunables: []autotune.Tunable{
+				{Knob: "upperCPU", Min: 0.6, Max: 0.9, Steps: 3},
+				{Knob: "headroom", Min: 0.8, Max: 1.6, Steps: 2},
+			},
+			Evaluated: 4,
+			Frontier: []autotune.Point{{
+				Candidate: autotune.Candidate{
+					Values: map[string]float64{"upperCPU": 0.75, "headroom": 1.2},
+					Rules:  rules,
+				},
+				Attainment:  0.875,
+				ServerHours: 0.25,
+			}},
+		}},
+	}
+	golden(t, "autotune-section", autotuneSection(rep))
+
+	// The loader round-trips the marshaled report...
+	path := filepath.Join(t.TempDir(), "pareto.json")
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadAutotuneReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autotuneSection(loaded) != autotuneSection(rep) {
+		t.Fatal("loaded report renders differently")
+	}
+	// ...and rejects files that are not autotune reports.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"notAReport": true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadAutotuneReport(bad); err == nil {
+		t.Fatal("non-report JSON accepted")
+	}
+	if _, err := loadAutotuneReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
 

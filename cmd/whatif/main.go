@@ -6,14 +6,22 @@
 // both side by side.
 //
 //	whatif -app 2 -db 1 -app-threads 20 -db-conns 18 -users 2000
+//	whatif -users 2000 -json -slo 0.5        # machine-readable evaluations
+//
+// With -json the two methods are emitted as a JSON array of
+// autotune.Evaluation objects — the same result schema the autotuner's
+// portfolio runs use — so downstream tooling consumes capacity-planning
+// answers and tuning scores uniformly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"dcm/internal/autotune"
 	"dcm/internal/metrics"
 	"dcm/internal/mva"
 	"dcm/internal/ntier"
@@ -40,6 +48,8 @@ func run(args []string) error {
 		think      = fs.Duration("think", 3*time.Second, "mean think time")
 		measure    = fs.Duration("measure", 20*time.Second, "simulation measurement window")
 		seed       = fs.Uint64("seed", 42, "random seed")
+		jsonOut    = fs.Bool("json", false, "emit a JSON array of evaluations instead of the table")
+		slo        = fs.Float64("slo", 0.5, "response-time objective in seconds (scored in -json output)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +73,16 @@ func run(args []string) error {
 		return err
 	}
 
+	if *jsonOut {
+		evals := []autotune.Evaluation{
+			evaluation("simulation", simX, simRT, *slo),
+			evaluation("mva", mvaX, mvaRT, *slo),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(evals)
+	}
+
 	fmt.Printf("configuration %d/%d/%d at %d users, %v think:\n",
 		1, *appServers, *dbServers, *users, *think)
 	fmt.Printf("  soft resources: %d threads/Tomcat, %d conns/Tomcat\n\n", *appThreads, *dbConns)
@@ -76,6 +96,24 @@ func run(args []string) error {
 	fmt.Println("visits); the simulation is the reference. Large disagreement usually")
 	fmt.Println("means the configuration is near a thrash or saturation boundary.")
 	return nil
+}
+
+// evaluation wraps one method's steady-state answer in the shared
+// autotune.Evaluation schema. A steady state either meets the SLO or it
+// does not, so attainment is binary; there is no controller, policy or
+// server-hours dimension here.
+func evaluation(source string, x, rt, slo float64) autotune.Evaluation {
+	attainment := 0.0
+	if rt <= slo {
+		attainment = 1.0
+	}
+	return autotune.Evaluation{
+		Source:        source,
+		SLOSec:        slo,
+		Attainment:    attainment,
+		ThroughputRPS: x,
+		MeanRTSec:     rt,
+	}
 }
 
 // simulate measures the configuration's steady state.

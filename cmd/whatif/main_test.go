@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -25,6 +27,46 @@ func TestRunSmoke(t *testing.T) {
 		"-users", "500", "-measure", "4s",
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunJSONSmoke(t *testing.T) {
+	t.Parallel()
+	if err := run([]string{
+		"-users", "500", "-measure", "4s", "-json", "-slo", "0.25",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvaluationSchema pins the -json payload: the shared
+// autotune.Evaluation schema with binary steady-state attainment and no
+// controller/cost dimensions.
+func TestEvaluationSchema(t *testing.T) {
+	t.Parallel()
+	ev := evaluation("mva", 480, 0.012, 0.5)
+	if ev.Source != "mva" || ev.Attainment != 1 || ev.ThroughputRPS != 480 || ev.MeanRTSec != 0.012 {
+		t.Fatalf("evaluation wrong: %+v", ev)
+	}
+	if ev.Controller != "" || ev.ServerHours != 0 {
+		t.Fatalf("steady-state evaluation carries controller/cost fields: %+v", ev)
+	}
+	if ev := evaluation("simulation", 480, 0.8, 0.5); ev.Attainment != 0 {
+		t.Fatalf("missed SLO must score 0, got %v", ev.Attainment)
+	}
+	b, err := json.Marshal(evaluation("mva", 480, 0.012, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"source"`, `"sloSec"`, `"attainment"`, `"throughputRPS"`, `"meanRTSec"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("marshaled evaluation missing %s: %s", key, b)
+		}
+	}
+	for _, key := range []string{`"controller"`, `"serverHours"`, `"completed"`} {
+		if strings.Contains(string(b), key) {
+			t.Fatalf("marshaled evaluation should omit %s: %s", key, b)
+		}
 	}
 }
 

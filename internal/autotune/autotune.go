@@ -1,0 +1,119 @@
+// Package autotune searches the declarative policy space of
+// internal/policy for controller configurations that trade SLO attainment
+// against server-hours cost.
+//
+// The search is deterministic end to end: a policy template names the
+// tunable knobs and their ranges, a fixed grid enumerates the first
+// candidate wave, and seeded random refinement perturbs the current
+// Pareto frontier for further waves. Every candidate is scored on a
+// scenario portfolio (steady trace, bursty arrivals, fault injection,
+// retry storm) by running the same internal/experiments scenarios the
+// figures use, fanned across a worker pool by internal/runner — whose
+// input-order results make a parallel search byte-identical to a serial
+// one. The output is a per-controller Pareto frontier: no candidate on it
+// is beaten on both attainment and cost by any other candidate evaluated.
+package autotune
+
+import (
+	"dcm/internal/experiments"
+	"dcm/internal/metrics"
+	"dcm/internal/ntier"
+)
+
+// Evaluation is one scenario's scored outcome — the result schema shared
+// between the autotuner's portfolio runs and `whatif -json`: both describe
+// "this configuration, evaluated one way, delivered these service levels".
+type Evaluation struct {
+	// Source names the evaluation: a portfolio scenario ("steady",
+	// "retry-storm", ...) or a whatif method ("simulation", "mva").
+	Source string `json:"source"`
+	// Controller and Policy identify the configuration under evaluation
+	// (empty for whatif's controller-less steady states).
+	Controller string `json:"controller,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+	// SLOSec is the response-time objective the attainment is measured
+	// against.
+	SLOSec float64 `json:"sloSec,omitempty"`
+	// Attainment is the fraction of the run delivered within the SLO,
+	// discounted by the request failure fraction (1.0 = every second within
+	// the objective and every request served).
+	Attainment float64 `json:"attainment"`
+	// ThroughputRPS and MeanRTSec summarize the delivered service.
+	ThroughputRPS float64 `json:"throughputRPS"`
+	MeanRTSec     float64 `json:"meanRTSec"`
+	// ServerHours is the VM time consumed across the scalable tiers — the
+	// cost axis (0 for whatif's fixed topologies).
+	ServerHours float64 `json:"serverHours,omitempty"`
+	// Completed, Goodput, Retries and Errors are lifetime request counts
+	// (Goodput and Retries only on resilience-enabled runs).
+	Completed uint64 `json:"completed,omitempty"`
+	Goodput   uint64 `json:"goodput,omitempty"`
+	Retries   uint64 `json:"retries,omitempty"`
+	Errors    uint64 `json:"errors,omitempty"`
+}
+
+// Evaluate scores one finished scenario run against an SLO: the fraction
+// of per-second mean response times within the objective, discounted by
+// the fraction of requests that failed outright (and, on resilience runs,
+// by every non-OK disposition — a shed or broken-circuit request is not
+// attained service no matter how fast the survivors were).
+func Evaluate(source string, res *experiments.ScenarioResult, sloSec float64) Evaluation {
+	ev := Evaluation{
+		Source:     source,
+		Controller: string(res.Kind),
+		SLOSec:     sloSec,
+		Completed:  res.TotalCompleted,
+		Goodput:    res.Goodput,
+		Retries:    res.Retries,
+		Errors:     res.TotalErrors,
+	}
+	within := 0
+	for _, rt := range res.MeanRTSec {
+		if rt <= sloSec {
+			within++
+		}
+	}
+	sloFrac := 1.0
+	if len(res.MeanRTSec) > 0 {
+		sloFrac = float64(within) / float64(len(res.MeanRTSec))
+	}
+	ev.Attainment = sloFrac * successFraction(res)
+	if len(res.Throughput) > 0 {
+		ev.ThroughputRPS = metrics.Summarize(res.Throughput).Mean
+	}
+	if len(res.MeanRTSec) > 0 {
+		ev.MeanRTSec = metrics.Summarize(res.MeanRTSec).Mean
+	}
+	ev.ServerHours = serverHours(res)
+	return ev
+}
+
+// successFraction is the fraction of requests actually served: the full
+// disposition taxonomy when the run recorded one, completions vs errors
+// otherwise.
+func successFraction(res *experiments.ScenarioResult) float64 {
+	if d := res.Dispositions; d != nil {
+		total := d.OK + d.TimedOut + d.Rejected + d.Shed + d.BreakerOpen + d.Errored
+		if total == 0 {
+			return 1
+		}
+		return float64(d.OK) / float64(total)
+	}
+	total := res.TotalCompleted + res.TotalErrors
+	if total == 0 {
+		return 1
+	}
+	return float64(res.TotalCompleted) / float64(total)
+}
+
+// serverHours converts the per-second scalable-tier server counts into VM
+// hours — the portfolio's cost currency.
+func serverHours(res *experiments.ScenarioResult) float64 {
+	seconds := 0.0
+	for _, tierName := range []string{ntier.TierApp, ntier.TierDB} {
+		for _, c := range res.TierCounts[tierName] {
+			seconds += float64(c)
+		}
+	}
+	return seconds / 3600
+}

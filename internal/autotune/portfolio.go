@@ -1,0 +1,189 @@
+package autotune
+
+import (
+	"fmt"
+	"time"
+
+	"dcm/internal/chaos"
+	"dcm/internal/experiments"
+	"dcm/internal/ntier"
+	"dcm/internal/policy"
+	"dcm/internal/resilience"
+	"dcm/internal/trace"
+	"dcm/internal/workload"
+)
+
+// Scenario is one portfolio entry: a named workload/fault shape every
+// candidate is scored on. The struct is pure data so a portfolio can be
+// marshalled into reports.
+type Scenario struct {
+	// Name selects the scenario shape: "steady", "bursty", "chaos" or
+	// "retry-storm".
+	Name string `json:"name"`
+	// SLOSec is the response-time objective attainment is measured against.
+	SLOSec float64 `json:"sloSec"`
+	// Seed drives the scenario's randomness. Candidates share it, so score
+	// differences come from the rules, never from the draw.
+	Seed uint64 `json:"seed"`
+	// Quick shrinks horizons and populations for smoke runs.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// ScenarioNames lists the supported portfolio scenarios in canonical
+// order.
+func ScenarioNames() []string {
+	return []string{"steady", "bursty", "chaos", "retry-storm"}
+}
+
+// Portfolio builds the named scenarios. names empty selects all of them.
+func Portfolio(names []string, seed uint64, quick bool) ([]Scenario, error) {
+	if len(names) == 0 {
+		names = ScenarioNames()
+	}
+	out := make([]Scenario, 0, len(names))
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			return nil, fmt.Errorf("autotune: scenario %q listed twice", name)
+		}
+		seen[name] = true
+		slo := 0.5
+		if name == "retry-storm" {
+			// The storm's SLA is the request deadline: service past it was
+			// abandoned, not slow.
+			slo = 1.0
+		}
+		switch name {
+		case "steady", "bursty", "chaos", "retry-storm":
+		default:
+			return nil, fmt.Errorf("autotune: unknown scenario %q (have %v)", name, ScenarioNames())
+		}
+		out = append(out, Scenario{Name: name, SLOSec: slo, Seed: seed, Quick: quick})
+	}
+	return out, nil
+}
+
+// config builds the experiments.ScenarioConfig one candidate run needs.
+func (s Scenario) config(kind experiments.ControllerKind, rules *policy.Rules) (experiments.ScenarioConfig, error) {
+	cfg := experiments.ScenarioConfig{
+		Seed:  s.Seed,
+		Kind:  kind,
+		Rules: rules,
+	}
+	switch s.Name {
+	case "steady":
+		if s.Quick {
+			tr, err := trace.Synthesize(trace.SynthesisConfig{
+				Name:     "steady-quick",
+				Duration: 150 * time.Second,
+				Base:     300,
+				Step:     5 * time.Second,
+				Jitter:   0.05,
+				Seed:     s.Seed,
+				Bursts: []trace.Burst{
+					{Start: 40 * time.Second, Peak: 1200, Ramp: 10 * time.Second, Hold: 40 * time.Second},
+				},
+			})
+			if err != nil {
+				return cfg, fmt.Errorf("autotune: steady trace: %w", err)
+			}
+			cfg.Trace = tr
+		}
+		// Full mode keeps Trace nil: RunScenario synthesizes the paper's
+		// 600 s large-variation trace from the seed.
+	case "bursty":
+		if s.Quick {
+			cfg.Bursty = &workload.BurstyConfig{
+				Users:       900,
+				NormalThink: 12 * time.Second,
+				SurgeThink:  2 * time.Second,
+				NormalDwell: 30 * time.Second,
+				SurgeDwell:  20 * time.Second,
+			}
+			cfg.Horizon = 150 * time.Second
+		} else {
+			cfg.Bursty = &workload.BurstyConfig{
+				Users:       2600,
+				NormalThink: 12 * time.Second,
+				SurgeThink:  2 * time.Second,
+				NormalDwell: 60 * time.Second,
+				SurgeDwell:  40 * time.Second,
+			}
+			cfg.Horizon = 600 * time.Second
+		}
+	case "chaos":
+		if s.Quick {
+			tr, err := trace.Synthesize(trace.SynthesisConfig{
+				Name:     "chaos-quick",
+				Duration: 150 * time.Second,
+				Base:     400,
+				Step:     5 * time.Second,
+				Jitter:   0.05,
+				Seed:     s.Seed,
+				Bursts: []trace.Burst{
+					{Start: 30 * time.Second, Peak: 1400, Ramp: 10 * time.Second, Hold: 60 * time.Second},
+				},
+			})
+			if err != nil {
+				return cfg, fmt.Errorf("autotune: chaos trace: %w", err)
+			}
+			cfg.Trace = tr
+			cfg.Chaos = &chaos.Schedule{Name: "chaos-quick", Faults: []chaos.Fault{
+				{Kind: chaos.KindDegrade, At: 40 * time.Second, Duration: 40 * time.Second,
+					Tier: ntier.TierApp, Factor: 2.5},
+				{Kind: chaos.KindBlackout, At: 100 * time.Second, Duration: 20 * time.Second},
+			}}
+		} else {
+			sched, err := chaos.Builtin("kitchen-sink")
+			if err != nil {
+				return cfg, fmt.Errorf("autotune: chaos schedule: %w", err)
+			}
+			cfg.Chaos = &sched
+		}
+	case "retry-storm":
+		users, degradeAt, degradeFor, horizon := 500, 20*time.Second, 100*time.Second, 140*time.Second
+		if s.Quick {
+			users, degradeAt, degradeFor, horizon = 300, 15*time.Second, 45*time.Second, 80*time.Second
+		}
+		tr, err := trace.SynthesizeStep("retry-storm", users, users, 0, horizon)
+		if err != nil {
+			return cfg, fmt.Errorf("autotune: retry-storm trace: %w", err)
+		}
+		res, err := resilience.Preset("full", time.Second)
+		if err != nil {
+			return cfg, fmt.Errorf("autotune: retry-storm resilience: %w", err)
+		}
+		cfg.Trace = tr
+		cfg.ThinkTime = 500 * time.Millisecond
+		cfg.AppServers = 2
+		cfg.Resilience = res
+		// The degraded-server fault targets "app-1" by name so every
+		// candidate degrades the same Tomcat.
+		cfg.Chaos = &chaos.Schedule{Name: "retry-storm", Faults: []chaos.Fault{{
+			Kind:     chaos.KindDegrade,
+			At:       degradeAt,
+			Duration: degradeFor,
+			Tier:     ntier.TierApp,
+			VM:       "app-1",
+			Factor:   12,
+		}}}
+	default:
+		return cfg, fmt.Errorf("autotune: unknown scenario %q (have %v)", s.Name, ScenarioNames())
+	}
+	return cfg, nil
+}
+
+// Run executes the scenario under one candidate rule set and scores it.
+func (s Scenario) Run(kind experiments.ControllerKind, rules policy.Rules) (Evaluation, error) {
+	cfg, err := s.config(kind, &rules)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	res, err := experiments.RunScenario(cfg)
+	if err != nil {
+		return Evaluation{}, fmt.Errorf("autotune: scenario %s/%s: %w", s.Name, kind, err)
+	}
+	ev := Evaluate(s.Name, res, s.SLOSec)
+	ev.Policy = rules.Name
+	return ev, nil
+}

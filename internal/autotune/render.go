@@ -1,0 +1,62 @@
+package autotune
+
+import (
+	"fmt"
+	"strings"
+
+	"dcm/internal/metrics"
+)
+
+// RenderReport renders the per-controller Pareto frontiers as text tables:
+// one row per frontier point with its knob values and the two axes, plus
+// the evaluation counts and portfolio line. This is the human view of the
+// JSON report.
+func RenderReport(r *Report) string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.Portfolio))
+	for _, s := range r.Portfolio {
+		names = append(names, s.Name)
+	}
+	fmt.Fprintf(&b, "portfolio: %s (seed %d", strings.Join(names, ", "), portfolioSeed(r.Portfolio))
+	if len(r.Portfolio) > 0 && r.Portfolio[0].Quick {
+		b.WriteString(", quick")
+	}
+	fmt.Fprintf(&b, "); budget %d/controller, %d refinement seeds x %d rounds\n",
+		r.Budget, r.Seeds, r.Rounds)
+	for _, cr := range r.Controllers {
+		fmt.Fprintf(&b, "\n%s: %d candidates evaluated, %d on the frontier\n",
+			cr.Controller, cr.Evaluated, len(cr.Frontier))
+		b.WriteString(renderFrontier(cr))
+	}
+	return b.String()
+}
+
+// renderFrontier renders one controller's frontier table, knob columns in
+// tunable order.
+func renderFrontier(cr ControllerReport) string {
+	header := []string{"serverHours", "attainment"}
+	for _, tn := range cr.Tunables {
+		header = append(header, tn.Knob)
+	}
+	tb := metrics.NewTable(header...)
+	for _, p := range cr.Frontier {
+		row := []string{
+			fmt.Sprintf("%.3f", p.ServerHours),
+			fmt.Sprintf("%.3f", p.Attainment),
+		}
+		for _, tn := range cr.Tunables {
+			row = append(row, fmt.Sprintf("%g", p.Values[tn.Knob]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb.String()
+}
+
+// portfolioSeed returns the shared scenario seed (portfolios are built
+// with one seed for every entry).
+func portfolioSeed(ss []Scenario) uint64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	return ss[0].Seed
+}

@@ -1,0 +1,153 @@
+package autotune
+
+import (
+	"fmt"
+
+	"dcm/internal/experiments"
+	"dcm/internal/policy"
+	"dcm/internal/rng"
+)
+
+// Template is one controller's search space: the base rule set plus the
+// tunable knobs and their ranges.
+type Template struct {
+	// Controller selects the scenario controller the candidates drive.
+	Controller experiments.ControllerKind `json:"controller"`
+	// Base is the rule set every candidate starts from; knobs overwrite
+	// their fields.
+	Base policy.Rules `json:"base"`
+	// Tunables are the searched knobs.
+	Tunables []Tunable `json:"tunables"`
+}
+
+// DefaultTemplates returns the built-in search spaces: each controller
+// with the knobs that actually steer it. The VM-level thresholds matter to
+// every controller; headroom only reaches the DCM planner, the setpoint
+// only target tracking.
+func DefaultTemplates() []Template {
+	base := policy.Default()
+	return []Template{
+		{
+			Controller: experiments.ControllerDCM,
+			Base:       base,
+			Tunables: []Tunable{
+				{Knob: "upperCPU", Min: 0.6, Max: 0.9, Steps: 3},
+				{Knob: "lowerCPU", Min: 0.2, Max: 0.5, Steps: 2},
+				{Knob: "lowerConsecutive", Min: 2, Max: 6, Steps: 2},
+				{Knob: "headroom", Min: 0.8, Max: 1.6, Steps: 2},
+			},
+		},
+		{
+			Controller: experiments.ControllerEC2,
+			Base:       base,
+			Tunables: []Tunable{
+				{Knob: "upperCPU", Min: 0.6, Max: 0.9, Steps: 3},
+				{Knob: "lowerCPU", Min: 0.2, Max: 0.5, Steps: 2},
+				{Knob: "lowerConsecutive", Min: 2, Max: 6, Steps: 3},
+			},
+		},
+		{
+			Controller: experiments.ControllerTargetTracking,
+			Base:       base,
+			Tunables: []Tunable{
+				{Knob: "targetCPU", Min: 0.4, Max: 0.8, Steps: 3},
+				{Knob: "lowerConsecutive", Min: 2, Max: 6, Steps: 2},
+				{Knob: "maxServers", Min: 6, Max: 14, Steps: 2},
+			},
+		},
+	}
+}
+
+// TemplateFor returns the default template of one controller kind.
+func TemplateFor(kind experiments.ControllerKind) (Template, error) {
+	for _, t := range DefaultTemplates() {
+		if t.Controller == kind {
+			return t, nil
+		}
+	}
+	return Template{}, fmt.Errorf("autotune: no template for controller %q", kind)
+}
+
+// Validate checks the template.
+func (t Template) Validate() error {
+	if t.Controller == "" {
+		return fmt.Errorf("autotune: template missing controller")
+	}
+	if err := t.Base.Validate(); err != nil {
+		return fmt.Errorf("autotune: template base: %w", err)
+	}
+	return validateTunables(t.Tunables)
+}
+
+// candidate materializes one value vector: the base rules with every knob
+// applied, rejected if the combination fails rule validation (e.g. a
+// lowerCPU grid point at or above the upperCPU one).
+func (t Template) candidate(values []float64) (Candidate, bool) {
+	rules := t.Base
+	m := make(map[string]float64, len(t.Tunables))
+	for i, tn := range t.Tunables {
+		k, _ := KnobByName(tn.Knob)
+		v := clampValue(tn, k, values[i])
+		k.Apply(&rules, v)
+		m[tn.Knob] = v
+	}
+	c := Candidate{Values: m, Rules: rules}
+	c.Rules.Name = "autotune:" + string(t.Controller) + ":" + c.Key()
+	if c.Rules.Validate() != nil {
+		return Candidate{}, false
+	}
+	return c, true
+}
+
+// Grid enumerates the template's full candidate grid in deterministic
+// order (cartesian product in tunable order, first tunable slowest),
+// dropping value combinations that fail rule validation.
+func (t Template) Grid() []Candidate {
+	dims := make([][]float64, len(t.Tunables))
+	for i, tn := range t.Tunables {
+		k, _ := KnobByName(tn.Knob)
+		dims[i] = gridValues(tn, k)
+	}
+	var out []Candidate
+	values := make([]float64, len(dims))
+	var walk func(d int)
+	walk = func(d int) {
+		if d == len(dims) {
+			if c, ok := t.candidate(values); ok {
+				out = append(out, c)
+			}
+			return
+		}
+		for _, v := range dims[d] {
+			values[d] = v
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// Perturb derives a refinement candidate from c: every tunable moved by a
+// uniform step of up to ±25% of its range, clamped back into range. The
+// rng stream fully determines the result.
+func (t Template) Perturb(c Candidate, rnd *rng.Rand) (Candidate, bool) {
+	values := make([]float64, len(t.Tunables))
+	for i, tn := range t.Tunables {
+		span := tn.Max - tn.Min
+		values[i] = c.Values[tn.Knob] + (2*rnd.Float64()-1)*0.25*span
+	}
+	return t.candidate(values)
+}
+
+// Subsample reduces cands to at most budget entries with a deterministic
+// even stride, keeping the first and last entries of the kept lattice.
+func Subsample(cands []Candidate, budget int) []Candidate {
+	if budget <= 0 || len(cands) <= budget {
+		return cands
+	}
+	out := make([]Candidate, 0, budget)
+	for i := 0; i < budget; i++ {
+		out = append(out, cands[i*len(cands)/budget])
+	}
+	return out
+}

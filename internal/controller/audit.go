@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"dcm/internal/model"
@@ -98,6 +99,10 @@ type Decision struct {
 	TomcatModel *model.Params     `json:"tomcatModel,omitempty"`
 	MySQLModel  *model.Params     `json:"mysqlModel,omitempty"`
 	Planned     *model.Allocation `json:"planned,omitempty"`
+	// Diag carries the planner's clamp diagnostics for the period: the raw
+	// pre-clamp knob values and whether either was raised to a floor or
+	// lowered to a ceiling (nil for hardware-only controllers).
+	Diag *model.PlanDiag `json:"planDiag,omitempty"`
 }
 
 // AuditLog accumulates per-period decisions. The zero value is ready for
@@ -191,6 +196,59 @@ func (l *AuditLog) RenderSummary() string {
 	s := fmt.Sprintf("audited %d control periods:\n", l.Len())
 	for _, cc := range l.CodeCounts() {
 		s += fmt.Sprintf("  %-26s %d\n", cc.Code, cc.Count)
+	}
+	return s
+}
+
+// RenderPlanDiag renders the planner clamp diagnostics across the log: how
+// many periods planned cleanly vs had a knob raised to a floor or lowered
+// to a ceiling, with the raw-vs-clamped values of each clamped period. A
+// log with no planner decisions (hardware-only controllers) renders
+// nothing.
+func (l *AuditLog) RenderPlanDiag() string {
+	if l == nil {
+		return ""
+	}
+	planned, clamped := 0, 0
+	var lines []string
+	for _, d := range l.decisions {
+		if d.Diag == nil {
+			continue
+		}
+		planned++
+		dg := d.Diag
+		if !dg.AppClamped && !dg.DBClamped && !dg.AppCapped && !dg.DBCapped {
+			continue
+		}
+		clamped++
+		var kinds []string
+		if dg.AppClamped {
+			kinds = append(kinds, "app-floor")
+		}
+		if dg.DBClamped {
+			kinds = append(kinds, "db-floor")
+		}
+		if dg.AppCapped {
+			kinds = append(kinds, "app-ceiling")
+		}
+		if dg.DBCapped {
+			kinds = append(kinds, "db-ceiling")
+		}
+		var applied string
+		if d.Planned != nil {
+			applied = fmt.Sprintf(" -> applied app=%d db=%d",
+				d.Planned.AppThreadsPerServer, d.Planned.DBConnsPerAppServer)
+		}
+		lines = append(lines, fmt.Sprintf("  t=%-6s raw app=%d db=%d%s (%s)",
+			d.At, dg.RawAppThreads, dg.RawDBConnsPerApp, applied,
+			strings.Join(kinds, ", ")))
+	}
+	if planned == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("planner diagnostics: %d planned periods, %d clamped\n", planned, clamped)
+	for _, line := range lines {
+		s += line + "\n"
 	}
 	return s
 }

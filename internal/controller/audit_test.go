@@ -222,6 +222,57 @@ func TestAuditConcurrencyClamp(t *testing.T) {
 	}
 }
 
+// TestRenderPlanDiag covers the clamp-diagnostics renderer: periods with
+// no Diag are skipped, clean planner periods are counted, and clamped
+// periods list raw vs applied values with the clamp kinds.
+func TestRenderPlanDiag(t *testing.T) {
+	t.Parallel()
+	log := NewAuditLog()
+	// A hardware-only decision: no Diag, must not count as planned.
+	log.add(Decision{At: 15 * time.Second, Controller: "ec2-autoscale"})
+	// A clean planner period.
+	log.add(Decision{
+		At: 30 * time.Second, Controller: "dcm",
+		Diag: &model.PlanDiag{RawAppThreads: 11, RawDBConnsPerApp: 4},
+	})
+	// A floored period: raw db rounded to 0, applied 1.
+	log.add(Decision{
+		At: 45 * time.Second, Controller: "dcm",
+		Planned: &model.Allocation{WebThreadsPerServer: 1000, AppThreadsPerServer: 11, DBConnsPerAppServer: 1},
+		Diag:    &model.PlanDiag{RawAppThreads: 11, RawDBConnsPerApp: 0, DBClamped: true},
+	})
+	out := log.RenderPlanDiag()
+	if !strings.Contains(out, "2 planned periods, 1 clamped") {
+		t.Fatalf("counts wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "raw app=11 db=0 -> applied app=11 db=1 (db-floor)") {
+		t.Fatalf("clamped line wrong:\n%s", out)
+	}
+	if strings.Contains(out, "t=30s") {
+		t.Fatalf("clean period listed as clamped:\n%s", out)
+	}
+
+	// A ceiling-capped period renders its kind too.
+	log.add(Decision{
+		At: 60 * time.Second, Controller: "dcm",
+		Diag: &model.PlanDiag{RawAppThreads: 400, RawDBConnsPerApp: 90, AppCapped: true, DBCapped: true},
+	})
+	if out := log.RenderPlanDiag(); !strings.Contains(out, "(app-ceiling, db-ceiling)") {
+		t.Fatalf("capped kinds missing:\n%s", out)
+	}
+
+	// Logs with no planner decisions at all render nothing.
+	hw := NewAuditLog()
+	hw.add(Decision{Controller: "ec2-autoscale"})
+	if out := hw.RenderPlanDiag(); out != "" {
+		t.Fatalf("hardware-only log rendered %q", out)
+	}
+	var nilLog *AuditLog
+	if out := nilLog.RenderPlanDiag(); out != "" {
+		t.Fatalf("nil log rendered %q", out)
+	}
+}
+
 // TestAuditTopologyUnknown: before any samples land the planner cannot
 // run, and the audit says so instead of silently skipping.
 func TestAuditTopologyUnknown(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 
 	"dcm/internal/model"
 	"dcm/internal/ntier"
+	"dcm/internal/policy"
 )
 
 // TierStats aggregates one control period of monitoring data for a tier.
@@ -146,6 +147,65 @@ func DefaultPolicy() Policy {
 	}
 }
 
+// PolicyFromRules converts a declarative scaling rule set into the
+// controller's threshold policy.
+func PolicyFromRules(r policy.ScalingRules) Policy {
+	tiers := make([]string, len(r.ScalableTiers))
+	copy(tiers, r.ScalableTiers)
+	return Policy{
+		UpperCPU:         r.UpperCPU,
+		LowerCPU:         r.LowerCPU,
+		LowerConsecutive: r.LowerConsecutive,
+		MinServers:       r.MinServers,
+		MaxServers:       r.MaxServers,
+		ScalableTiers:    tiers,
+	}
+}
+
+// ScalingRules renders the policy as its declarative rule form.
+func (p Policy) ScalingRules() policy.ScalingRules {
+	tiers := make([]string, len(p.ScalableTiers))
+	copy(tiers, p.ScalableTiers)
+	return policy.ScalingRules{
+		UpperCPU:         p.UpperCPU,
+		LowerCPU:         p.LowerCPU,
+		LowerConsecutive: p.LowerConsecutive,
+		MinServers:       p.MinServers,
+		MaxServers:       p.MaxServers,
+		ScalableTiers:    tiers,
+	}
+}
+
+// PlanRulesFromAllocation converts declarative allocation rules into the
+// planner's rule set: the policy headroom and web-thread count become the
+// planner defaults, the clamps carry over directly.
+func PlanRulesFromAllocation(a policy.AllocationRules) model.PlanRules {
+	return model.PlanRules{
+		DefaultHeadroom:   a.Headroom,
+		DefaultWebThreads: a.WebThreads,
+		AppThreadsFloor:   a.AppThreadsFloor,
+		DBConnsFloor:      a.DBConnsFloor,
+		AppThreadsCap:     a.AppThreadsCap,
+		DBConnsCap:        a.DBConnsCap,
+	}
+}
+
+// DCMConfigFromRules builds a DCM configuration from a declarative rule
+// set plus the trained tier models. Online training, predictive scaling and
+// the refit period are orthogonal to the rule set and stay at their zero
+// values; callers flip them afterwards as needed.
+func DCMConfigFromRules(r policy.Rules, tomcat, mysql model.Params) DCMConfig {
+	pr := PlanRulesFromAllocation(r.Allocation)
+	return DCMConfig{
+		Policy:      PolicyFromRules(r.Scaling),
+		TomcatModel: tomcat,
+		MySQLModel:  mysql,
+		Headroom:    r.Allocation.Headroom,
+		WebThreads:  r.Allocation.WebThreads,
+		PlanRules:   &pr,
+	}
+}
+
 // ErrBadPolicy is returned for invalid policies.
 var ErrBadPolicy = errors.New("controller: invalid policy")
 
@@ -165,18 +225,66 @@ func (p Policy) validate() error {
 	return nil
 }
 
-// vmLevel is the shared VM-level scaling logic ("resource-usage driven",
-// §IV): both controllers use it verbatim.
-type vmLevel struct {
-	policy Policy
-	lowRun map[string]int // consecutive low-CPU periods per tier
+// observationsOf converts a SystemView's tier stats into the policy
+// evaluators' input form. Presence in the map is what marks a tier Seen.
+func observationsOf(view SystemView) map[string]policy.TierObservation {
+	obs := make(map[string]policy.TierObservation, len(view.Tiers))
+	for name, ts := range view.Tiers {
+		obs[name] = policy.TierObservation{
+			Seen:    true,
+			Ready:   ts.Ready,
+			Live:    ts.Live,
+			MeanCPU: ts.MeanCPU,
+			Crashed: ts.Crashed,
+			NoData:  ts.NoData,
+		}
+	}
+	return obs
 }
 
-func newVMLevel(policy Policy) (*vmLevel, error) {
-	if err := policy.validate(); err != nil {
+// splitVerdicts partitions evaluator verdicts into the controller's
+// action and hold records, preserving order within each class.
+func splitVerdicts(verdicts []policy.Verdict) ([]Action, []Hold) {
+	var actions []Action
+	var holds []Hold
+	for _, v := range verdicts {
+		switch v.Kind {
+		case policy.VerdictScaleOut, policy.VerdictScaleIn:
+			typ := ActionScaleOut
+			if v.Kind == policy.VerdictScaleIn {
+				typ = ActionScaleIn
+			}
+			actions = append(actions, Action{
+				Type:   typ,
+				Tier:   v.Tier,
+				Code:   ReasonCode(v.Code),
+				Reason: v.Reason,
+			})
+		default:
+			holds = append(holds, Hold{Tier: v.Tier, Code: ReasonCode(v.Code), Detail: v.Reason})
+		}
+	}
+	return actions, holds
+}
+
+// vmLevel is the shared VM-level scaling logic ("resource-usage driven",
+// §IV): both controllers use it verbatim. The decision procedure itself
+// lives in internal/policy as a declarative rule evaluator; this adapter
+// only translates between SystemView and the evaluator's observation form.
+type vmLevel struct {
+	policy Policy
+	eval   *policy.ScalingEvaluator
+}
+
+func newVMLevel(pol Policy) (*vmLevel, error) {
+	if err := pol.validate(); err != nil {
 		return nil, err
 	}
-	return &vmLevel{policy: policy, lowRun: make(map[string]int)}, nil
+	eval, err := policy.NewScalingEvaluator(pol.ScalingRules())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+	return &vmLevel{policy: pol, eval: eval}, nil
 }
 
 // evaluate returns VM-level scaling actions for one period, plus a Hold
@@ -184,106 +292,7 @@ func newVMLevel(policy Policy) (*vmLevel, error) {
 // nothing about the decisions; they exist so the audit log can explain
 // inaction.
 func (v *vmLevel) evaluate(view SystemView) ([]Action, []Hold) {
-	var actions []Action
-	var holds []Hold
-	for _, tierName := range v.policy.ScalableTiers {
-		ts, ok := view.Tiers[tierName]
-		if !ok {
-			holds = append(holds, Hold{Tier: tierName, Code: CodeTierUnseen})
-			continue
-		}
-		// Dead capacity first: the hypervisor census is authoritative even
-		// when monitoring is dark, and a crashed VM must be replaced now —
-		// waiting for the survivors' CPU to climb costs a full control
-		// period of degraded service per crash.
-		if ts.Crashed > 0 {
-			v.lowRun[tierName] = 0
-			n := ts.Crashed
-			if room := v.policy.MaxServers - ts.Live; n > room {
-				n = room
-			}
-			for i := 0; i < n; i++ {
-				actions = append(actions, Action{
-					Type: ActionScaleOut,
-					Tier: tierName,
-					Code: CodeCrashReprovision,
-					Reason: fmt.Sprintf("re-provision %d crashed VM(s) (census: %d serving)",
-						ts.Crashed, ts.Ready),
-				})
-			}
-			if n < ts.Crashed {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeMaxServersClamp,
-					Detail: fmt.Sprintf("%d of %d replacements dropped: %d live at max %d",
-						ts.Crashed-n, ts.Crashed, ts.Live, v.policy.MaxServers)})
-			}
-			continue
-		}
-		// A blackout period carries no usable utilization signal: hold the
-		// current topology rather than treat "no samples" as "0% CPU" and
-		// start a spurious scale-in countdown on stale data.
-		if ts.NoData {
-			holds = append(holds, Hold{Tier: tierName, Code: CodeNoDataHold,
-				Detail: "no monitoring samples this period"})
-			continue
-		}
-		switch {
-		case ts.MeanCPU > v.policy.UpperCPU:
-			v.lowRun[tierName] = 0
-			// "Quick start": trigger on a single hot period — but never
-			// stack launches while one VM is already provisioning.
-			if ts.Live > ts.Ready {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
-					Detail: fmt.Sprintf("%d live > %d ready", ts.Live, ts.Ready)})
-				continue
-			}
-			if ts.Live >= v.policy.MaxServers {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeAtMaxServers,
-					Detail: fmt.Sprintf("cpu %.0f%% high with %d live at max %d",
-						ts.MeanCPU*100, ts.Live, v.policy.MaxServers)})
-				continue
-			}
-			actions = append(actions, Action{
-				Type: ActionScaleOut,
-				Tier: tierName,
-				Code: CodeCPUHigh,
-				Reason: fmt.Sprintf("cpu %.0f%% > %.0f%% upper bound",
-					ts.MeanCPU*100, v.policy.UpperCPU*100),
-			})
-		case ts.MeanCPU < v.policy.LowerCPU:
-			// "Slow turn off": require consecutive quiet periods, and
-			// never remove a VM while another change is in flight.
-			if ts.Live != ts.Ready {
-				v.lowRun[tierName] = 0
-				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
-					Detail: fmt.Sprintf("%d live != %d ready", ts.Live, ts.Ready)})
-				continue
-			}
-			v.lowRun[tierName]++
-			if v.lowRun[tierName] < v.policy.LowerConsecutive {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeAwaitingLow,
-					Detail: fmt.Sprintf("quiet period %d of %d",
-						v.lowRun[tierName], v.policy.LowerConsecutive)})
-				continue
-			}
-			v.lowRun[tierName] = 0
-			if ts.Ready <= v.policy.MinServers {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeAtMinServers,
-					Detail: fmt.Sprintf("%d ready at min %d", ts.Ready, v.policy.MinServers)})
-				continue
-			}
-			actions = append(actions, Action{
-				Type: ActionScaleIn,
-				Tier: tierName,
-				Code: CodeCPULowSustained,
-				Reason: fmt.Sprintf("cpu < %.0f%% for %d consecutive periods",
-					v.policy.LowerCPU*100, v.policy.LowerConsecutive),
-			})
-		default:
-			v.lowRun[tierName] = 0
-			holds = append(holds, Hold{Tier: tierName, Code: CodeSteady})
-		}
-	}
-	return actions, holds
+	return splitVerdicts(v.eval.Evaluate(observationsOf(view)))
 }
 
 // scaler is the VM-level decision procedure (reactive or predictive).
@@ -352,6 +361,9 @@ type DCMConfig struct {
 	Headroom float64
 	// WebThreads is the fixed Apache pool size (default 1000).
 	WebThreads int
+	// PlanRules overrides the soft-resource planner's defaults and clamps
+	// (nil selects model.DefaultPlanRules, the historical behaviour).
+	PlanRules *model.PlanRules
 	// OnlineTraining enables §III-C's online estimation: every control
 	// period the controller feeds the monitored (per-server concurrency,
 	// per-server throughput) points into rolling trainers and, once the
@@ -445,6 +457,7 @@ func (c *DCM) Evaluate(view SystemView) []Action {
 	}
 
 	var planned *model.Allocation
+	var plannedDiag *model.PlanDiag
 	target, diag, err := c.desiredAllocation(view)
 	if err != nil {
 		// Topology not visible yet (e.g. before the first sample lands).
@@ -452,10 +465,24 @@ func (c *DCM) Evaluate(view SystemView) []Action {
 	} else {
 		alloc := target
 		planned = &alloc
+		d := diag
+		plannedDiag = &d
+		rules := c.planRules()
 		if diag.AppClamped || diag.DBClamped {
+			floorDesc := fmt.Sprintf("floor %d", rules.AppThreadsFloor)
+			if rules.AppThreadsFloor != rules.DBConnsFloor {
+				floorDesc = fmt.Sprintf("floors app=%d db=%d",
+					rules.AppThreadsFloor, rules.DBConnsFloor)
+			}
 			holds = append(holds, Hold{Code: CodeConcurrencyClamp,
-				Detail: fmt.Sprintf("planner raw app=%d db=%d clamped to floor 1",
-					diag.RawAppThreads, diag.RawDBConnsPerApp)})
+				Detail: fmt.Sprintf("planner raw app=%d db=%d clamped to %s",
+					diag.RawAppThreads, diag.RawDBConnsPerApp, floorDesc)})
+		}
+		if diag.AppCapped || diag.DBCapped {
+			holds = append(holds, Hold{Code: CodeConcurrencyClamp,
+				Detail: fmt.Sprintf("planner raw app=%d db=%d capped to ceiling app<=%d db<=%d",
+					diag.RawAppThreads, diag.RawDBConnsPerApp,
+					rules.AppThreadsCap, rules.DBConnsCap)})
 		}
 		if target != view.Allocation {
 			actions = append(actions, Action{
@@ -481,6 +508,7 @@ func (c *DCM) Evaluate(view SystemView) []Action {
 			TomcatModel: &tomcat,
 			MySQLModel:  &mysql,
 			Planned:     planned,
+			Diag:        plannedDiag,
 		})
 	}
 	return actions
@@ -593,7 +621,7 @@ func (c *DCM) desiredAllocation(view SystemView) (model.Allocation, model.PlanDi
 		return model.Allocation{}, model.PlanDiag{}, errors.New("controller: tier counts unavailable")
 	}
 	tomcat, mysql := c.Models()
-	return model.PlanAllocationDetailed(model.AllocationInput{
+	return model.PlanAllocationWithRules(model.AllocationInput{
 		Tomcat:     tomcat,
 		MySQL:      mysql,
 		WebServers: web,
@@ -601,7 +629,15 @@ func (c *DCM) desiredAllocation(view SystemView) (model.Allocation, model.PlanDi
 		DBServers:  db,
 		Headroom:   c.cfg.Headroom,
 		WebThreads: c.cfg.WebThreads,
-	})
+	}, c.planRules())
+}
+
+// planRules returns the planner rule set in force (configured or default).
+func (c *DCM) planRules() model.PlanRules {
+	if c.cfg.PlanRules != nil {
+		return *c.cfg.PlanRules
+	}
+	return model.DefaultPlanRules()
 }
 
 func readyOf(view SystemView, tier string) int {

@@ -548,8 +548,8 @@ func TestTargetTrackingGuards(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.target != 0.6 {
-		t.Fatalf("default target = %v", c.target)
+	if c.eval.Target() != 0.6 {
+		t.Fatalf("default target = %v", c.eval.Target())
 	}
 	// No stacked launches while provisioning.
 	actions := c.Evaluate(view(0.95, 0.3, 1, 2, 1, 1, model.Allocation{}))

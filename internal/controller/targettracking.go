@@ -2,7 +2,8 @@ package controller
 
 import (
 	"fmt"
-	"math"
+
+	"dcm/internal/policy"
 )
 
 // TargetTracking is a stronger hardware-only baseline than the paper's
@@ -16,12 +17,12 @@ import (
 // has stayed below the current one for LowerConsecutive periods (target
 // tracking's own conservative scale-in). Like EC2AutoScale it never touches
 // soft resources, so comparing it against DCM shows that even a smarter
-// hardware-only policy cannot fix a concurrency misallocation.
+// hardware-only policy cannot fix a concurrency misallocation. The decision
+// procedure lives in policy.TargetEvaluator; this type adapts views and
+// records the audit trail.
 type TargetTracking struct {
 	policy Policy
-	// target is the CPU utilization setpoint (default 0.6).
-	target float64
-	lowRun map[string]int
+	eval   *policy.TargetEvaluator
 	audit  *AuditLog
 }
 
@@ -29,8 +30,8 @@ var _ Controller = (*TargetTracking)(nil)
 
 // NewTargetTracking builds the target-tracking baseline. target is the CPU
 // setpoint in (0, 1); zero selects 0.6.
-func NewTargetTracking(policy Policy, target float64) (*TargetTracking, error) {
-	if err := policy.validate(); err != nil {
+func NewTargetTracking(pol Policy, target float64) (*TargetTracking, error) {
+	if err := pol.validate(); err != nil {
 		return nil, err
 	}
 	if target == 0 {
@@ -39,11 +40,11 @@ func NewTargetTracking(policy Policy, target float64) (*TargetTracking, error) {
 	if target <= 0 || target >= 1 {
 		return nil, fmt.Errorf("%w: target %v", ErrBadPolicy, target)
 	}
-	return &TargetTracking{
-		policy: policy,
-		target: target,
-		lowRun: make(map[string]int),
-	}, nil
+	eval, err := policy.NewTargetEvaluator(pol.ScalingRules(), policy.TargetRules{TargetCPU: target})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPolicy, err)
+	}
+	return &TargetTracking{policy: pol, eval: eval}, nil
 }
 
 // Name implements Controller.
@@ -54,76 +55,7 @@ func (c *TargetTracking) EnableAudit(log *AuditLog) { c.audit = log }
 
 // Evaluate implements Controller.
 func (c *TargetTracking) Evaluate(view SystemView) []Action {
-	var actions []Action
-	var holds []Hold
-	for _, tierName := range c.policy.ScalableTiers {
-		ts, ok := view.Tiers[tierName]
-		if !ok || ts.Ready == 0 {
-			holds = append(holds, Hold{Tier: tierName, Code: CodeTierUnseen})
-			continue
-		}
-		if ts.NoData {
-			holds = append(holds, Hold{Tier: tierName, Code: CodeNoDataHold,
-				Detail: "no monitoring samples this period"})
-			continue
-		}
-		desired := int(math.Ceil(float64(ts.Ready) * ts.MeanCPU / c.target))
-		if desired < c.policy.MinServers {
-			desired = c.policy.MinServers
-		}
-		if desired > c.policy.MaxServers {
-			desired = c.policy.MaxServers
-		}
-		switch {
-		case desired > ts.Ready:
-			c.lowRun[tierName] = 0
-			// One launch per period, and none while a VM is provisioning —
-			// the same pacing the threshold baseline uses.
-			if ts.Live > ts.Ready {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
-					Detail: fmt.Sprintf("%d live > %d ready", ts.Live, ts.Ready)})
-				continue
-			}
-			if ts.Live >= c.policy.MaxServers {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeAtMaxServers,
-					Detail: fmt.Sprintf("want %d servers with %d live at max %d",
-						desired, ts.Live, c.policy.MaxServers)})
-				continue
-			}
-			actions = append(actions, Action{
-				Type: ActionScaleOut,
-				Tier: tierName,
-				Code: CodeTargetAbove,
-				Reason: fmt.Sprintf("target tracking: cpu %.0f%% wants %d servers (have %d)",
-					ts.MeanCPU*100, desired, ts.Ready),
-			})
-		case desired < ts.Ready:
-			if ts.Live != ts.Ready {
-				c.lowRun[tierName] = 0
-				holds = append(holds, Hold{Tier: tierName, Code: CodeLaunchInFlight,
-					Detail: fmt.Sprintf("%d live != %d ready", ts.Live, ts.Ready)})
-				continue
-			}
-			c.lowRun[tierName]++
-			if c.lowRun[tierName] < c.policy.LowerConsecutive {
-				holds = append(holds, Hold{Tier: tierName, Code: CodeAwaitingLow,
-					Detail: fmt.Sprintf("quiet period %d of %d",
-						c.lowRun[tierName], c.policy.LowerConsecutive)})
-				continue
-			}
-			c.lowRun[tierName] = 0
-			actions = append(actions, Action{
-				Type: ActionScaleIn,
-				Tier: tierName,
-				Code: CodeTargetBelow,
-				Reason: fmt.Sprintf("target tracking: cpu %.0f%% wants %d servers for %d periods",
-					ts.MeanCPU*100, desired, c.policy.LowerConsecutive),
-			})
-		default:
-			c.lowRun[tierName] = 0
-			holds = append(holds, Hold{Tier: tierName, Code: CodeSteady})
-		}
-	}
+	actions, holds := splitVerdicts(c.eval.Evaluate(observationsOf(view)))
 	if c.audit != nil {
 		c.audit.add(Decision{
 			At:         view.At,

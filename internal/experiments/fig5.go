@@ -14,6 +14,7 @@ import (
 	"dcm/internal/model"
 	"dcm/internal/monitor"
 	"dcm/internal/ntier"
+	"dcm/internal/policy"
 	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/sim"
@@ -64,6 +65,13 @@ type ScenarioConfig struct {
 	// Policy overrides the threshold policy (zero value selects
 	// controller.DefaultPolicy()).
 	Policy *controller.Policy
+	// Rules, when non-nil, derives the whole controller configuration from
+	// a declarative policy rule set: thresholds and server bounds, the
+	// planner's headroom/web-threads/clamps, the target-tracking setpoint,
+	// and (on resilience runs) the retry-knob overrides. An explicit Policy
+	// still wins over Rules.Scaling. With policy.Default() the run is
+	// byte-identical to Rules == nil (pinned by the equivalence tests).
+	Rules *policy.Rules
 	// TomcatModel and MySQLModel are the trained models for DCM; zero
 	// values select TrainedModels().
 	TomcatModel, MySQLModel model.Params
@@ -219,6 +227,21 @@ type TierHistogramSummary struct {
 
 // RunScenario executes one §V-B scenario.
 func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Rules != nil {
+		if err := cfg.Rules.Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: scenario rules: %w", err)
+		}
+		// Retry-knob override: only on resilience runs, and on a copy — the
+		// caller's config (often shared across a portfolio) stays untouched.
+		if cfg.Rules.Retry.Override() && cfg.Resilience != nil {
+			rc := *cfg.Resilience
+			rc.Retry.MaxAttempts = cfg.Rules.Retry.MaxAttempts
+			rc.Retry.BudgetRatio = cfg.Rules.Retry.BudgetRatio
+			rc.Retry.BudgetBurst = float64(cfg.Rules.Retry.BudgetBurst)
+			rc.Retry.Jitter = cfg.Rules.Retry.Jitter
+			cfg.Resilience = &rc
+		}
+	}
 	if cfg.Trace == nil {
 		cfg.Trace = trace.SynthesizeLargeVariation(cfg.Seed)
 	}
@@ -462,9 +485,20 @@ func tierLatencySummaries(app *ntier.App) []TierHistogramSummary {
 
 // buildController constructs the scenario's policy.
 func buildController(cfg ScenarioConfig) (controller.Controller, error) {
-	policy := controller.DefaultPolicy()
+	pol := controller.DefaultPolicy()
+	target := 0.0
+	var planRules *model.PlanRules
+	headroom, webThreads := 0.0, 0
+	if cfg.Rules != nil {
+		pol = controller.PolicyFromRules(cfg.Rules.Scaling)
+		target = cfg.Rules.Target.TargetCPU
+		pr := controller.PlanRulesFromAllocation(cfg.Rules.Allocation)
+		planRules = &pr
+		headroom = cfg.Rules.Allocation.Headroom
+		webThreads = cfg.Rules.Allocation.WebThreads
+	}
 	if cfg.Policy != nil {
-		policy = *cfg.Policy
+		pol = *cfg.Policy
 	}
 	tomcat, mysql := cfg.TomcatModel, cfg.MySQLModel
 	if tomcat == (model.Params{}) || mysql == (model.Params{}) {
@@ -472,31 +506,37 @@ func buildController(cfg ScenarioConfig) (controller.Controller, error) {
 	}
 	switch cfg.Kind {
 	case ControllerEC2:
-		return controller.NewEC2AutoScale(policy)
+		return controller.NewEC2AutoScale(pol)
 	case ControllerEC2Predictive:
-		return controller.NewPredictiveEC2AutoScale(policy, 0)
+		return controller.NewPredictiveEC2AutoScale(pol, 0)
 	case ControllerTargetTracking:
-		return controller.NewTargetTracking(policy, 0)
+		return controller.NewTargetTracking(pol, target)
 	case ControllerDCM, ControllerDCMPredictive:
 		return controller.NewDCM(controller.DCMConfig{
-			Policy:         policy,
+			Policy:         pol,
 			TomcatModel:    tomcat,
 			MySQLModel:     mysql,
+			Headroom:       headroom,
+			WebThreads:     webThreads,
+			PlanRules:      planRules,
 			OnlineTraining: cfg.OnlineTraining,
 			Predictive:     cfg.Kind == ControllerDCMPredictive,
 		})
 	case ControllerDCMSoftOnly:
-		policy.MaxServers = 1
-		policy.MinServers = 1
+		pol.MaxServers = 1
+		pol.MinServers = 1
 		return controller.NewDCM(controller.DCMConfig{
-			Policy:      policy,
+			Policy:      pol,
 			TomcatModel: tomcat,
 			MySQLModel:  mysql,
+			Headroom:    headroom,
+			WebThreads:  webThreads,
+			PlanRules:   planRules,
 		})
 	case ControllerNone:
-		policy.MaxServers = 1
-		policy.MinServers = 1
-		return controller.NewEC2AutoScale(policy)
+		pol.MaxServers = 1
+		pol.MinServers = 1
+		return controller.NewEC2AutoScale(pol)
 	default:
 		return nil, fmt.Errorf("experiments: unknown controller kind %q", cfg.Kind)
 	}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dcm/internal/controller"
+	"dcm/internal/model"
+	"dcm/internal/policy"
+)
+
+// The declarative-policy equivalence suite: the digests below were
+// captured on main immediately BEFORE the hand-coded controller and
+// planner logic was re-expressed through internal/policy. Every figure
+// grid, planner sweep, audit reason-code stream and full scenario result
+// must still hash to the same value — the refactor is required to be a
+// pure re-plumbing, bit for bit.
+
+func equivDigest(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestPolicyDefaultMatchesHandCoded pins the three faces of the default
+// policy to each other: the checked-in policy file, the constructed
+// Default() rule set, and the controllers' historical DefaultPolicy().
+func TestPolicyDefaultMatchesHandCoded(t *testing.T) {
+	t.Parallel()
+	rules, err := policy.Load("../../policies/default.policy.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rules, policy.Default()) {
+		t.Errorf("checked-in default.policy.json = %+v, want policy.Default() = %+v",
+			rules, policy.Default())
+	}
+	// And the file itself is exactly what Marshal renders — no drift.
+	data, err := policy.Default().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile("../../policies/default.policy.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(disk, data) {
+		t.Error("policies/default.policy.json differs from policy.Default().Marshal()")
+	}
+	if got := controller.PolicyFromRules(rules.Scaling); !reflect.DeepEqual(got, controller.DefaultPolicy()) {
+		t.Errorf("PolicyFromRules(default) = %+v, want DefaultPolicy() = %+v",
+			got, controller.DefaultPolicy())
+	}
+	// Round trip: the controller policy renders back to the same rules.
+	if got := controller.DefaultPolicy().ScalingRules(); !reflect.DeepEqual(got, rules.Scaling) {
+		t.Errorf("DefaultPolicy().ScalingRules() = %+v, want %+v", got, rules.Scaling)
+	}
+	// The planner rules derived from the default allocation rules must be
+	// the planner's own historical defaults.
+	if got := controller.PlanRulesFromAllocation(rules.Allocation); got != model.DefaultPlanRules() {
+		t.Errorf("PlanRulesFromAllocation(default) = %+v, want %+v", got, model.DefaultPlanRules())
+	}
+}
+
+// TestPolicyEquivalenceFigures pins the fig2/fig4 experiment grids to
+// their pre-refactor digests.
+func TestPolicyEquivalenceFigures(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("simulation grids in -short mode")
+	}
+	t.Run("fig2a", func(t *testing.T) {
+		t.Parallel()
+		out, err := Fig2aMySQLSweep(7, []int{5, 36, 120}, 3*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "525c5dd03ece8592a86b8d9de7d816784399abd4da32be205e91ecc1240a95ad"
+		if got := equivDigest(t, out); got != want {
+			t.Errorf("fig2a digest = %s, want %s", got, want)
+		}
+	})
+	t.Run("fig2b", func(t *testing.T) {
+		t.Parallel()
+		out, err := Fig2bScaleOut(7, 3000, 20*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "ca77893a72197875256bdf608ea8286fc6cf238e6f1d96914484219e3ea02cc8"
+		if got := equivDigest(t, out); got != want {
+			t.Errorf("fig2b digest = %s, want %s", got, want)
+		}
+	})
+	t.Run("fig4a", func(t *testing.T) {
+		t.Parallel()
+		rows, _, err := Fig4a(7, []int{3000}, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "73b2f4e006cab2d371a45e9292d185e3a71f2027710994308655266ccbabf5af"
+		if got := equivDigest(t, rows); got != want {
+			t.Errorf("fig4a digest = %s, want %s", got, want)
+		}
+	})
+	t.Run("fig4b", func(t *testing.T) {
+		t.Parallel()
+		rows, _, err := Fig4b(7, []int{3000}, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const want = "1a36a44cc383d85dc6a2416d6a41b10ac6c7bd52ebe9e2e15e3fbb205c5f5c89"
+		if got := equivDigest(t, rows); got != want {
+			t.Errorf("fig4b digest = %s, want %s", got, want)
+		}
+	})
+}
+
+// TestPolicyEquivalencePlannerGrid sweeps the planner across every
+// topology, headroom and model pair (plus the degenerate clamp path) and
+// pins the whole grid to its pre-refactor digest.
+func TestPolicyEquivalencePlannerGrid(t *testing.T) {
+	t.Parallel()
+	type planOut struct {
+		Alloc model.Allocation
+		Diag  model.PlanDiag
+		Err   string
+	}
+	var plans []planOut
+	tomcatT, mysqlT := model.TableI()
+	tomcatF, mysqlF := TrainedModels()
+	for _, pair := range [][2]model.Params{{tomcatT, mysqlT}, {tomcatF, mysqlF}} {
+		for _, web := range []int{1, 2} {
+			for _, app := range []int{1, 2, 3, 5, 10} {
+				for _, db := range []int{1, 2, 4} {
+					for _, hr := range []float64{0, 0.5, 1, 1.3, 2} {
+						for _, wt := range []int{0, 500} {
+							alloc, diag, err := model.PlanAllocationDetailed(model.AllocationInput{
+								Tomcat: pair[0], MySQL: pair[1],
+								WebServers: web, AppServers: app, DBServers: db,
+								Headroom: hr, WebThreads: wt,
+							})
+							out := planOut{Alloc: alloc, Diag: diag}
+							if err != nil {
+								out.Err = err.Error()
+							}
+							plans = append(plans, out)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Degenerate models whose optimum rounds below 1 (clamp path).
+	degenerate := model.Params{S0: 1e-3, Alpha: 9.9e-4, Beta: 1e-2, Gamma: 1}
+	for _, app := range []int{1, 4} {
+		alloc, diag, err := model.PlanAllocationDetailed(model.AllocationInput{
+			Tomcat: degenerate, MySQL: degenerate,
+			WebServers: 1, AppServers: app, DBServers: 1,
+		})
+		out := planOut{Alloc: alloc, Diag: diag}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		plans = append(plans, out)
+	}
+	const want = "a10083733a284d13308f6d44efb4a7411e57126547984ce434b83fae760b242a"
+	if got := equivDigest(t, plans); got != want {
+		t.Errorf("planner grid digest = %s, want %s", got, want)
+	}
+
+	// The same grid, driven through PlanAllocationWithRules with the
+	// declarative default rules, must agree entry for entry.
+	planRules := controller.PlanRulesFromAllocation(policy.Default().Allocation)
+	i := 0
+	check := func(in model.AllocationInput) {
+		t.Helper()
+		alloc, diag, err := model.PlanAllocationWithRules(in, planRules)
+		out := planOut{Alloc: alloc, Diag: diag}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		if out != plans[i] {
+			t.Errorf("entry %d: rules-driven plan %+v != hand-coded %+v", i, out, plans[i])
+		}
+		i++
+	}
+	for _, pair := range [][2]model.Params{{tomcatT, mysqlT}, {tomcatF, mysqlF}} {
+		for _, web := range []int{1, 2} {
+			for _, app := range []int{1, 2, 3, 5, 10} {
+				for _, db := range []int{1, 2, 4} {
+					for _, hr := range []float64{0, 0.5, 1, 1.3, 2} {
+						for _, wt := range []int{0, 500} {
+							check(model.AllocationInput{
+								Tomcat: pair[0], MySQL: pair[1],
+								WebServers: web, AppServers: app, DBServers: db,
+								Headroom: hr, WebThreads: wt,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, app := range []int{1, 4} {
+		check(model.AllocationInput{
+			Tomcat: degenerate, MySQL: degenerate,
+			WebServers: 1, AppServers: app, DBServers: 1,
+		})
+	}
+}
+
+// TestPolicyEquivalenceAuditCodes pins each controller's full audit
+// reason-code stream on the reference scenario to its pre-refactor digest:
+// the policy evaluators must emit exactly the decisions (and the explicit
+// holds) the hand-coded controllers did, in the same order.
+func TestPolicyEquivalenceAuditCodes(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full scenario runs in -short mode")
+	}
+	wants := map[ControllerKind]struct {
+		count  int
+		digest string
+	}{
+		ControllerDCM:            {126, "fdc18789d940d84d8858b76d6941d9eb35bf4165c8743d9b5ba284d319c7771a"},
+		ControllerEC2:            {84, "ca4121e0f2dea4077daf31c1e99b3f7417f1e1cc382398dbed3d2cceb7c0f6bb"},
+		ControllerTargetTracking: {84, "7e81b942a6857b69a493fac08a65c8a49f9eaa336b55a108f264b50fa73605ad"},
+	}
+	for kind, want := range wants {
+		kind, want := kind, want
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(ScenarioConfig{Seed: 42, Kind: kind, Audit: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var codes []string
+			for _, d := range res.Decisions {
+				for _, a := range d.Actions {
+					codes = append(codes, string(a.Code))
+				}
+				for _, h := range d.Holds {
+					codes = append(codes, string(h.Code))
+				}
+			}
+			if len(codes) != want.count {
+				t.Errorf("code count = %d, want %d", len(codes), want.count)
+			}
+			sum := sha256.Sum256([]byte(strings.Join(codes, "\n")))
+			if got := hex.EncodeToString(sum[:]); got != want.digest {
+				t.Errorf("code-stream digest = %s, want %s", got, want.digest)
+			}
+		})
+	}
+}
+
+// TestPolicyEquivalenceScenarios pins the full marshalled ScenarioResult
+// of the reference runs, and requires a run driven by the declarative
+// default rules (both constructed and loaded from the checked-in file) to
+// be byte-identical to one with no rules at all.
+func TestPolicyEquivalenceScenarios(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("full scenario runs in -short mode")
+	}
+	wants := map[ControllerKind]string{
+		ControllerDCM:            "48f2b17254b404bf6803f991142e7d9729f728124314327ae42197c3d95a1de0",
+		ControllerEC2:            "df0a119c06b4c70078439a12ecb4566fa93f7d3c9917604bca69898abee2e4c3",
+		ControllerTargetTracking: "198f0ab880b74856f3313267804ff2ed255571317693074754832aca4e9eb6eb",
+	}
+	fromFile, err := policy.Load("../../policies/default.policy.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for kind, want := range wants {
+		kind, want := kind, want
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			plain, err := RunScenario(ScenarioConfig{Seed: 42, Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainJSON, err := json.Marshal(plain)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(plainJSON)
+			if got := hex.EncodeToString(sum[:]); got != want {
+				t.Errorf("scenario digest = %s, want %s", got, want)
+			}
+			for name, rules := range map[string]policy.Rules{
+				"constructed": policy.Default(),
+				"from-file":   fromFile,
+			} {
+				r := rules
+				ruled, err := RunScenario(ScenarioConfig{Seed: 42, Kind: kind, Rules: &r})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ruledJSON, err := json.Marshal(ruled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(plainJSON, ruledJSON) {
+					t.Errorf("%s: rules-driven run differs from plain run", name)
+				}
+			}
+		})
+	}
+}

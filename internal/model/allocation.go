@@ -74,31 +74,84 @@ func PlanAllocation(in AllocationInput) (Allocation, error) {
 }
 
 // PlanDiag reports how the planner arrived at an allocation — in
-// particular whether either concurrency knob was clamped to the floor of
-// 1, which the decision audit log surfaces as an explainable
+// particular whether either concurrency knob was clamped to a floor or
+// ceiling, which the decision audit log surfaces as an explainable
 // "concurrency-clamp" condition (a model whose optimum rounds to zero
 // pools, usually a degenerate online fit).
 type PlanDiag struct {
 	// RawAppThreads and RawDBConnsPerApp are the pre-clamp planner outputs.
 	RawAppThreads    int `json:"rawAppThreads"`
 	RawDBConnsPerApp int `json:"rawDBConnsPerApp"`
-	// AppClamped / DBClamped report that the knob was raised to the floor
-	// of 1.
+	// AppClamped / DBClamped report that the knob was raised to the
+	// concurrency floor.
 	AppClamped bool `json:"appClamped,omitempty"`
 	DBClamped  bool `json:"dbClamped,omitempty"`
+	// AppCapped / DBCapped report that the knob was lowered to the
+	// concurrency ceiling (only possible under rules with caps set).
+	AppCapped bool `json:"appCapped,omitempty"`
+	DBCapped  bool `json:"dbCapped,omitempty"`
 }
 
-// PlanAllocationDetailed is PlanAllocation returning clamp diagnostics.
+// PlanRules are the declarative planner parameters: the defaults and
+// clamps that used to be hard-coded in PlanAllocationDetailed. The policy
+// layer (internal/policy) produces them from a loaded rule set; the zero
+// value is NOT valid — use DefaultPlanRules.
+type PlanRules struct {
+	// DefaultHeadroom applies when AllocationInput.Headroom is unset.
+	DefaultHeadroom float64
+	// DefaultWebThreads applies when AllocationInput.WebThreads is unset.
+	DefaultWebThreads int
+	// AppThreadsFloor and DBConnsFloor are the concurrency clamps: no pool
+	// is ever planned below them, so a degenerate fit cannot starve a tier.
+	AppThreadsFloor, DBConnsFloor int
+	// AppThreadsCap and DBConnsCap are optional ceilings (0 = uncapped).
+	AppThreadsCap, DBConnsCap int
+}
+
+// DefaultPlanRules returns the planner's historical parameters: headroom
+// 1.0, 1000 Apache threads, both concurrency floors at 1, no ceilings.
+func DefaultPlanRules() PlanRules {
+	return PlanRules{
+		DefaultHeadroom:   1.0,
+		DefaultWebThreads: 1000,
+		AppThreadsFloor:   1,
+		DBConnsFloor:      1,
+	}
+}
+
+// PlanAllocationDetailed is PlanAllocation returning clamp diagnostics,
+// under the historical default rules.
 func PlanAllocationDetailed(in AllocationInput) (Allocation, PlanDiag, error) {
+	return PlanAllocationWithRules(in, DefaultPlanRules())
+}
+
+// PlanAllocationWithRules computes the near-optimal allocation under an
+// explicit planner rule set: the model-derived per-server optima scaled by
+// headroom, clamped into [floor, cap] per knob.
+func PlanAllocationWithRules(in AllocationInput, rules PlanRules) (Allocation, PlanDiag, error) {
 	if in.AppServers < 1 || in.DBServers < 1 || in.WebServers < 1 {
 		return Allocation{}, PlanDiag{}, fmt.Errorf("model: invalid topology %d/%d/%d",
 			in.WebServers, in.AppServers, in.DBServers)
 	}
+	appFloor := rules.AppThreadsFloor
+	if appFloor < 1 {
+		appFloor = 1
+	}
+	dbFloor := rules.DBConnsFloor
+	if dbFloor < 1 {
+		dbFloor = 1
+	}
 	headroom := in.Headroom
+	if headroom <= 0 {
+		headroom = rules.DefaultHeadroom
+	}
 	if headroom <= 0 {
 		headroom = 1.0
 	}
 	webThreads := in.WebThreads
+	if webThreads <= 0 {
+		webThreads = rules.DefaultWebThreads
+	}
 	if webThreads <= 0 {
 		webThreads = 1000
 	}
@@ -119,13 +172,23 @@ func PlanAllocationDetailed(in AllocationInput) (Allocation, PlanDiag, error) {
 	diag := PlanDiag{
 		RawAppThreads:    appThreads,
 		RawDBConnsPerApp: dbPerApp,
-		AppClamped:       appThreads < 1,
-		DBClamped:        dbPerApp < 1,
+		AppClamped:       appThreads < appFloor,
+		DBClamped:        dbPerApp < dbFloor,
+	}
+	appThreads = maxInt(appFloor, appThreads)
+	dbPerApp = maxInt(dbFloor, dbPerApp)
+	if rules.AppThreadsCap > 0 && appThreads > rules.AppThreadsCap {
+		appThreads = rules.AppThreadsCap
+		diag.AppCapped = true
+	}
+	if rules.DBConnsCap > 0 && dbPerApp > rules.DBConnsCap {
+		dbPerApp = rules.DBConnsCap
+		diag.DBCapped = true
 	}
 	return Allocation{
 		WebThreadsPerServer: webThreads,
-		AppThreadsPerServer: maxInt(1, appThreads),
-		DBConnsPerAppServer: maxInt(1, dbPerApp),
+		AppThreadsPerServer: appThreads,
+		DBConnsPerAppServer: dbPerApp,
 	}, diag, nil
 }
 

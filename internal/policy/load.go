@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Policy files are JSON renderings of Rules:
+//
+//	{
+//	  "name": "default",
+//	  "scaling": {
+//	    "upperCPU": 0.8, "lowerCPU": 0.4, "lowerConsecutive": 3,
+//	    "minServers": 1, "maxServers": 10, "scalableTiers": ["app", "db"]
+//	  },
+//	  "allocation": {
+//	    "headroom": 1, "webThreads": 1000,
+//	    "appThreadsFloor": 1, "dbConnsFloor": 1
+//	  },
+//	  "targetTracking": {"targetCPU": 0.6},
+//	  "retry": {}
+//	}
+//
+// Decoding is strict — an unknown field anywhere is an error, matching the
+// chaos-scenario convention: a typoed knob name ("uperCPU") must fail
+// loudly, not silently leave the paper's default in force while the
+// operator believes they changed it.
+
+// Parse decodes and validates a JSON rule set.
+func Parse(data []byte) (Rules, error) {
+	var r Rules
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Rules{}, fmt.Errorf("policy: parse rules: %w", err)
+	}
+	// Trailing garbage after the rules object is as suspicious as an
+	// unknown field: two concatenated documents mean the file is not what
+	// the author thinks it is.
+	if dec.More() {
+		return Rules{}, fmt.Errorf("policy: parse rules: unexpected data after rules object")
+	}
+	if err := r.Validate(); err != nil {
+		return Rules{}, err
+	}
+	return r, nil
+}
+
+// Load reads and validates a JSON rule-set file.
+func Load(path string) (Rules, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Rules{}, fmt.Errorf("policy: %w", err)
+	}
+	r, err := Parse(data)
+	if err != nil {
+		return Rules{}, fmt.Errorf("policy: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Marshal renders the rules as indented JSON suitable for a policy file,
+// with a trailing newline.
+func (r Rules) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("policy: marshal rules: %w", err)
+	}
+	return append(data, '\n'), nil
+}

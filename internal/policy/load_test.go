@@ -1,0 +1,134 @@
+package policy
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		doc  string
+		frag string // required fragment of the error text
+	}{
+		{
+			name: "top-level-typo",
+			doc:  `{"scalng": {}}`,
+			frag: `unknown field "scalng"`,
+		},
+		{
+			name: "nested-typo",
+			doc:  `{"scaling": {"uperCPU": 0.8}}`,
+			frag: `unknown field "uperCPU"`,
+		},
+		{
+			name: "allocation-typo",
+			doc:  `{"allocation": {"headrom": 1.5}}`,
+			frag: `unknown field "headrom"`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("unknown field accepted")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("error %q does not mention %q", err.Error(), tc.frag)
+			}
+			if !strings.HasPrefix(err.Error(), "policy: parse rules: ") {
+				t.Errorf("error %q lacks the package prefix", err.Error())
+			}
+		})
+	}
+}
+
+func TestParseRejectsTrailingGarbage(t *testing.T) {
+	t.Parallel()
+	data, err := Default().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Parse(append(data, []byte("{}")...))
+	if err == nil {
+		t.Fatal("trailing document accepted")
+	}
+	const want = "policy: parse rules: unexpected data after rules object"
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestParseRejectsMalformedJSON(t *testing.T) {
+	t.Parallel()
+	if _, err := Parse([]byte(`{"name": `)); err == nil {
+		t.Fatal("truncated document accepted")
+	}
+}
+
+func TestParseValidates(t *testing.T) {
+	t.Parallel()
+	// Structurally fine, semantically invalid: validation runs after decode.
+	doc := `{"scaling": {"upperCPU": 2, "lowerCPU": 0.4, "lowerConsecutive": 3,
+	  "minServers": 1, "maxServers": 10, "scalableTiers": ["app"]},
+	  "allocation": {"headroom": 1, "webThreads": 1000,
+	  "appThreadsFloor": 1, "dbConnsFloor": 1},
+	  "targetTracking": {"targetCPU": 0.6}, "retry": {}}`
+	_, err := Parse([]byte(doc))
+	if !errors.Is(err, ErrBadRules) {
+		t.Fatalf("err = %v, want ErrBadRules", err)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.json")
+	r := Default()
+	r.Name = "tuned"
+	r.Scaling.UpperCPU = 0.75
+	r.Retry = RetryRules{MaxAttempts: 3, BudgetRatio: 0.2, BudgetBurst: 10, Jitter: 0.1}
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Errorf("loaded = %+v, want %+v", back, r)
+	}
+}
+
+func TestLoadErrorsNameThePath(t *testing.T) {
+	t.Parallel()
+	_, err := Load(filepath.Join(t.TempDir(), "missing.json"))
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if !strings.HasPrefix(err.Error(), "policy: ") {
+		t.Errorf("error %q lacks the package prefix", err.Error())
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nope": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(bad)
+	if err == nil {
+		t.Fatal("bad file accepted")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the file %q", err.Error(), bad)
+	}
+}

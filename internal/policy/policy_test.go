@@ -1,0 +1,178 @@
+package policy
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	t.Parallel()
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestDefaultRoundTrips(t *testing.T) {
+	t.Parallel()
+	data, err := Default().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, Default()) {
+		t.Errorf("round trip = %+v, want %+v", back, Default())
+	}
+}
+
+// TestValidateErrors pins the exact error text of every validation branch:
+// the messages are operator-facing (they name the offending field and its
+// constraint) and load-bearing for debuggability, so they are goldens.
+func TestValidateErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name   string
+		mutate func(*Rules)
+		want   string
+	}{
+		{
+			name:   "upper-cpu-zero",
+			mutate: func(r *Rules) { r.Scaling.UpperCPU = 0 },
+			want:   "policy: invalid rules: scaling.upperCPU 0 outside (0, 1]",
+		},
+		{
+			name:   "upper-cpu-above-one",
+			mutate: func(r *Rules) { r.Scaling.UpperCPU = 1.2 },
+			want:   "policy: invalid rules: scaling.upperCPU 1.2 outside (0, 1]",
+		},
+		{
+			name:   "lower-cpu-negative",
+			mutate: func(r *Rules) { r.Scaling.LowerCPU = -0.1 },
+			want:   "policy: invalid rules: scaling.lowerCPU -0.1 must be in [0, upperCPU 0.8)",
+		},
+		{
+			name:   "lower-cpu-crosses-upper",
+			mutate: func(r *Rules) { r.Scaling.LowerCPU = 0.9 },
+			want:   "policy: invalid rules: scaling.lowerCPU 0.9 must be in [0, upperCPU 0.8)",
+		},
+		{
+			name:   "lower-consecutive",
+			mutate: func(r *Rules) { r.Scaling.LowerConsecutive = 0 },
+			want:   "policy: invalid rules: scaling.lowerConsecutive 0 must be >= 1",
+		},
+		{
+			name:   "min-servers",
+			mutate: func(r *Rules) { r.Scaling.MinServers = 0 },
+			want:   "policy: invalid rules: scaling.minServers 0 must be >= 1",
+		},
+		{
+			name:   "max-below-min",
+			mutate: func(r *Rules) { r.Scaling.MaxServers = 0 },
+			want:   "policy: invalid rules: scaling.maxServers 0 must be >= minServers 1",
+		},
+		{
+			name:   "no-tiers",
+			mutate: func(r *Rules) { r.Scaling.ScalableTiers = nil },
+			want:   "policy: invalid rules: scaling.scalableTiers must name at least one tier",
+		},
+		{
+			name:   "empty-tier-name",
+			mutate: func(r *Rules) { r.Scaling.ScalableTiers = []string{"app", ""} },
+			want:   "policy: invalid rules: scaling.scalableTiers contains an empty tier name",
+		},
+		{
+			name:   "duplicate-tier",
+			mutate: func(r *Rules) { r.Scaling.ScalableTiers = []string{"app", "app"} },
+			want:   `policy: invalid rules: scaling.scalableTiers lists "app" twice`,
+		},
+		{
+			name:   "headroom",
+			mutate: func(r *Rules) { r.Allocation.Headroom = 0 },
+			want:   "policy: invalid rules: allocation.headroom 0 must be > 0",
+		},
+		{
+			name:   "web-threads",
+			mutate: func(r *Rules) { r.Allocation.WebThreads = 0 },
+			want:   "policy: invalid rules: allocation.webThreads 0 must be >= 1",
+		},
+		{
+			name:   "app-floor",
+			mutate: func(r *Rules) { r.Allocation.AppThreadsFloor = 0 },
+			want:   "policy: invalid rules: allocation.appThreadsFloor 0 must be >= 1",
+		},
+		{
+			name:   "db-floor",
+			mutate: func(r *Rules) { r.Allocation.DBConnsFloor = 0 },
+			want:   "policy: invalid rules: allocation.dbConnsFloor 0 must be >= 1",
+		},
+		{
+			name: "app-cap-below-floor",
+			mutate: func(r *Rules) {
+				r.Allocation.AppThreadsFloor = 4
+				r.Allocation.AppThreadsCap = 2
+			},
+			want: "policy: invalid rules: allocation.appThreadsCap 2 must be 0 or >= appThreadsFloor 4",
+		},
+		{
+			name:   "db-cap-below-floor",
+			mutate: func(r *Rules) { r.Allocation.DBConnsCap = -1 },
+			want:   "policy: invalid rules: allocation.dbConnsCap -1 must be 0 or >= dbConnsFloor 1",
+		},
+		{
+			name:   "target-cpu",
+			mutate: func(r *Rules) { r.Target.TargetCPU = 1 },
+			want:   "policy: invalid rules: targetTracking.targetCPU 1 outside (0, 1)",
+		},
+		{
+			name:   "retry-attempts",
+			mutate: func(r *Rules) { r.Retry.MaxAttempts = -1 },
+			want:   "policy: invalid rules: retry.maxAttempts -1 must be >= 0",
+		},
+		{
+			name:   "retry-budget-ratio",
+			mutate: func(r *Rules) { r.Retry.BudgetRatio = -0.5 },
+			want:   "policy: invalid rules: retry.budgetRatio -0.5 must be >= 0",
+		},
+		{
+			name:   "retry-budget-burst",
+			mutate: func(r *Rules) { r.Retry.BudgetBurst = -1 },
+			want:   "policy: invalid rules: retry.budgetBurst -1 must be >= 0",
+		},
+		{
+			name:   "retry-jitter",
+			mutate: func(r *Rules) { r.Retry.Jitter = 1 },
+			want:   "policy: invalid rules: retry.jitter 1 outside [0, 1)",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			r := Default()
+			tc.mutate(&r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("invalid rules accepted")
+			}
+			if !errors.Is(err, ErrBadRules) {
+				t.Errorf("error %v does not wrap ErrBadRules", err)
+			}
+			if err.Error() != tc.want {
+				t.Errorf("error = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestRetryOverride(t *testing.T) {
+	t.Parallel()
+	if (RetryRules{}).Override() {
+		t.Error("zero retry rules claim to override")
+	}
+	if !(RetryRules{MaxAttempts: 3}).Override() {
+		t.Error("non-zero MaxAttempts does not override")
+	}
+}
