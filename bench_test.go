@@ -430,6 +430,33 @@ func (t instantTarget) Inject(done func(rt time.Duration, ok bool)) {
 	})
 }
 
+// BenchmarkMillionUserSmoke drives the event core to a million
+// simultaneous users via the trace-driven sine ramp: one full 40-virtual-
+// second run per iteration, peaking at 10⁶ live timers in the wheel. Run
+// it under the profiler to see where the core spends its time at scale:
+//
+//	go test -bench MillionUserSmoke -benchtime 1x -cpuprofile cpu.out .
+func BenchmarkMillionUserSmoke(b *testing.B) {
+	var events uint64
+	var wall time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMillionSmoke(experiments.MillionSmokeConfig{
+			Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PeakLive < 1_000_000 {
+			b.Fatalf("peak live users = %d, want 1,000,000", res.PeakLive)
+		}
+		events += res.Events
+		wall += res.Wall
+	}
+	if wall > 0 {
+		b.ReportMetric(float64(events)/wall.Seconds(), "events/s")
+	}
+}
+
 // BenchmarkFig5MultiSeed repeats the Fig. 5 comparison across five seeds
 // with 10% lognormal service-time noise: the headline separation between
 // DCM and EC2-AutoScale must be a property of the system, not of one

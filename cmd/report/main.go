@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"dcm/internal/autotune"
+	"dcm/internal/bench"
 	"dcm/internal/experiments"
 	"dcm/internal/resilience"
 )
@@ -154,6 +155,8 @@ func run(args []string) error {
 		quick      = fs.Bool("quick", false, "shorter measurement windows")
 		full       = fs.Bool("full", false, "also run the A1-A8 ablations")
 		autotuneIn = fs.String("autotune", "", "render this cmd/autotune JSON report as a Pareto section")
+		benchIn    = fs.String("bench", "", "render this BENCH_engine.json as a performance-trajectory section")
+		benchBase  = fs.String("bench-baseline", "BENCH_engine.baseline.json", "baseline for the -bench trajectory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -267,6 +270,18 @@ func run(args []string) error {
 			return err
 		}
 		b.WriteString(autotuneSection(rep))
+	}
+
+	if *benchIn != "" {
+		current, err := bench.Load(*benchIn)
+		if err != nil {
+			return err
+		}
+		baseline, err := bench.Load(*benchBase)
+		if err != nil {
+			return err
+		}
+		b.WriteString(benchSection(baseline, current, *benchBase))
 	}
 
 	path := filepath.Join(*outDir, "report.md")

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"dcm/internal/autotune"
+	"dcm/internal/bench"
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
 	"dcm/internal/trace"
@@ -71,6 +72,21 @@ func autotuneSection(rep *autotune.Report) string {
 		"both axes: attainment (fraction of run seconds within the SLO, discounted " +
 		"by failed requests, averaged over the portfolio) and server-hours " +
 		"(summed scalable-tier VM time). Regenerate with `cmd/autotune`.\n\n")
+	return b.String()
+}
+
+// benchSection renders the performance trajectory: a fresh
+// BENCH_engine.json (from `go test -bench` output via cmd/benchgate)
+// compared benchmark-by-benchmark against the checked-in baseline.
+func benchSection(baseline, current bench.Suite, baselinePath string) string {
+	var b strings.Builder
+	b.WriteString("## Performance trajectory: event-core benchmarks\n\n```\n")
+	bench.Render(&b, bench.Compare(baseline, current, bench.DefaultTolerance))
+	b.WriteString("```\n\n")
+	fmt.Fprintf(&b, "Current run vs the checked-in baseline `%s`. CI gates the same "+
+		"comparison (cmd/benchgate): more than %.0f%% ns/op regression or any "+
+		"allocs/op growth on a baselined benchmark fails the bench job.\n\n",
+		baselinePath, bench.DefaultTolerance*100)
 	return b.String()
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dcm/internal/autotune"
+	"dcm/internal/bench"
 	"dcm/internal/experiments"
 	"dcm/internal/policy"
 	"dcm/internal/resilience"
@@ -154,6 +155,23 @@ func TestAutotuneSectionGolden(t *testing.T) {
 	if _, err := loadAutotuneReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing file accepted")
 	}
+}
+
+// TestBenchSectionGolden renders a fixture performance trajectory (the
+// section is a pure function of the two suites — no benchmarks run).
+func TestBenchSectionGolden(t *testing.T) {
+	baseline := bench.Suite{Benchmarks: []bench.Result{
+		{Name: "BenchmarkEngineScheduleFire", Iters: 22426521, NsPerOp: 96.13},
+		{Name: "BenchmarkEngineScheduleFireMixed", Iters: 5934526, NsPerOp: 201.3},
+		{Name: "BenchmarkEngineScheduleCancel", Iters: 12529615, NsPerOp: 185.0},
+	}}
+	current := bench.Suite{Benchmarks: []bench.Result{
+		{Name: "BenchmarkEngineScheduleFire", Iters: 33398282, NsPerOp: 34.92},
+		{Name: "BenchmarkEngineScheduleFireMixed", Iters: 15712684, NsPerOp: 66.48},
+		{Name: "BenchmarkEngineScheduleCancel", Iters: 16381119, NsPerOp: 70.63},
+		{Name: "BenchmarkDenseFaultSchedule", Iters: 1000, NsPerOp: 1.1e6},
+	}}
+	golden(t, "bench-section", benchSection(baseline, current, "BENCH_engine.baseline.json"))
 }
 
 func TestResilienceSectionGolden(t *testing.T) {

@@ -4,6 +4,7 @@
 //	sweep -experiment fig2b      dynamic scale-out trap (Fig. 2(b))
 //	sweep -experiment fig4a      Tomcat-allocation validation (Fig. 4(a))
 //	sweep -experiment fig4b      DB-connection validation (Fig. 4(b))
+//	sweep -experiment smoke      million-user event-core smoke (see -peak, -trace)
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"dcm/internal/experiments"
 	"dcm/internal/invariant"
 	"dcm/internal/runner"
+	"dcm/internal/trace"
 )
 
 func main() {
@@ -28,13 +30,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "fig2a", "fig2a | fig2b | fig4a | fig4b")
+		experiment = fs.String("experiment", "fig2a", "fig2a | fig2b | fig4a | fig4b | smoke")
 		seed       = fs.Uint64("seed", 42, "random seed")
 		measure    = fs.Duration("measure", 20*time.Second, "measurement window per point")
 		users      = fs.Int("users", 3000, "sustained user population (fig2b)")
 		parallel   = fs.Int("parallel", 0, "worker goroutines for independent runs (0 = GOMAXPROCS)")
 		pprofOut   = fs.String("pprof", "", "write a CPU profile of the run to this file")
 		invariants = fs.Bool("invariants", false, "run the runtime invariant checker alongside every point and fail on any structural-law violation (results are byte-identical)")
+		peak       = fs.Int("peak", 1_000_000, "peak user population for the synthesized smoke trace")
+		traceCSV   = fs.String("trace", "", "users-over-time CSV driving the smoke run (default: synthesized sine ramp to -peak)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +90,36 @@ func run(args []string) error {
 		fmt.Println("Figure 4(b): validation under 1/2/1 (throughput, req/s)")
 		fmt.Println()
 		fmt.Print(experiments.RenderFig4(rows, allocs))
+	case "smoke":
+		var tr *trace.Trace
+		if *traceCSV != "" {
+			f, err := os.Open(*traceCSV)
+			if err != nil {
+				return err
+			}
+			tr, err = trace.ParseCSV(*traceCSV, f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
+		res, err := experiments.RunMillionSmoke(experiments.MillionSmokeConfig{
+			Seed:       *seed,
+			Trace:      tr,
+			PeakUsers:  *peak,
+			Invariants: *invariants,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Million-user event-core smoke: trace-driven ramp through the timer wheel")
+		fmt.Println()
+		fmt.Print(experiments.RenderMillionSmoke(res))
+		if vs := res.InvariantViolations; len(vs) > 0 {
+			fmt.Println("invariant violations:")
+			fmt.Print(invariant.Render(vs))
+			return fmt.Errorf("%d invariant violation(s)", len(vs))
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}

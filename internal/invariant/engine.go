@@ -15,8 +15,10 @@ func AttachEngine(c *Checker, e *sim.Engine) {
 	})
 }
 
-// CheckEngine runs the engine's O(n) heap self-check and records any
-// failure. No-op for a nil checker.
+// CheckEngine runs the engine's O(n) structural self-check — heap order,
+// timer-wheel placement and occupancy, free-list integrity, and the
+// arena balance across both timer tiers — and records any failure.
+// No-op for a nil checker.
 func CheckEngine(c *Checker, e *sim.Engine) {
 	if c == nil || e == nil {
 		return

@@ -239,12 +239,27 @@ func TestCancelCurrentlyFiringEventIsNoop(t *testing.T) {
 	}
 }
 
-// TestLazyCompaction checks the dead-entry bookkeeping: mass cancellation
-// compacts the queue (Pending excludes dead entries throughout), ordering
-// of the survivors is preserved, and canceled storage is recycled.
+// freeListLen walks the engine's free list (test helper for the
+// storage-reclamation assertions).
+func freeListLen(e *Engine) int {
+	n := 0
+	for ev := e.free; ev != nil; ev = ev.next {
+		n++
+	}
+	return n
+}
+
+// TestLazyCompaction checks the heap tier's dead-entry bookkeeping: mass
+// cancellation past heapCompactionThreshold compacts the queue (Pending
+// excludes dead entries throughout), ordering of the survivors is
+// preserved, and canceled storage is reclaimed onto the free list
+// immediately — not lazily at pop time. Heap-only keeps the canceled
+// events in the structure under test; the wheel tier's twin is
+// TestWheelCompaction.
 func TestLazyCompaction(t *testing.T) {
 	t.Parallel()
 	e := NewEngine()
+	e.SetHeapOnly(true)
 	const n = 1000
 	timers := make([]Timer, 0, n)
 	var got []int
@@ -257,6 +272,7 @@ func TestLazyCompaction(t *testing.T) {
 	}
 	// Cancel everything except every 10th event: well past the
 	// majority-dead threshold, so compaction must have run.
+	freeBefore := freeListLen(e)
 	for i := range timers {
 		if i%10 != 0 {
 			timers[i].Cancel()
@@ -267,6 +283,16 @@ func TestLazyCompaction(t *testing.T) {
 	}
 	if len(e.queue) >= n/2 {
 		t.Fatalf("queue holds %d entries after mass cancel; compaction did not run", len(e.queue))
+	}
+	// Compaction ran at least once, so only a sub-threshold tail of
+	// cancels may still sit in the queue lazily...
+	if e.dead >= heapCompactionThreshold {
+		t.Fatalf("dead count %d after mass cancel, want < %d", e.dead, heapCompactionThreshold)
+	}
+	// ...and every other canceled event's storage must be back on the
+	// free list, not stranded until its fire time passes.
+	if got, want := freeListLen(e), freeBefore+(n-n/10)-e.dead; got != want {
+		t.Fatalf("free list holds %d events after mass cancel, want %d (compaction did not reclaim)", got, want)
 	}
 	if err := e.Run(time.Minute); err != nil {
 		t.Fatal(err)
@@ -281,12 +307,14 @@ func TestLazyCompaction(t *testing.T) {
 	}
 }
 
-// TestCompactionBelowThresholdIsLazy pins the other edge: a small queue
-// never compacts eagerly — canceled events are simply skipped at pop time.
+// TestCompactionBelowThresholdIsLazy pins the other edge: a queue with
+// fewer than heapCompactionThreshold dead entries never compacts eagerly
+// — canceled events are simply skipped at pop time.
 func TestCompactionBelowThresholdIsLazy(t *testing.T) {
 	t.Parallel()
 	e := NewEngine()
-	const n = compactionThreshold - 2
+	e.SetHeapOnly(true)
+	const n = heapCompactionThreshold - 2
 	timers := make([]Timer, 0, n)
 	for i := 0; i < n; i++ {
 		timers = append(timers, e.Schedule(time.Duration(i)*time.Millisecond, func() {}))

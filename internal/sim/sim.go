@@ -1,17 +1,27 @@
 // Package sim implements a deterministic discrete-event simulation engine.
 //
 // The engine maintains a virtual clock (a time.Duration measured from the
-// start of the simulation) and a priority queue of scheduled events. All
-// simulated components — servers, workload generators, monitoring agents,
+// start of the simulation) and a two-tier timer store. All simulated
+// components — servers, workload generators, monitoring agents,
 // controllers — run as callbacks on a single goroutine, so a run is a pure
 // function of its inputs and seeds.
 //
-// The event queue is a hand-rolled 4-ary min-heap specialized to *Event:
-// no interface boxing, no per-sift index maintenance, and fired or
-// canceled events are recycled through a free list instead of being left
-// to the garbage collector. Canceled events are removed lazily; when they
-// dominate the queue it is compacted in one pass. On the schedule/fire hot
-// path the engine performs zero allocations at steady state.
+// Scheduled events live in one of two structures. Bounded-horizon delays
+// — the overwhelming majority: think times, deadlines, retry backoffs,
+// monitor ticks — go into a hierarchical timer wheel (wheel.go) at O(1)
+// per schedule. A hand-rolled 4-ary min-heap specialized to *Event (no
+// interface boxing, no per-sift index maintenance) is the firing
+// frontier: due wheel slots are flushed into it, it holds events beyond
+// the wheel's ~1.2-hour horizon, and its pop order is the engine's total
+// order. Because both tiers order by the unique (at, seq) key, same-time
+// events fire in schedule order regardless of which structure held them
+// — the pop stream is byte-identical to a heap-only engine's.
+//
+// Fired or canceled events are recycled through slab-allocated arenas
+// (arena.go) instead of being left to the garbage collector. Canceled
+// events are removed lazily in both tiers; when they dominate a tier it
+// is compacted in one pass. On the schedule/fire hot path the engine
+// performs zero allocations at steady state.
 package sim
 
 import (
@@ -36,8 +46,9 @@ type Event struct {
 	// list; Timer handles carry the generation they were issued with, so a
 	// stale handle can never touch a recycled event.
 	gen       uint64
-	next      *Event // free-list link
+	next      *Event // free-list or wheel-slot link
 	cancelled bool
+	inWheel   bool // event is linked into a wheel slot, not the heap
 }
 
 // Timer is a cancellable handle to a scheduled event. It is a small value
@@ -73,8 +84,13 @@ func (t Timer) Cancel() {
 		return
 	}
 	t.ev.cancelled = true
-	t.eng.dead++
-	t.eng.maybeCompact()
+	if t.ev.inWheel {
+		t.eng.wh.dead++
+		t.eng.maybeCompactWheel()
+	} else {
+		t.eng.dead++
+		t.eng.maybeCompact()
+	}
 }
 
 // Pending reports whether the event is still scheduled to fire: it has
@@ -104,9 +120,16 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	queue   []heapEntry
-	dead    int    // canceled events still sitting in the queue
+	dead    int    // canceled events still sitting in the heap queue
 	free    *Event // recycled events, linked through Event.next
+	slabs   [][]Event
+	wh      wheel
 	stopped bool
+
+	// heapOnly routes every schedule to the heap, bypassing the wheel.
+	// It exists as a measurement baseline and differential-test oracle
+	// (see SetHeapOnly), not an operating mode.
+	heapOnly bool
 
 	processed uint64
 	maxEvents uint64
@@ -134,8 +157,19 @@ func (e *Engine) SetViolationHook(fn func(rule, detail string)) { e.vhook = fn }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{maxEvents: defaultMaxEvents}
+	e := &Engine{maxEvents: defaultMaxEvents}
+	e.wh.next = noTick
+	return e
 }
+
+// SetHeapOnly disables (true) or re-enables (false) the timer wheel for
+// events scheduled after the call: every delay then goes straight to
+// the 4-ary heap, reproducing the pre-wheel engine. Because both tiers
+// order by the same (at, seq) key, the firing order — and therefore
+// every simulation result — is identical either way; the knob exists so
+// benchmarks can measure the wheel against the heap-only baseline and
+// differential tests can drive both engines through one workload.
+func (e *Engine) SetHeapOnly(v bool) { e.heapOnly = v }
 
 // defaultMaxEvents bounds runaway simulations (e.g. an accidental
 // zero-delay self-rescheduling loop) instead of hanging forever.
@@ -160,27 +194,6 @@ func (e *Engine) SetEventLimit(n uint64) {
 // exhausted, which almost always indicates a scheduling loop.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
-// alloc takes an event from the free list, or heap-allocates the first
-// time a given depth of concurrent events is reached.
-func (e *Engine) alloc() *Event {
-	if ev := e.free; ev != nil {
-		e.free = ev.next
-		ev.next = nil
-		return ev
-	}
-	return &Event{}
-}
-
-// release retires an event's storage to the free list. Bumping the
-// generation first invalidates every outstanding Timer for it.
-func (e *Engine) release(ev *Event) {
-	ev.gen++
-	ev.fn = nil
-	ev.cancelled = false
-	ev.next = e.free
-	e.free = ev
-}
-
 // Schedule runs fn after delay. A negative delay is treated as zero: the
 // event fires at the current time, after events already scheduled for that
 // time. The returned Timer may be used to cancel the callback.
@@ -192,8 +205,9 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 }
 
 // ScheduleAt runs fn at absolute virtual time at (clamped to now). It is
-// the fast path for pre-computed timestamps: no delay arithmetic, one heap
-// push.
+// the fast path for pre-computed timestamps: no delay arithmetic, one
+// O(1) wheel insert (or one heap push for past-tick and far-future
+// times).
 func (e *Engine) ScheduleAt(at Time, fn func()) Timer {
 	if fn == nil {
 		return Timer{}
@@ -206,8 +220,21 @@ func (e *Engine) ScheduleAt(at Time, fn func()) Timer {
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
-	e.push(heapEntry{at: at, seq: ev.seq, ev: ev})
+	e.enqueue(ev)
 	return Timer{eng: e, ev: ev, gen: ev.gen, at: at}
+}
+
+// enqueue stores a freshly stamped event in the tier that owns its
+// timestamp: the wheel for bounded-horizon ticks not yet flushed, the
+// heap for everything else (the current tick, the flushed past, and
+// times beyond the wheel's span).
+func (e *Engine) enqueue(ev *Event) {
+	if !e.heapOnly {
+		if ti := tickOf(ev.at); ti >= e.wh.cur && e.wh.place(ev, ti) {
+			return
+		}
+	}
+	e.push(heapEntry{at: ev.at, seq: ev.seq, ev: ev})
 }
 
 // BatchItem pairs a callback with its absolute fire time for ScheduleBatch.
@@ -217,20 +244,12 @@ type BatchItem struct {
 }
 
 // ScheduleBatch schedules all items in one pass — the fast path for
-// installing a precomputed schedule (e.g. a fault scenario) in bulk. Items
-// keep their argument order as the tie-break at equal times; nil callbacks
-// are skipped. When the batch is large relative to the queue the heap is
-// rebuilt once in O(n) instead of sifting each item up.
+// installing a precomputed schedule (e.g. a fault scenario) in bulk.
+// Items keep their argument order as the tie-break at equal times; nil
+// callbacks are skipped. Each item is an O(1) wheel insert (bulk
+// schedules are almost always bounded-horizon), so the batch costs O(n)
+// with no heap rebuild.
 func (e *Engine) ScheduleBatch(items []BatchItem) {
-	if len(items) == 0 {
-		return
-	}
-	before := len(e.queue)
-	if cap(e.queue)-before < len(items) {
-		grown := make([]heapEntry, before, before+len(items))
-		copy(grown, e.queue)
-		e.queue = grown
-	}
 	for _, it := range items {
 		if it.Fn == nil {
 			continue
@@ -244,20 +263,8 @@ func (e *Engine) ScheduleBatch(items []BatchItem) {
 		ev.seq = e.seq
 		ev.fn = it.Fn
 		e.seq++
-		e.queue = append(e.queue, heapEntry{at: at, seq: ev.seq, ev: ev})
+		e.enqueue(ev)
 	}
-	added := len(e.queue) - before
-	if added == 0 {
-		return
-	}
-	if before > 0 && added < before/4 {
-		// Small batch into a big queue: sift each new item up.
-		for i := before; i < len(e.queue); i++ {
-			e.siftUp(i)
-		}
-		return
-	}
-	e.heapify()
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -269,7 +276,25 @@ func (e *Engine) Stop() { e.stopped = true }
 // advance-to-horizon is implied by a later Run call).
 func (e *Engine) Run(horizon Time) error {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
+	for !e.stopped {
+		// Flush due wheel slots into the heap before trusting its
+		// minimum: every wheel event up to the earlier of the heap top
+		// and the horizon must be in the heap for (at, seq) ordering to
+		// be global. The cached lower bound makes the common no-op case
+		// one comparison; wheelAdvance re-tightens the bound against the
+		// heap top after every slot it flushes.
+		if e.wh.count > 0 && horizon >= 0 {
+			limit := horizon
+			if len(e.queue) > 0 && e.queue[0].at < limit {
+				limit = e.queue[0].at
+			}
+			if e.wh.next <= tickOf(limit) {
+				e.wheelAdvance(tickOf(horizon))
+			}
+		}
+		if len(e.queue) == 0 {
+			break
+		}
 		next := e.queue[0]
 		if next.at > horizon {
 			break
@@ -303,9 +328,11 @@ func (e *Engine) Run(horizon Time) error {
 	return nil
 }
 
-// Pending returns the number of live events still queued (canceled events
-// awaiting lazy removal are not counted).
-func (e *Engine) Pending() int { return len(e.queue) - e.dead }
+// Pending returns the number of live events still queued in either tier
+// (canceled events awaiting lazy removal are not counted).
+func (e *Engine) Pending() int {
+	return len(e.queue) - e.dead + e.wh.count - e.wh.dead
+}
 
 // Ticker invokes fn every period, starting one period from now, until the
 // returned stop function is called. It is the simulated analogue of
@@ -450,11 +477,15 @@ func (e *Engine) heapify() {
 	}
 }
 
-// VerifyHeap runs the engine's O(n) structural self-check: the 4-ary
-// heap property over (at, seq), no queued event in the past, entry sort
-// keys consistent with their events, dead-entry accounting, and
-// disjointness of the queue and the free list. It is read-only and
-// intended for periodic or end-of-run invariant sweeps, not hot paths.
+// VerifyHeap runs the engine's O(n) structural self-check across both
+// timer tiers and the arena: the 4-ary heap property over (at, seq), no
+// queued event in the past, entry sort keys consistent with their
+// events, dead-entry accounting, wheel slot placement and occupancy
+// bitmaps, the flush-frontier and next-tick bounds, pairwise
+// disjointness of heap, wheel and free list, and the arena balance
+// (every slab-allocated event on exactly one of the three). It is
+// read-only and intended for periodic or end-of-run invariant sweeps,
+// not hot paths.
 func (e *Engine) VerifyHeap() error {
 	q := e.queue
 	if e.dead < 0 || e.dead > len(q) {
@@ -498,19 +529,98 @@ func (e *Engine) VerifyHeap() error {
 			return fmt.Errorf("sim: queue[%d] event is also on the free list", i)
 		}
 	}
+	if err := e.verifyWheel(onFreeList); err != nil {
+		return err
+	}
+	total := 0
+	for _, slab := range e.slabs {
+		total += len(slab)
+	}
+	if stored := len(onFreeList) + len(q) + e.wh.count; stored != total {
+		return fmt.Errorf("sim: arena balance broken: %d free + %d heap + %d wheel events != %d slab-allocated",
+			len(onFreeList), len(q), e.wh.count, total)
+	}
 	return nil
 }
 
-// compactionThreshold is the minimum number of dead entries before a
-// compaction pass is considered (small queues are cheaper to drain lazily).
-const compactionThreshold = 64
+// verifyWheel checks the wheel tier: every stored event is linked in the
+// slot its (tick, frontier) placement demands, occupancy bits mirror
+// slot emptiness, counts and the next-tick lower bound hold, and no
+// wheel event also sits on the free list or in the heap.
+func (e *Engine) verifyWheel(onFreeList map[*Event]bool) error {
+	w := &e.wh
+	if w.dead < 0 || w.dead > w.count {
+		return fmt.Errorf("sim: wheel dead count %d out of range [0,%d]", w.dead, w.count)
+	}
+	inWheel := make(map[*Event]bool)
+	stored, cancelled := 0, 0
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		for s := uint64(0); s < wheelSlots; s++ {
+			occupied := w.occ[lvl][s>>6]&(1<<(s&63)) != 0
+			if (w.slots[lvl][s] != nil) != occupied {
+				return fmt.Errorf("sim: wheel level %d slot %d occupancy bit %v disagrees with list", lvl, s, occupied)
+			}
+			for ev := w.slots[lvl][s]; ev != nil; ev = ev.next {
+				if inWheel[ev] {
+					return fmt.Errorf("sim: wheel level %d slot %d links an event twice", lvl, s)
+				}
+				inWheel[ev] = true
+				stored++
+				if ev.cancelled {
+					cancelled++
+				}
+				if !ev.inWheel {
+					return fmt.Errorf("sim: wheel level %d slot %d event not marked inWheel", lvl, s)
+				}
+				if ev.at < e.now {
+					return fmt.Errorf("sim: wheel level %d slot %d event at %v, before clock %v", lvl, s, ev.at, e.now)
+				}
+				ti := tickOf(ev.at)
+				if ti < w.cur {
+					return fmt.Errorf("sim: wheel level %d slot %d event tick %d behind frontier %d", lvl, s, ti, w.cur)
+				}
+				if ti < w.next {
+					return fmt.Errorf("sim: wheel level %d slot %d event tick %d below next-tick bound %d", lvl, s, ti, w.next)
+				}
+				if wantLvl := levelFor(ti, w.cur); wantLvl != lvl || slotOf(ti, lvl) != s {
+					return fmt.Errorf("sim: wheel event at %v placed at level %d slot %d, want level %d slot %d",
+						ev.at, lvl, s, wantLvl, slotOf(ti, wantLvl))
+				}
+				if onFreeList[ev] {
+					return fmt.Errorf("sim: wheel level %d slot %d event is also on the free list", lvl, s)
+				}
+			}
+		}
+	}
+	if stored != w.count {
+		return fmt.Errorf("sim: wheel stores %d events but count is %d", stored, w.count)
+	}
+	if cancelled != w.dead {
+		return fmt.Errorf("sim: %d cancelled events in wheel but dead count is %d", cancelled, w.dead)
+	}
+	for i := range e.queue {
+		if inWheel[e.queue[i].ev] {
+			return fmt.Errorf("sim: queue[%d] event is also in the wheel", i)
+		}
+		if e.queue[i].ev.inWheel {
+			return fmt.Errorf("sim: queue[%d] event marked inWheel", i)
+		}
+	}
+	return nil
+}
+
+// heapCompactionThreshold is the minimum number of dead entries before a
+// heap compaction pass is considered (small queues are cheaper to drain
+// lazily). The wheel tier has its own identical knob,
+// wheelCompactionThreshold.
+const heapCompactionThreshold = 64
 
 // maybeCompact rebuilds the queue without canceled events once they make
 // up the majority — the watchdog-heavy pattern where nearly every
 // scheduled deadline is canceled would otherwise keep sift paths
 // needlessly deep.
 func (e *Engine) maybeCompact() {
-	if e.dead < compactionThreshold || e.dead <= len(e.queue)/2 {
+	if e.dead < heapCompactionThreshold || e.dead <= len(e.queue)/2 {
 		return
 	}
 	q := e.queue

@@ -43,11 +43,14 @@ func TestVerifyHeapCleanEngine(t *testing.T) {
 }
 
 // TestVerifyHeapDetectsCorruption corrupts engine internals one axis at a
-// time and asserts VerifyHeap names each breakage.
+// time and asserts VerifyHeap names each breakage. The engine is pinned
+// heap-only so the corrupted entries actually sit in the heap queue;
+// wheel-tier corruption is covered by TestVerifyWheelDetectsCorruption.
 func TestVerifyHeapDetectsCorruption(t *testing.T) {
 	t.Parallel()
 	load := func() *Engine {
 		e := NewEngine()
+		e.SetHeapOnly(true)
 		for i := 0; i < 20; i++ {
 			e.Schedule(time.Duration(i)*time.Millisecond, func() {})
 		}
