@@ -38,12 +38,12 @@ func TestInvariantsScenarioByteIdentical(t *testing.T) {
 		{
 			name: "chaos-dcm-1234",
 			cfg:  ScenarioConfig{Seed: 1234, Kind: ControllerDCM, Chaos: &sched, Invariants: true},
-			want: "9ffeff8326e4705a547228b3d05242f918509f86775266b732fc9e3879f041cd",
+			want: "5aa04c68c34ddffe64803daa4df1afbb7a2269f6489957781c0ddfb667580baf",
 		},
 		{
 			name: "plain-ec2-42",
 			cfg:  ScenarioConfig{Seed: 42, Kind: ControllerEC2, Invariants: true},
-			want: "df0a119c06b4c70078439a12ecb4566fa93f7d3c9917604bca69898abee2e4c3",
+			want: "7fe679ec01da5f80567c5128dbe3c5d34bb9d4bea52f324eb6a69d97c8760dc9",
 		},
 	}
 	for _, tc := range cases {

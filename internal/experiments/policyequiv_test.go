@@ -108,7 +108,7 @@ func TestPolicyEquivalenceFigures(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		const want = "73b2f4e006cab2d371a45e9292d185e3a71f2027710994308655266ccbabf5af"
+		const want = "d811971bfa259f9f9224639a042725a7ff2f0e7ee0c3c0c966f9e3a4ad41c0f7"
 		if got := equivDigest(t, rows); got != want {
 			t.Errorf("fig4a digest = %s, want %s", got, want)
 		}
@@ -119,7 +119,7 @@ func TestPolicyEquivalenceFigures(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		const want = "1a36a44cc383d85dc6a2416d6a41b10ac6c7bd52ebe9e2e15e3fbb205c5f5c89"
+		const want = "56eef48af56c44832852547051b335760d21b2981b01429f99ed88b1b285f7e5"
 		if got := equivDigest(t, rows); got != want {
 			t.Errorf("fig4b digest = %s, want %s", got, want)
 		}
@@ -275,9 +275,9 @@ func TestPolicyEquivalenceScenarios(t *testing.T) {
 		t.Skip("full scenario runs in -short mode")
 	}
 	wants := map[ControllerKind]string{
-		ControllerDCM:            "48f2b17254b404bf6803f991142e7d9729f728124314327ae42197c3d95a1de0",
-		ControllerEC2:            "df0a119c06b4c70078439a12ecb4566fa93f7d3c9917604bca69898abee2e4c3",
-		ControllerTargetTracking: "198f0ab880b74856f3313267804ff2ed255571317693074754832aca4e9eb6eb",
+		ControllerDCM:            "2ff5bb93012bba00bdc920ab13ae08f80edf81f3844470741ad5ee81483dc929",
+		ControllerEC2:            "7fe679ec01da5f80567c5128dbe3c5d34bb9d4bea52f324eb6a69d97c8760dc9",
+		ControllerTargetTracking: "eaf91d4148c078afd083a81e581ad41073c3a78e49269286b1358e0ea65479f2",
 	}
 	fromFile, err := policy.Load("../../policies/default.policy.json")
 	if err != nil {

@@ -86,7 +86,7 @@ func (b *BurstyLoop) scheduleSwitch() {
 	if b.surge {
 		mean = b.cfg.SurgeDwell
 	}
-	dwell := time.Duration(b.rnd.Exp(mean.Seconds()) * float64(time.Second))
+	dwell := expDelay(b.rnd, mean)
 	b.eng.Schedule(dwell, func() {
 		if b.stopped {
 			return
@@ -143,7 +143,7 @@ func (b *BurstyLoop) startRequest(attempt int) {
 		if b.surge {
 			mean = b.cfg.SurgeThink
 		}
-		think := time.Duration(b.rnd.Exp(mean.Seconds()) * float64(time.Second))
+		think := expDelay(b.rnd, mean)
 		b.eng.Schedule(think, b.cycle)
 	})
 }

@@ -16,6 +16,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"dcm/internal/metrics"
@@ -24,6 +25,31 @@ import (
 	"dcm/internal/sim"
 	"dcm/internal/trace"
 )
+
+// delayFromSeconds converts a sampled delay in seconds into an engine
+// delay. The naive time.Duration(sec * float64(time.Second)) conversion
+// truncates toward zero, so every draw schedules up to a nanosecond early
+// and a sub-nanosecond draw schedules at zero delay — turning a positive
+// think time into an immediate re-arrival. Round half-up instead and clamp
+// positive draws to one engine tick (1 ns). Non-positive samples stay
+// zero: that is the deliberate degenerate mode (Jmeter zero think time).
+func delayFromSeconds(sec float64) time.Duration {
+	if sec <= 0 {
+		return 0
+	}
+	d := time.Duration(math.Round(sec * float64(time.Second)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// expDelay draws an exponential delay with the given mean. A non-positive
+// mean is the zero-delay degenerate mode and consumes no randomness (the
+// draw-parity contract byte-identical runs rely on).
+func expDelay(rnd *rng.Rand, mean time.Duration) time.Duration {
+	return delayFromSeconds(rnd.Exp(mean.Seconds()))
+}
 
 // Target is anything that can process a request (normally *ntier.App).
 type Target interface {
@@ -182,7 +208,7 @@ func (c *ClosedLoop) startRequest(attempt int) {
 		} else {
 			c.errored.Inc(1)
 		}
-		think := time.Duration(c.rnd.Exp(c.cfg.ThinkTime.Seconds()) * float64(time.Second))
+		think := expDelay(c.rnd, c.cfg.ThinkTime)
 		c.eng.Schedule(think, c.userCycle)
 	})
 }
@@ -318,7 +344,7 @@ func (o *OpenLoop) Start() {
 }
 
 func (o *OpenLoop) scheduleNext() {
-	gap := time.Duration(o.rnd.Exp(1/o.rate) * float64(time.Second))
+	gap := delayFromSeconds(o.rnd.Exp(1 / o.rate))
 	o.eng.Schedule(gap, func() {
 		if o.stopped {
 			return

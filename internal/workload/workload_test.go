@@ -338,3 +338,50 @@ func TestOpenLoopValidationAndStop(t *testing.T) {
 	ol.SetRate(-5)
 	ol.SetRate(50)
 }
+
+// TestDelayFromSecondsRounding pins the sample-to-delay conversion: draws
+// round half-up to the nanosecond (the old conversion truncated toward
+// zero) and a positive draw can never schedule at zero delay — it clamps
+// to one engine tick. Zero and negative samples stay the degenerate
+// zero-delay mode.
+func TestDelayFromSecondsRounding(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want time.Duration
+	}{
+		{0, 0},
+		{-1, 0},
+		{1e-12, 1},  // sub-nanosecond clamps to one tick
+		{0.4e-9, 1}, // would truncate to 0
+		{1.4e-9, 1}, // rounds down
+		{1.6e-9, 2}, // truncation would lose this nanosecond
+		{3.0, 3 * time.Second},
+		{2.9999999996, 3 * time.Second}, // half-up at the ns boundary
+	}
+	for _, c := range cases {
+		if got := delayFromSeconds(c.sec); got != c.want {
+			t.Errorf("delayFromSeconds(%v) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+// TestExpDelayNeverZeroForPositiveMean is the think-time regression test:
+// with any positive mean, scheduled think delays are at least one engine
+// tick, so a user can never re-arrive in the same event timestamp as its
+// completion. A non-positive mean keeps the zero-think mode and draw
+// parity (no randomness consumed).
+func TestExpDelayNeverZeroForPositiveMean(t *testing.T) {
+	rnd := rng.New(7)
+	for i := 0; i < 100000; i++ {
+		if d := expDelay(rnd, time.Nanosecond); d < 1 {
+			t.Fatalf("draw %d: expDelay(1ns mean) = %v < 1 tick", i, d)
+		}
+	}
+	before := *rnd
+	if d := expDelay(rnd, 0); d != 0 {
+		t.Fatalf("expDelay(0) = %v, want 0", d)
+	}
+	if *rnd != before {
+		t.Fatal("expDelay(0) consumed randomness; zero-think draw parity broken")
+	}
+}
