@@ -107,6 +107,14 @@ func (b *Balancer) Remove(name string) error {
 			if b.next > i {
 				b.next--
 			}
+			// Removing the backend the cursor pointed at, when it was the
+			// last index, leaves next == len(backends). Pick's modulo hides
+			// that — but a later Add would place the new backend exactly at
+			// the stale cursor, serving it immediately and skipping the wrap
+			// back to index 0. Normalize the cursor into range instead.
+			if b.next >= len(b.backends) {
+				b.next = 0
+			}
 			return nil
 		}
 	}

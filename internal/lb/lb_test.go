@@ -2,6 +2,7 @@ package lb
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -271,5 +272,94 @@ func TestRoundRobinFairnessProperty(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestAddAfterRemoveLastResumesRotation is the cursor-staleness
+// regression test: removing the backend the rotation cursor points at,
+// when it occupies the last index, used to leave the cursor ==
+// len(backends). A subsequent Add then placed the new backend exactly at
+// the stale cursor, so the newcomer was served immediately and the wrap
+// back to the first backend was skipped.
+func TestAddAfterRemoveLastResumesRotation(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	for _, n := range []string{"a", "b", "c"} {
+		if err := b.Add(&fake{name: n, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance the cursor to "c" (index 2), then remove it.
+	for _, want := range []string{"a", "b"} {
+		p, err := b.Pick()
+		if err != nil || p.Name() != want {
+			t.Fatalf("warmup pick = %v, %v (want %s)", p, err, want)
+		}
+	}
+	if err := b.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(&fake{name: "d", accepting: true}); err != nil {
+		t.Fatal(err)
+	}
+	// The rotation owes index 0 a turn; the stale cursor served "d" here.
+	var got []string
+	for i := 0; i < 6; i++ {
+		p, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p.Name())
+	}
+	want := []string{"a", "b", "d", "a", "b", "d"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-churn rotation = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAddRemoveChurnStaysFair hammers the balancer with add/remove churn
+// at every cursor position and checks round-robin fairness afterwards:
+// over k*len picks every backend must be picked exactly k times.
+func TestAddRemoveChurnStaysFair(t *testing.T) {
+	t.Parallel()
+	b := New(RoundRobin)
+	names := []string{"s0", "s1", "s2", "s3"}
+	for _, n := range names {
+		if err := b.Add(&fake{name: n, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn: walk the cursor to every position, remove the last-indexed
+	// backend there, and add a replacement.
+	for gen := 0; gen < 8; gen++ {
+		for i := 0; i <= gen%4; i++ {
+			if _, err := b.Pick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		last := b.Backends()[b.Len()-1].Name()
+		if err := b.Remove(last); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(&fake{name: fmt.Sprintf("g%d", gen), accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := b.PickCounts()
+	const rounds = 5
+	for i := 0; i < rounds*4; i++ {
+		if _, err := b.Pick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := b.PickCounts()
+	for _, be := range b.Backends() {
+		got := after[be.Name()] - before[be.Name()]
+		if got != rounds {
+			t.Fatalf("backend %s picked %d times over %d rounds (counts %v -> %v)",
+				be.Name(), got, rounds, before, after)
+		}
 	}
 }
