@@ -5,6 +5,8 @@
 //	sweep -experiment fig4a      Tomcat-allocation validation (Fig. 4(a))
 //	sweep -experiment fig4b      DB-connection validation (Fig. 4(b))
 //	sweep -experiment smoke      million-user event-core smoke (see -peak, -trace)
+//	sweep -experiment openloop   open-loop two-class saturation run (see -rate)
+//	sweep -experiment flashcrowd open-loop flash-crowd spike (see -rate)
 package main
 
 import (
@@ -30,7 +32,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "fig2a", "fig2a | fig2b | fig4a | fig4b | smoke")
+		experiment = fs.String("experiment", "fig2a", "fig2a | fig2b | fig4a | fig4b | smoke | openloop | flashcrowd")
 		seed       = fs.Uint64("seed", 42, "random seed")
 		measure    = fs.Duration("measure", 20*time.Second, "measurement window per point")
 		users      = fs.Int("users", 3000, "sustained user population (fig2b)")
@@ -39,6 +41,8 @@ func run(args []string) error {
 		invariants = fs.Bool("invariants", false, "run the runtime invariant checker alongside every point and fail on any structural-law violation (results are byte-identical)")
 		peak       = fs.Int("peak", 1_000_000, "peak user population for the synthesized smoke trace")
 		traceCSV   = fs.String("trace", "", "users-over-time CSV driving the smoke run (default: synthesized sine ramp to -peak)")
+		rate       = fs.Float64("rate", 0, "base arrival rate in req/s for the open-loop experiments (0 = default)")
+		horizon    = fs.Duration("horizon", 0, "virtual run length for the open-loop experiments (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +119,35 @@ func run(args []string) error {
 		fmt.Println("Million-user event-core smoke: trace-driven ramp through the timer wheel")
 		fmt.Println()
 		fmt.Print(experiments.RenderMillionSmoke(res))
+		if vs := res.InvariantViolations; len(vs) > 0 {
+			fmt.Println("invariant violations:")
+			fmt.Print(invariant.Render(vs))
+			return fmt.Errorf("%d invariant violation(s)", len(vs))
+		}
+	case "openloop", "flashcrowd":
+		cfg := experiments.OpenLoopConfig{
+			Seed:       *seed,
+			Rate:       *rate,
+			Horizon:    *horizon,
+			Invariants: *invariants,
+		}
+		var res experiments.OpenLoopResult
+		var err error
+		if *experiment == "flashcrowd" {
+			res, err = experiments.RunFlashCrowd(cfg)
+		} else {
+			res, err = experiments.RunOpenLoop(cfg)
+		}
+		if err != nil {
+			return err
+		}
+		if *experiment == "flashcrowd" {
+			fmt.Println("Flash crowd: open-loop trapezoid spike against the two-class mix")
+		} else {
+			fmt.Println("Open loop: constant-rate two-class arrivals past the closed-loop ceiling")
+		}
+		fmt.Println()
+		fmt.Print(experiments.RenderOpenLoop(res))
 		if vs := res.InvariantViolations; len(vs) > 0 {
 			fmt.Println("invariant violations:")
 			fmt.Print(invariant.Render(vs))

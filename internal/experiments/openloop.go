@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dcm/internal/invariant"
+	"dcm/internal/metrics"
+	"dcm/internal/ntier"
+	"dcm/internal/resilience"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+	"dcm/internal/workload"
+)
+
+// The open-loop experiments drive the n-tier application with the workload
+// library's non-homogeneous Poisson generator instead of a closed user
+// population. Closed loops self-throttle — every queued request is a user
+// not issuing the next one — so they can never push the system far past
+// saturation. Open-loop arrivals keep coming regardless of backlog, which
+// is how real internet traffic behaves and what the admission-control
+// stack (bounded queues + CoDel + criticality) actually exists for. The
+// request stream is a two-class mix: a premium class (priority 1, never
+// CoDel-shed) and a basic class, so overload shows up as *selective*
+// degradation — basic absorbs the shedding while premium goodput holds.
+
+// OpenLoopConfig parameterizes the open-loop experiments. The zero value
+// selects calibrated defaults (see defaults).
+type OpenLoopConfig struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Rate is the base arrival rate in requests per second (default 300,
+	// around the default two-Tomcat deployment's knee).
+	Rate float64
+	// PeakRate is the flash crowd's plateau (default 6x Rate; flashcrowd
+	// experiment only).
+	PeakRate float64
+	// Horizon bounds the run (default 120 s constant, 240 s flashcrowd).
+	Horizon time.Duration
+	// Timeout is the per-request deadline and the basic class's SLA
+	// (default 1 s). The premium class's SLO is half of it.
+	Timeout time.Duration
+	// AppServers sizes the Tomcat tier (default 2).
+	AppServers int
+	// PremiumWeight is the premium class's share of arrivals (default 0.2).
+	PremiumWeight float64
+	// Invariants attaches the runtime invariant checker (including the
+	// per-class conservation laws) and sweeps once at the end.
+	Invariants bool
+}
+
+func (c *OpenLoopConfig) defaults(flash bool) {
+	if c.Rate <= 0 {
+		c.Rate = 300
+	}
+	if c.PeakRate <= c.Rate {
+		c.PeakRate = 6 * c.Rate
+	}
+	if c.Horizon <= 0 {
+		if flash {
+			c.Horizon = 240 * time.Second
+		} else {
+			c.Horizon = 120 * time.Second
+		}
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.AppServers <= 0 {
+		c.AppServers = 2
+	}
+	if c.PremiumWeight <= 0 || c.PremiumWeight >= 1 {
+		c.PremiumWeight = 0.2
+	}
+}
+
+// spec renders the config as a declarative WorkloadSpec — the experiment
+// goes through the same strict spec path a workload file would.
+func (c OpenLoopConfig) spec(flash bool) workload.WorkloadSpec {
+	arr := &workload.RateSpec{Curve: workload.CurveConstant, Rate: c.Rate}
+	name := "openloop"
+	if flash {
+		name = "flashcrowd"
+		arr = &workload.RateSpec{
+			Curve:       workload.CurveFlashCrowd,
+			Rate:        c.Rate,
+			PeakRate:    c.PeakRate,
+			AtSeconds:   (c.Horizon / 4).Seconds(),
+			RampSeconds: 15,
+			HoldSeconds: (c.Horizon / 4).Seconds(),
+		}
+	}
+	return workload.WorkloadSpec{
+		Name:     name,
+		Kind:     workload.KindOpen,
+		Arrivals: arr,
+		Classes: []workload.ClassSpec{
+			{Name: "premium", Weight: c.PremiumWeight, Priority: 1,
+				SLOSeconds: (c.Timeout / 2).Seconds()},
+			{Name: "basic", Weight: 1 - c.PremiumWeight},
+		},
+	}
+}
+
+// OpenLoopResult reports one open-loop run.
+type OpenLoopResult struct {
+	Name     string        `json:"name"`
+	BaseRate float64       `json:"baseRate"`
+	PeakRate float64       `json:"peakRate,omitempty"`
+	Horizon  time.Duration `json:"horizon"`
+	// Scheduled counts accepted (injected) arrivals; Thinned counts
+	// candidate arrivals the NHPP thinning rejected.
+	Scheduled uint64 `json:"scheduled"`
+	Thinned   uint64 `json:"thinned"`
+	// Goodput is completions within each class's SLO.
+	Goodput      uint64                    `json:"goodput"`
+	Completed    uint64                    `json:"completed"`
+	Errors       uint64                    `json:"errors"`
+	Dispositions metrics.DispositionCounts `json:"dispositions"`
+	// Classes is the per-class breakdown in class order.
+	Classes []ntier.ClassStat `json:"classes"`
+	Events  uint64            `json:"events"`
+	Wall    time.Duration     `json:"wall"`
+
+	InvariantViolations []invariant.Violation `json:"invariantViolations,omitempty"`
+}
+
+// RunOpenLoop runs the constant-rate open-loop experiment.
+func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	cfg.defaults(false)
+	return runOpenLoop(cfg, false)
+}
+
+// RunFlashCrowd runs the flash-crowd (trapezoid spike) experiment.
+func RunFlashCrowd(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	cfg.defaults(true)
+	return runOpenLoop(cfg, true)
+}
+
+func runOpenLoop(cfg OpenLoopConfig, flash bool) (OpenLoopResult, error) {
+	spec := cfg.spec(flash)
+	if err := spec.Validate(); err != nil {
+		return OpenLoopResult{}, fmt.Errorf("experiments: open loop spec: %w", err)
+	}
+
+	eng := sim.NewEngine()
+	root := rng.New(cfg.Seed)
+
+	res, err := resilience.Preset("full", cfg.Timeout)
+	if err != nil {
+		return OpenLoopResult{}, fmt.Errorf("experiments: open loop resilience: %w", err)
+	}
+	appCfg := ntier.DefaultConfig()
+	appCfg.AppServers = cfg.AppServers
+	appCfg.Resilience = *res
+	appCfg.Classes = make([]ntier.RequestClass, len(spec.Classes))
+	for i, c := range spec.Classes {
+		appCfg.Classes[i] = ntier.RequestClass{
+			Name:        c.Name,
+			Priority:    c.Priority,
+			SLO:         c.SLO(),
+			AppDemand:   c.AppDemand,
+			Queries:     c.Queries,
+			QueryDemand: c.QueryDemand,
+		}
+	}
+	app, err := ntier.New(eng, root.Split("app"), appCfg)
+	if err != nil {
+		return OpenLoopResult{}, fmt.Errorf("experiments: open loop app: %w", err)
+	}
+	var chk *invariant.Checker
+	if cfg.Invariants {
+		chk = invariant.New()
+		app.SetInvariantChecker(chk)
+		invariant.AttachEngine(chk, eng)
+	}
+
+	gen, err := spec.Build(eng, root.Split("wl"), app)
+	if err != nil {
+		return OpenLoopResult{}, fmt.Errorf("experiments: open loop workload: %w", err)
+	}
+	ol := gen.(*workload.OpenLoopGen)
+
+	ol.Start()
+	start := time.Now()
+	if err := eng.Run(cfg.Horizon); err != nil {
+		return OpenLoopResult{}, fmt.Errorf("experiments: open loop run: %w", err)
+	}
+	ol.Stop()
+
+	out := OpenLoopResult{
+		Name:         spec.Name,
+		BaseRate:     cfg.Rate,
+		Horizon:      cfg.Horizon,
+		Scheduled:    ol.Scheduled(),
+		Thinned:      ol.Thinned(),
+		Goodput:      app.TotalGood(),
+		Completed:    app.TotalCompletions(),
+		Errors:       app.TotalErrors(),
+		Dispositions: app.Dispositions(),
+		Classes:      app.ClassStats(),
+		Events:       eng.Processed(),
+		Wall:         time.Since(start),
+	}
+	if flash {
+		out.PeakRate = cfg.PeakRate
+	}
+	if chk != nil {
+		app.CheckInvariants()
+		invariant.CheckEngine(chk, eng)
+		out.InvariantViolations = chk.Violations()
+	}
+	return out, nil
+}
+
+// RenderOpenLoop renders the run summary plus the per-class section.
+func RenderOpenLoop(r OpenLoopResult) string {
+	var sb strings.Builder
+	if r.PeakRate > 0 {
+		fmt.Fprintf(&sb, "  arrivals   %s curve, %.0f -> %.0f req/s over %v\n",
+			r.Name, r.BaseRate, r.PeakRate, r.Horizon)
+	} else {
+		fmt.Fprintf(&sb, "  arrivals   constant %.0f req/s over %v\n", r.BaseRate, r.Horizon)
+	}
+	fmt.Fprintf(&sb, "  scheduled  %d arrivals (%d candidates thinned)\n", r.Scheduled, r.Thinned)
+	fmt.Fprintf(&sb, "  outcome    %d good / %d completed / %d errors\n",
+		r.Goodput, r.Completed, r.Errors)
+	d := r.Dispositions
+	fmt.Fprintf(&sb, "  taxonomy   ok %d | timeout %d | rejected %d | shed %d | brk-open %d | errored %d\n",
+		d.OK, d.TimedOut, d.Rejected, d.Shed, d.BreakerOpen, d.Errored)
+	fmt.Fprintf(&sb, "  events     %d (wall %v)\n", r.Events, r.Wall.Round(time.Millisecond))
+	if len(r.InvariantViolations) > 0 {
+		fmt.Fprintf(&sb, "  INVARIANT VIOLATIONS: %d\n", len(r.InvariantViolations))
+	}
+	sb.WriteString("\n")
+	sb.WriteString(RenderClassStats(r.Classes))
+	return sb.String()
+}
+
+// RenderClassStats renders the per-class breakdown table. The shed column
+// is the selective-degradation signal: a priority class must stay at zero
+// while best-effort classes absorb the overload.
+func RenderClassStats(classes []ntier.ClassStat) string {
+	if len(classes) == 0 {
+		return ""
+	}
+	tb := metrics.NewTable("class", "prio", "injected", "ok", "good", "good%",
+		"timeout", "rejected", "shed", "errors", "meanRT")
+	for _, c := range classes {
+		goodPct := 0.0
+		if c.Injected > 0 {
+			goodPct = 100 * float64(c.Good) / float64(c.Injected)
+		}
+		tb.AddRow(c.Name,
+			fmt.Sprintf("%d", c.Priority),
+			fmt.Sprintf("%d", c.Injected),
+			fmt.Sprintf("%d", c.Dispositions.OK),
+			fmt.Sprintf("%d", c.Good),
+			fmtF(goodPct, 1),
+			fmt.Sprintf("%d", c.Dispositions.TimedOut),
+			fmt.Sprintf("%d", c.Dispositions.Rejected),
+			fmt.Sprintf("%d", c.Dispositions.Shed),
+			fmt.Sprintf("%d", c.Errors),
+			fmt.Sprintf("%.0fms", c.MeanRTms))
+	}
+	return tb.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// shortOpenLoopCfg keeps the functional tests fast: a small deployment
+// under a rate that saturates it.
+func shortOpenLoopCfg() OpenLoopConfig {
+	return OpenLoopConfig{
+		Seed:       1234,
+		Rate:       600,
+		Horizon:    40 * time.Second,
+		AppServers: 1,
+		Invariants: true,
+	}
+}
+
+// stripWall zeroes the only nondeterministic field so results can be
+// compared byte-for-byte.
+func stripWall(r OpenLoopResult) OpenLoopResult {
+	r.Wall = 0
+	return r
+}
+
+// TestOpenLoopDeterministic: the experiment is a pure function of its
+// config — two runs must serialize identically (modulo wall clock).
+func TestOpenLoopDeterministic(t *testing.T) {
+	t.Parallel()
+	a, err := RunOpenLoop(shortOpenLoopCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOpenLoop(shortOpenLoopCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(stripWall(a))
+	jb, _ := json.Marshal(stripWall(b))
+	if string(ja) != string(jb) {
+		t.Fatalf("runs diverged:\n%s\n%s", ja, jb)
+	}
+}
+
+// TestOpenLoopSaturationAccounting checks the conservation story under
+// overload: every scheduled arrival ends in exactly one disposition, the
+// per-class split conserves, and the invariant sweep stays clean.
+func TestOpenLoopSaturationAccounting(t *testing.T) {
+	t.Parallel()
+	cfg := shortOpenLoopCfg()
+	cfg.Rate = 2500 // several times the one-server knee
+	res, err := RunOpenLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) > 0 {
+		t.Fatalf("invariant violations: %+v", res.InvariantViolations)
+	}
+	if res.Scheduled == 0 {
+		t.Fatal("no arrivals")
+	}
+	// All traffic is classed, so class injected counts sum to scheduled.
+	var classed, inFlight uint64
+	for _, c := range res.Classes {
+		classed += c.Injected
+		inFlight += uint64(c.InFlight)
+	}
+	if classed != res.Scheduled {
+		t.Fatalf("class injected sum %d != scheduled %d", classed, res.Scheduled)
+	}
+	if got := res.Dispositions.Total() + inFlight; got != res.Scheduled {
+		t.Fatalf("dispositions %d + in-flight %d != scheduled %d",
+			res.Dispositions.Total(), inFlight, res.Scheduled)
+	}
+	// The run must actually saturate — otherwise the test is vacuous.
+	if res.Dispositions.Shed == 0 && res.Dispositions.Rejected == 0 &&
+		res.Dispositions.TimedOut == 0 {
+		t.Fatalf("no overload signal in %+v", res.Dispositions)
+	}
+}
+
+// TestFlashCrowdSelectiveDegradation is the class contract end to end:
+// through a 6x overload spike the priority class is never CoDel-shed,
+// while the best-effort class absorbs the shedding.
+func TestFlashCrowdSelectiveDegradation(t *testing.T) {
+	t.Parallel()
+	cfg := shortOpenLoopCfg()
+	cfg.Rate = 150
+	cfg.Horizon = 120 * time.Second
+	res, err := RunFlashCrowd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) > 0 {
+		t.Fatalf("invariant violations: %+v", res.InvariantViolations)
+	}
+	if res.Thinned == 0 {
+		t.Fatal("flash-crowd curve thinned nothing — not time-varying?")
+	}
+	if len(res.Classes) != 2 {
+		t.Fatalf("classes = %+v", res.Classes)
+	}
+	p, b := res.Classes[0], res.Classes[1]
+	if p.Name != "premium" || p.Priority != 1 {
+		t.Fatalf("class order: %+v", res.Classes)
+	}
+	if p.Dispositions.Shed != 0 {
+		t.Errorf("premium shed %d requests during the spike, want 0", p.Dispositions.Shed)
+	}
+	if b.Dispositions.Shed == 0 {
+		t.Error("basic never shed — spike too small, test is vacuous")
+	}
+	if p.Injected == 0 || b.Injected < p.Injected {
+		t.Errorf("weights look wrong: premium %d, basic %d", p.Injected, b.Injected)
+	}
+}
+
+// TestRenderOpenLoop smoke-checks the report rendering.
+func TestRenderOpenLoop(t *testing.T) {
+	t.Parallel()
+	res, err := RunOpenLoop(shortOpenLoopCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderOpenLoop(res)
+	for _, want := range []string{"premium", "basic", "scheduled", "taxonomy"} {
+		if !contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -199,6 +199,61 @@ func (b *Balancer) Pick() (Backend, error) {
 	}
 }
 
+// PickSession selects a ready backend for a session key via rendezvous
+// (highest-random-weight) hashing: the same key maps to the same backend
+// for as long as that backend stays ready, and when a backend leaves only
+// the sessions it owned move — the sticky sessions HAProxy provides with
+// a consistent-hash balance rule. Guarded and non-accepting backends are
+// skipped exactly as in Pick, so a session whose home backend is draining
+// or breaker-open fails over (deterministically) to its next-highest
+// backend and returns home when the backend recovers. PickSession does
+// not advance the round-robin cursor; sessionless traffic through Pick is
+// unaffected.
+func (b *Balancer) PickSession(key uint64) (Backend, error) {
+	if len(b.backends) == 0 {
+		return nil, ErrNoBackends
+	}
+	var best Backend
+	var bestScore uint64
+	guarded := false
+	for _, cand := range b.backends {
+		if !cand.Accepting() {
+			continue
+		}
+		if b.guard != nil && !b.guard(cand) {
+			guarded = true
+			continue
+		}
+		score := rendezvousScore(key, cand.Name())
+		if best == nil || score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	if best == nil {
+		if guarded {
+			return nil, ErrGuarded
+		}
+		return nil, ErrNoBackends
+	}
+	b.picks[best.Name()]++
+	return best, nil
+}
+
+// rendezvousScore mixes a session key with a backend name into the
+// backend's weight for that key (splitmix64 finalizer over an FNV-1a name
+// hash — cheap, stateless and stable across runs).
+func rendezvousScore(key uint64, name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := key ^ h
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // PickCounts returns a copy of the per-backend pick counters (including
 // backends that have since been removed).
 func (b *Balancer) PickCounts() map[string]uint64 {

@@ -363,3 +363,170 @@ func TestAddRemoveChurnStaysFair(t *testing.T) {
 		}
 	}
 }
+
+// TestPickSessionStability: one key always lands on the same backend
+// while the set is stable, and distinct keys spread across backends.
+func TestPickSessionStability(t *testing.T) {
+	b := New(RoundRobin)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := b.Add(&fake{name: name, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	homes := make(map[uint64]string)
+	for key := uint64(1); key <= 200; key++ {
+		first, err := b.PickSession(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[key] = first.Name()
+		for i := 0; i < 5; i++ {
+			again, err := b.PickSession(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Name() != first.Name() {
+				t.Fatalf("key %d moved %s -> %s with a stable set", key, first.Name(), again.Name())
+			}
+		}
+	}
+	byBackend := make(map[string]int)
+	for _, home := range homes {
+		byBackend[home]++
+	}
+	if len(byBackend) != 3 {
+		t.Fatalf("200 keys used %d of 3 backends: %v", len(byBackend), byBackend)
+	}
+	for name, n := range byBackend {
+		if n < 20 {
+			t.Fatalf("backend %s owns only %d of 200 keys: %v", name, n, byBackend)
+		}
+	}
+}
+
+// TestPickSessionMinimalDisruption: removing one backend moves only the
+// sessions it owned; everyone else keeps their home. Restoring it brings
+// its sessions back (rendezvous hashing is stateless).
+func TestPickSessionMinimalDisruption(t *testing.T) {
+	backends := map[string]*fake{}
+	b := New(RoundRobin)
+	for _, name := range []string{"a", "b", "c"} {
+		f := &fake{name: name, accepting: true}
+		backends[name] = f
+		if err := b.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	homes := make(map[uint64]string)
+	for key := uint64(1); key <= 300; key++ {
+		bk, err := b.PickSession(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[key] = bk.Name()
+	}
+	// Drain "b": its sessions fail over, others must not move.
+	backends["b"].accepting = false
+	moved := 0
+	for key, home := range homes {
+		bk, err := b.PickSession(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if home == "b" {
+			moved++
+			if bk.Name() == "b" {
+				t.Fatalf("key %d still on drained backend", key)
+			}
+			continue
+		}
+		if bk.Name() != home {
+			t.Fatalf("key %d moved %s -> %s though its home stayed up", key, home, bk.Name())
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys homed on b — test is vacuous")
+	}
+	// Recovery: every session returns home.
+	backends["b"].accepting = true
+	for key, home := range homes {
+		bk, err := b.PickSession(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bk.Name() != home {
+			t.Fatalf("key %d did not return home after recovery: %s -> %s", key, home, bk.Name())
+		}
+	}
+}
+
+// TestPickSessionGuardAndErrors mirrors Pick's error contract: ErrGuarded
+// when the guard refuses every ready backend, ErrNoBackends otherwise, and
+// guarded homes fail over.
+func TestPickSessionGuardAndErrors(t *testing.T) {
+	b := New(RoundRobin)
+	if _, err := b.PickSession(42); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("empty set: err = %v, want ErrNoBackends", err)
+	}
+	f1 := &fake{name: "a", accepting: true}
+	f2 := &fake{name: "b", accepting: true}
+	if err := b.Add(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(f2); err != nil {
+		t.Fatal(err)
+	}
+	var home string
+	if bk, err := b.PickSession(42); err != nil {
+		t.Fatal(err)
+	} else {
+		home = bk.Name()
+	}
+	b.SetGuard(func(bk Backend) bool { return bk.Name() != home })
+	bk, err := b.PickSession(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk.Name() == home {
+		t.Fatalf("guarded home %q still picked", home)
+	}
+	b.SetGuard(func(Backend) bool { return false })
+	if _, err := b.PickSession(42); !errors.Is(err, ErrGuarded) {
+		t.Fatalf("all guarded: err = %v, want ErrGuarded", err)
+	}
+	f1.accepting = false
+	f2.accepting = false
+	b.SetGuard(nil)
+	if _, err := b.PickSession(42); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("none accepting: err = %v, want ErrNoBackends", err)
+	}
+}
+
+// TestPickSessionDoesNotDisturbRotation: session picks must not advance
+// the round-robin cursor.
+func TestPickSessionDoesNotDisturbRotation(t *testing.T) {
+	b := New(RoundRobin)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := b.Add(&fake{name: name, accepting: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pick := func() string {
+		bk, err := b.Pick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bk.Name()
+	}
+	if got := pick(); got != "a" {
+		t.Fatalf("first pick %q, want a", got)
+	}
+	for key := uint64(0); key < 10; key++ {
+		if _, err := b.PickSession(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pick(); got != "b" {
+		t.Fatalf("rotation disturbed by session picks: got %q, want b", got)
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ClassDispositions tallies request dispositions for a fixed set of
+// traffic classes. The class set is frozen at construction and indexed by
+// position, so the hot path is an array index — no map lookups, no
+// allocations — and every rendering of the tally is in deterministic
+// (construction) order. A nil *ClassDispositions is a valid receiver for
+// every method and does nothing, mirroring the tracer convention: the
+// class-free flow pays one nil check.
+type ClassDispositions struct {
+	names  []string
+	counts []DispositionCounts
+}
+
+// NewClassDispositions returns a tally over the given classes (nil when
+// names is empty, so the class-free flow stays on the nil fast path).
+func NewClassDispositions(names []string) *ClassDispositions {
+	if len(names) == 0 {
+		return nil
+	}
+	c := &ClassDispositions{
+		names:  make([]string, len(names)),
+		counts: make([]DispositionCounts, len(names)),
+	}
+	copy(c.names, names)
+	return c
+}
+
+// Len returns the number of classes (0 for nil).
+func (c *ClassDispositions) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.names)
+}
+
+// Name returns the i-th class name ("" when out of range).
+func (c *ClassDispositions) Name(i int) string {
+	if c == nil || i < 0 || i >= len(c.names) {
+		return ""
+	}
+	return c.names[i]
+}
+
+// Observe tallies one outcome for class i. Out-of-range classes and nil
+// receivers are no-ops, so producers never have to guard the call.
+func (c *ClassDispositions) Observe(class int, d Disposition) {
+	if c == nil || class < 0 || class >= len(c.counts) {
+		return
+	}
+	c.counts[class].Observe(d)
+}
+
+// Counts returns class i's tally (zero value when out of range).
+func (c *ClassDispositions) Counts(i int) DispositionCounts {
+	if c == nil || i < 0 || i >= len(c.counts) {
+		return DispositionCounts{}
+	}
+	return c.counts[i]
+}
+
+// Aggregate sums the per-class tallies.
+func (c *ClassDispositions) Aggregate() DispositionCounts {
+	var out DispositionCounts
+	if c == nil {
+		return out
+	}
+	for i := range c.counts {
+		out.Add(c.counts[i])
+	}
+	return out
+}
+
+// CheckConservation verifies the per-class split against an independently
+// maintained whole-system tally: summed per-class counts must equal the
+// total in every disposition, so no classified request is double-counted
+// or lost. unclassed is the tally of requests injected without a class
+// (the single-class flow) and participates in the sum.
+func (c *ClassDispositions) CheckConservation(unclassed, total DispositionCounts) error {
+	sum := c.Aggregate()
+	sum.Add(unclassed)
+	if sum != total {
+		return fmt.Errorf("metrics: per-class dispositions %+v != system tally %+v", sum, total)
+	}
+	return nil
+}
+
+// MarshalJSON renders the tally as an object keyed by class name, in
+// class order.
+func (c *ClassDispositions) MarshalJSON() ([]byte, error) {
+	if c == nil {
+		return []byte("null"), nil
+	}
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, name := range c.names {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		key, err := json.Marshal(name)
+		if err != nil {
+			return nil, err
+		}
+		val, err := json.Marshal(c.counts[i])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(key)
+		buf.WriteByte(':')
+		buf.Write(val)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestClassDispositionsNilSafe(t *testing.T) {
+	var c *ClassDispositions
+	c.Observe(0, DispositionOK) // must not panic
+	if c.Len() != 0 || c.Name(0) != "" {
+		t.Fatal("nil receiver not inert")
+	}
+	if got := c.Counts(0); got != (DispositionCounts{}) {
+		t.Fatalf("nil Counts = %+v", got)
+	}
+	if got := c.Aggregate(); got != (DispositionCounts{}) {
+		t.Fatalf("nil Aggregate = %+v", got)
+	}
+	if err := c.CheckConservation(DispositionCounts{}, DispositionCounts{}); err != nil {
+		t.Fatalf("nil conservation: %v", err)
+	}
+	data, err := json.Marshal(c)
+	if err != nil || string(data) != "null" {
+		t.Fatalf("nil marshal = %s, %v", data, err)
+	}
+	if NewClassDispositions(nil) != nil {
+		t.Fatal("empty class set must construct nil")
+	}
+}
+
+func TestClassDispositionsTallyAndConservation(t *testing.T) {
+	c := NewClassDispositions([]string{"premium", "basic"})
+	c.Observe(0, DispositionOK)
+	c.Observe(0, DispositionOK)
+	c.Observe(1, DispositionShed)
+	c.Observe(1, DispositionTimeout)
+	c.Observe(7, DispositionOK)  // out of range: dropped
+	c.Observe(-1, DispositionOK) // out of range: dropped
+
+	if got := c.Counts(0); got.OK != 2 || got.Total() != 2 {
+		t.Fatalf("premium counts = %+v", got)
+	}
+	if got := c.Counts(1); got.Shed != 1 || got.TimedOut != 1 {
+		t.Fatalf("basic counts = %+v", got)
+	}
+	agg := c.Aggregate()
+	if agg.Total() != 4 {
+		t.Fatalf("aggregate total = %d, want 4", agg.Total())
+	}
+
+	var total DispositionCounts
+	total.Observe(DispositionOK)
+	total.Observe(DispositionOK)
+	total.Observe(DispositionShed)
+	total.Observe(DispositionTimeout)
+	if err := c.CheckConservation(DispositionCounts{}, total); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+	// Unclassed traffic participates in the sum.
+	var unclassed DispositionCounts
+	unclassed.Observe(DispositionRejected)
+	total.Observe(DispositionRejected)
+	if err := c.CheckConservation(unclassed, total); err != nil {
+		t.Fatalf("conservation with unclassed: %v", err)
+	}
+	// A lost request breaks it.
+	total.Observe(DispositionOK)
+	if err := c.CheckConservation(unclassed, total); err == nil {
+		t.Fatal("conservation must fail when the totals diverge")
+	}
+}
+
+func TestClassDispositionsMarshalOrdered(t *testing.T) {
+	c := NewClassDispositions([]string{"zeta", "alpha"})
+	c.Observe(0, DispositionOK)
+	c.Observe(1, DispositionShed)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Construction order, not lexical order.
+	s := string(data)
+	zi, ai := indexOf(s, `"zeta"`), indexOf(s, `"alpha"`)
+	if zi < 0 || ai < 0 || zi > ai {
+		t.Fatalf("marshal order wrong: %s", s)
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,129 @@
+package ntier
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dcm/internal/metrics"
+)
+
+// RequestClass is one traffic class of a class-mixed workload: a named
+// slice of the request stream with its own admission priority, goodput
+// SLO and demand profile. Classes are the workload library's view of the
+// application (the generator picks a class per request and injects it via
+// InjectClass); they are coarser than servlets — a class says how a
+// request is treated, a servlet says what work it does — and the two mixes
+// are mutually exclusive in one App.
+type RequestClass struct {
+	// Name identifies the class (e.g. "premium").
+	Name string `json:"name"`
+	// Priority is the admission priority. Classes with Priority > 0 are
+	// critical: the CoDel shedder never sheds them, so under overload the
+	// best-effort classes absorb the shedding first. Bounded-queue
+	// rejection and deadlines still apply to every class.
+	Priority int `json:"priority,omitempty"`
+	// SLO is the class's goodput threshold: completions within SLO count
+	// as good. Zero falls back to the resilience config's global SLA.
+	SLO time.Duration `json:"slo,omitempty"`
+	// AppDemand scales the Tomcat CPU work (0 = the default 1.0).
+	AppDemand float64 `json:"appDemand,omitempty"`
+	// Queries is the number of sequential MySQL queries per request
+	// (0 = the app's QueriesPerRequest default).
+	Queries int `json:"queries,omitempty"`
+	// QueryDemand scales each query's base work (0 = the default 1.0).
+	QueryDemand float64 `json:"queryDemand,omitempty"`
+}
+
+// ErrBadClasses is returned for invalid traffic-class sets.
+var ErrBadClasses = errors.New("ntier: invalid request classes")
+
+// validateClasses checks a class set and fills demand defaults in place.
+func validateClasses(classes []RequestClass, queriesDefault int) error {
+	seen := make(map[string]bool, len(classes))
+	for i := range classes {
+		c := &classes[i]
+		switch {
+		case c.Name == "":
+			return fmt.Errorf("%w: class %d has no name", ErrBadClasses, i)
+		case seen[c.Name]:
+			return fmt.Errorf("%w: duplicate class %q", ErrBadClasses, c.Name)
+		case c.Priority < 0:
+			return fmt.Errorf("%w: class %q priority %d", ErrBadClasses, c.Name, c.Priority)
+		case c.SLO < 0:
+			return fmt.Errorf("%w: class %q slo %v", ErrBadClasses, c.Name, c.SLO)
+		case c.AppDemand < 0:
+			return fmt.Errorf("%w: class %q app demand %v", ErrBadClasses, c.Name, c.AppDemand)
+		case c.Queries < 0:
+			return fmt.Errorf("%w: class %q queries %d", ErrBadClasses, c.Name, c.Queries)
+		case c.QueryDemand < 0:
+			return fmt.Errorf("%w: class %q query demand %v", ErrBadClasses, c.Name, c.QueryDemand)
+		}
+		seen[c.Name] = true
+		if c.AppDemand == 0 {
+			c.AppDemand = 1
+		}
+		if c.Queries == 0 {
+			c.Queries = queriesDefault
+		}
+		if c.QueryDemand == 0 {
+			c.QueryDemand = 1
+		}
+	}
+	return nil
+}
+
+// classState is the mutable per-class accumulator.
+type classState struct {
+	injected    uint64
+	inFlight    int
+	completions uint64
+	errored     uint64
+	good        uint64
+	rtSum       float64
+}
+
+// ClassStat summarizes one traffic class's lifetime traffic.
+type ClassStat struct {
+	Name     string `json:"name"`
+	Priority int    `json:"priority"`
+	// Injected counts arrivals; InFlight is the instantaneous population.
+	Injected uint64 `json:"injected"`
+	InFlight int    `json:"inFlight"`
+	// Completions/Errors partition finished requests; Good is the subset
+	// of completions within the class SLO.
+	Completions uint64  `json:"completions"`
+	Errors      uint64  `json:"errors"`
+	Good        uint64  `json:"good"`
+	MeanRTms    float64 `json:"meanRTms"`
+	// Dispositions is the class's full outcome taxonomy.
+	Dispositions metrics.DispositionCounts `json:"dispositions"`
+}
+
+// ClassStats returns cumulative per-class statistics in class order
+// (empty when no classes are configured).
+func (a *App) ClassStats() []ClassStat {
+	out := make([]ClassStat, len(a.cfg.Classes))
+	for i := range a.cfg.Classes {
+		c := &a.cfg.Classes[i]
+		st := &a.classes[i]
+		out[i] = ClassStat{
+			Name:         c.Name,
+			Priority:     c.Priority,
+			Injected:     st.injected,
+			InFlight:     st.inFlight,
+			Completions:  st.completions,
+			Errors:       st.errored,
+			Good:         st.good,
+			Dispositions: a.classDisp.Counts(i),
+		}
+		if st.completions > 0 {
+			out[i].MeanRTms = st.rtSum / float64(st.completions) * 1000
+		}
+	}
+	return out
+}
+
+// ClassDispositions returns the per-class disposition tally (nil when no
+// classes are configured).
+func (a *App) ClassDispositions() *metrics.ClassDispositions { return a.classDisp }

@@ -1,0 +1,235 @@
+package ntier
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dcm/internal/invariant"
+	"dcm/internal/metrics"
+	"dcm/internal/resilience"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+)
+
+func TestClassValidation(t *testing.T) {
+	t.Parallel()
+	eng := sim.NewEngine()
+	r := rng.New(1)
+	bad := [][]RequestClass{
+		{{Name: ""}},
+		{{Name: "a"}, {Name: "a"}},
+		{{Name: "a", Priority: -1}},
+		{{Name: "a", SLO: -time.Second}},
+		{{Name: "a", AppDemand: -1}},
+		{{Name: "a", Queries: -1}},
+		{{Name: "a", QueryDemand: -0.5}},
+	}
+	for i, classes := range bad {
+		cfg := fastConfig()
+		cfg.Classes = classes
+		if _, err := New(eng, r, cfg); !errors.Is(err, ErrBadClasses) {
+			t.Errorf("case %d: err = %v, want ErrBadClasses", i, err)
+		}
+	}
+
+	// Classes and servlets describe the same axis (what a request does /
+	// how it is treated) and are mutually exclusive.
+	cfg := fastConfig()
+	cfg.Classes = []RequestClass{{Name: "a"}}
+	cfg.Servlets = []Servlet{{Name: "s", Weight: 1}}
+	if _, err := New(eng, r, cfg); !errors.Is(err, ErrBadClasses) ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("classes+servlets: err = %v, want mutual-exclusion ErrBadClasses", err)
+	}
+}
+
+func TestClassDefaultsFilled(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.QueriesPerRequest = 3
+	cfg.Classes = []RequestClass{{Name: "a"}, {Name: "b", Queries: 1, AppDemand: 2}}
+	_, app := newApp(t, cfg)
+	got := app.Config().Classes
+	if got[0].AppDemand != 1 || got[0].Queries != 3 || got[0].QueryDemand != 1 {
+		t.Fatalf("class a defaults not filled: %+v", got[0])
+	}
+	if got[1].AppDemand != 2 || got[1].Queries != 1 {
+		t.Fatalf("class b overrides lost: %+v", got[1])
+	}
+}
+
+// TestInjectClassTallies drives a two-class mix and checks the per-class
+// accounting: injected counts split exactly, dispositions conserve against
+// the whole-app tally, and the per-class invariants stay clean.
+func TestInjectClassTallies(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.Classes = []RequestClass{
+		{Name: "premium", Priority: 1, SLO: 2 * time.Second},
+		{Name: "basic"},
+	}
+	eng, app := newApp(t, cfg)
+	chk := invariant.New()
+	app.SetInvariantChecker(chk)
+
+	want := map[int]uint64{0: 40, 1: 160}
+	for cls, n := range want {
+		cls := cls
+		for i := uint64(0); i < n; i++ {
+			at := time.Duration(i) * 50 * time.Millisecond
+			eng.Schedule(at, func() { app.InjectClass(cls, 0, nil) })
+		}
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := app.ClassStats()
+	if len(stats) != 2 {
+		t.Fatalf("ClassStats len = %d, want 2", len(stats))
+	}
+	var totalInjected uint64
+	for i, st := range stats {
+		if st.Injected != want[i] {
+			t.Errorf("class %s injected %d, want %d", st.Name, st.Injected, want[i])
+		}
+		if st.InFlight != 0 {
+			t.Errorf("class %s still in flight: %d", st.Name, st.InFlight)
+		}
+		if st.Completions == 0 || st.Completions != st.Dispositions.OK {
+			t.Errorf("class %s completions %d vs dispositions %+v", st.Name, st.Completions, st.Dispositions)
+		}
+		if st.MeanRTms <= 0 {
+			t.Errorf("class %s mean RT %v", st.Name, st.MeanRTms)
+		}
+		totalInjected += st.Injected
+	}
+	// Premium completions within its 2 s SLO count as good.
+	if stats[0].Good == 0 || stats[0].Good > stats[0].Completions {
+		t.Errorf("premium good %d of %d completions", stats[0].Good, stats[0].Completions)
+	}
+
+	// The split conserves against the whole-app tally.
+	if err := app.ClassDispositions().CheckConservation(metrics.DispositionCounts{}, app.Dispositions()); err != nil {
+		t.Error(err)
+	}
+	app.CheckInvariants()
+	if vs := chk.Violations(); len(vs) > 0 {
+		t.Fatalf("invariant violations:\n%s", invariant.Render(vs))
+	}
+	if app.TotalCompletions() != totalInjected {
+		t.Fatalf("completions %d, injected %d", app.TotalCompletions(), totalInjected)
+	}
+}
+
+// TestInjectClassOutOfRange: a class index outside the configured set is
+// treated as unclassed traffic — tallied in the aggregate, absent from
+// every class row, and still conserved.
+func TestInjectClassOutOfRange(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.Classes = []RequestClass{{Name: "only"}}
+	eng, app := newApp(t, cfg)
+	chk := invariant.New()
+	app.SetInvariantChecker(chk)
+	app.InjectClass(5, 0, nil)
+	app.InjectClass(-3, 0, nil)
+	app.InjectClass(0, 0, nil)
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := app.ClassStats()[0].Injected; got != 1 {
+		t.Fatalf("classed injected = %d, want 1", got)
+	}
+	if got := app.Dispositions().Total(); got != 3 {
+		t.Fatalf("total dispositions = %d, want 3", got)
+	}
+	app.CheckInvariants()
+	if vs := chk.Violations(); len(vs) > 0 {
+		t.Fatalf("invariant violations:\n%s", invariant.Render(vs))
+	}
+}
+
+// TestClassDemandProfiles: a heavier class must see longer response times
+// than a light one under the same (uncontended) conditions.
+func TestClassDemandProfiles(t *testing.T) {
+	t.Parallel()
+	cfg := fastConfig()
+	cfg.Classes = []RequestClass{
+		{Name: "light", Queries: 1},
+		{Name: "heavy", AppDemand: 4, Queries: 6, QueryDemand: 2},
+	}
+	eng, app := newApp(t, cfg)
+	for i := 0; i < 50; i++ {
+		at := time.Duration(i) * 200 * time.Millisecond
+		eng.Schedule(at, func() { app.InjectClass(0, 0, nil) })
+		eng.Schedule(at+100*time.Millisecond, func() { app.InjectClass(1, 0, nil) })
+	}
+	if err := eng.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	stats := app.ClassStats()
+	if stats[0].MeanRTms <= 0 || stats[1].MeanRTms <= stats[0].MeanRTms {
+		t.Fatalf("heavy class RT %.2fms not above light %.2fms",
+			stats[1].MeanRTms, stats[0].MeanRTms)
+	}
+}
+
+// TestCriticalClassNotShed reproduces the admission-control contract under
+// overload: with CoDel active and the system saturated, the priority class
+// is never CoDel-shed while the best-effort class absorbs the shedding.
+// (Bounded-queue rejection still applies to both — criticality is not a
+// bypass of backpressure, only of latency-based shedding.)
+func TestCriticalClassNotShed(t *testing.T) {
+	t.Parallel()
+	res, err := resilience.Preset("full", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.AppThreads = 4
+	cfg.DBConnsPerApp = 4
+	cfg.Resilience = *res
+	// Both classes are deliberately heavy (20 queries at 4x demand each,
+	// roughly 55 ms of DB work per request) so 400 req/s of offered load
+	// is several times the four-connection DB tier's capacity.
+	cfg.Classes = []RequestClass{
+		{Name: "premium", Priority: 1, Queries: 20, QueryDemand: 4},
+		{Name: "basic", Queries: 20, QueryDemand: 4},
+	}
+	eng, app := newApp(t, cfg)
+	chk := invariant.New()
+	app.SetInvariantChecker(chk)
+
+	// Offered load far past the 4-thread app tier's capacity: 200 req/s
+	// per class for 30 s.
+	for i := 0; i < 6000; i++ {
+		at := time.Duration(i) * 5 * time.Millisecond
+		cls := i % 2
+		eng.Schedule(at, func() { app.InjectClass(cls, 0, nil) })
+	}
+	if err := eng.Run(45 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	stats := app.ClassStats()
+	premium, basic := stats[0], stats[1]
+	if premium.Dispositions.Shed != 0 {
+		t.Errorf("premium shed %d requests, want 0 (criticality bypasses CoDel)", premium.Dispositions.Shed)
+	}
+	if basic.Dispositions.Shed == 0 {
+		t.Error("basic class was never shed — overload not reached, test is vacuous")
+	}
+	// Criticality is not a bypass of backpressure: premium must still fail
+	// through the non-shed channels (deadlines, bounded queues, breakers).
+	p := premium.Dispositions
+	if p.TimedOut+p.Rejected+p.BreakerOpen == 0 {
+		t.Errorf("premium never hit backpressure under overload: %+v", p)
+	}
+	app.CheckInvariants()
+	if vs := chk.Violations(); len(vs) > 0 {
+		t.Fatalf("invariant violations:\n%s", invariant.Render(vs))
+	}
+}

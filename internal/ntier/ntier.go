@@ -61,6 +61,12 @@ type Config struct {
 	// carries its class's CPU demand and query behaviour. Empty keeps the
 	// single uniform class the calibration uses.
 	Servlets []Servlet
+	// Classes, when non-empty, enables workload-driven traffic classes:
+	// the generator picks the class per request and injects it through
+	// InjectClass, which applies the class's priority, SLO and demand
+	// profile and tallies per-class dispositions. Mutually exclusive with
+	// Servlets (a class carries its own demand profile).
+	Classes []RequestClass
 	// WebServers, AppServers, DBServers are the initial #W/#A/#D.
 	WebServers, AppServers, DBServers int
 	// NoiseSigma adds mean-one lognormal noise to every burst.
@@ -198,6 +204,13 @@ type App struct {
 	breakers map[string]*resilience.Breaker
 	disp     metrics.DispositionCounts
 
+	// Per-class accounting (empty / nil without Classes). unclassedDisp
+	// tallies requests injected without a class so the per-class split
+	// plus the unclassed remainder always reconciles against disp.
+	classes       []classState
+	classDisp     *metrics.ClassDispositions
+	unclassedDisp metrics.DispositionCounts
+
 	// injected counts lifetime request arrivals; with the disposition
 	// tally and inFlight it forms the request-conservation law
 	// injected = dispositions + in-flight that CheckInvariants asserts.
@@ -235,6 +248,19 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
 	if err := cfg.Resilience.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	if len(cfg.Classes) > 0 {
+		if len(cfg.Servlets) > 0 {
+			return nil, fmt.Errorf("%w: classes and servlets are mutually exclusive", ErrBadClasses)
+		}
+		// Copy the classes so later caller mutations cannot skew demand,
+		// then validate and fill demand defaults on the copy.
+		classes := make([]RequestClass, len(cfg.Classes))
+		copy(classes, cfg.Classes)
+		cfg.Classes = classes
+		if err := validateClasses(cfg.Classes, cfg.QueriesPerRequest); err != nil {
+			return nil, err
+		}
+	}
 	servletWeight := 0.0
 	if len(cfg.Servlets) > 0 {
 		// Copy the mix so later caller mutations cannot skew the weights.
@@ -260,6 +286,14 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
 	}
 	for i := range cfg.Servlets {
 		a.servletStats[cfg.Servlets[i].Name] = &servletAccum{}
+	}
+	if len(cfg.Classes) > 0 {
+		a.classes = make([]classState, len(cfg.Classes))
+		names := make([]string, len(cfg.Classes))
+		for i := range cfg.Classes {
+			names[i] = cfg.Classes[i].Name
+		}
+		a.classDisp = metrics.NewClassDispositions(names)
 	}
 	for _, name := range Tiers() {
 		a.tiers[name] = &tier{
@@ -467,6 +501,30 @@ func (a *App) CheckInvariants() {
 	}
 	a.chk.Check(now, invariant.RuleMetrics, "app",
 		a.disp.CheckConsistent(a.completions.Total(), a.errored.Total()))
+	if len(a.classes) > 0 {
+		// Per-class conservation plus the cross-class split: each class's
+		// arrivals reconcile against its dispositions and in-flight count,
+		// and the per-class tallies (with the unclassed remainder) sum to
+		// the whole-system taxonomy — no classified request is lost or
+		// double-counted.
+		for i := range a.classes {
+			st := &a.classes[i]
+			name := "app/class/" + a.cfg.Classes[i].Name
+			if st.inFlight < 0 {
+				a.chk.Violatef(now, invariant.RuleConservation, name, 0,
+					"in-flight count negative (%d)", st.inFlight)
+			}
+			if total := a.classDisp.Counts(i).Total(); st.injected != total+uint64(st.inFlight) {
+				a.chk.Violatef(now, invariant.RuleConservation, name, 0,
+					"injected %d != %d finished dispositions + %d in-flight",
+					st.injected, total, st.inFlight)
+			}
+			a.chk.Check(now, invariant.RuleMetrics, name,
+				a.classDisp.Counts(i).CheckConsistent(st.completions, st.errored))
+		}
+		a.chk.Check(now, invariant.RuleMetrics, "app/classes",
+			a.classDisp.CheckConservation(a.unclassedDisp, a.disp))
+	}
 	for _, tierName := range Tiers() {
 		for _, m := range a.Members(tierName) {
 			a.chk.Check(now, invariant.RulePoolAccounting, tierName+"/"+m.Name(),
@@ -803,6 +861,19 @@ func (a *App) tally(d metrics.Disposition) {
 // disposition (Dispositions) and, when it completes within the goodput
 // SLA, as a good completion (TotalGood).
 func (a *App) Inject(done func(rt time.Duration, ok bool)) {
+	a.InjectClass(-1, 0, done)
+}
+
+// InjectClass is Inject for class-mixed workloads: class indexes the
+// configured Classes (any out-of-range value, canonically -1, injects the
+// classless single-class flow, which is what Inject does), and session,
+// when non-zero, is a session-affinity key — the web tier then picks the
+// session's rendezvous-hashed home backend instead of rotating, so a
+// user's requests stick to one Apache while it stays ready. The class's
+// priority (criticality), demand profile and SLO ride the request through
+// every tier, and its outcome lands in the per-class disposition tally.
+// A classless, sessionless call is byte-identical to Inject.
+func (a *App) InjectClass(class int, session uint64, done func(rt time.Duration, ok bool)) {
 	start := a.eng.Now()
 	deadline := a.deadlineFor(start)
 	a.inFlight++
@@ -811,9 +882,21 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 	if len(a.cfg.Servlets) > 0 {
 		servlet = a.pickServlet()
 	}
+	var cls *RequestClass
+	if class >= 0 && class < len(a.cfg.Classes) {
+		cls = &a.cfg.Classes[class]
+		a.classes[class].injected++
+		a.classes[class].inFlight++
+	} else {
+		class = -1
+	}
+	critical := cls != nil && cls.Priority > 0
 	tr := a.beginTrace(servlet)
 	req := a.reqTracer.Begin()
 	a.reqTracer.Record(req, trace.EventArrive, "", "", start)
+	if cls != nil {
+		a.reqTracer.RecordClass(req, cls.Name, start)
+	}
 	finish := func(disp metrics.Disposition) {
 		ok := disp == metrics.DispositionOK
 		a.inFlight--
@@ -840,6 +923,28 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 		} else {
 			a.errored.Inc(1)
 		}
+		if cls != nil {
+			st := &a.classes[class]
+			st.inFlight--
+			a.classDisp.Observe(class, disp)
+			if ok {
+				st.completions++
+				st.rtSum += rt.Seconds()
+				// The class SLO overrides the global goodput SLA; without
+				// one, fall back to the resilience-wide threshold.
+				sla := cls.SLO
+				if sla <= 0 {
+					sla = a.res.GoodputSLA()
+				}
+				if sla <= 0 || rt <= sla {
+					st.good++
+				}
+			} else {
+				st.errored++
+			}
+		} else {
+			a.unclassedDisp.Observe(disp)
+		}
 		if servlet != nil {
 			acc := a.servletStats[servlet.Name]
 			if ok {
@@ -858,7 +963,7 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 		}
 	}
 
-	webBackend, err := a.tiers[TierWeb].balancer.Pick()
+	webBackend, err := a.pickWeb(session)
 	if err != nil {
 		if errors.Is(err, lb.ErrGuarded) {
 			a.reqTracer.Record(req, trace.EventBreakerOpen, TierWeb, "", a.eng.Now())
@@ -877,7 +982,7 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 		return
 	}
 	webStart := a.eng.Now()
-	web.srv.AcquireDeadline(req, deadline, func(webSess *server.Session, acqDisp metrics.Disposition) {
+	web.srv.AcquireDeadlineCritical(req, deadline, critical, func(webSess *server.Session, acqDisp metrics.Disposition) {
 		if webSess == nil {
 			a.breakerRecord(web, acqDisp)
 			finish(acqDisp)
@@ -891,7 +996,7 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 				finish(metrics.DispositionTimeout)
 				return
 			}
-			a.dispatchApp(req, deadline, servlet, tr, func(disp metrics.Disposition) {
+			a.dispatchApp(req, deadline, servlet, cls, critical, tr, func(disp metrics.Disposition) {
 				webSess.Release()
 				a.span(tr, "web", web.Name(), webStart)
 				if disp == metrics.DispositionOK && webSess.Killed() {
@@ -904,11 +1009,21 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 	})
 }
 
+// pickWeb selects the front-door backend: the session's sticky backend
+// for session-keyed requests, the tier policy's pick otherwise.
+func (a *App) pickWeb(session uint64) (lb.Backend, error) {
+	if session != 0 {
+		return a.tiers[TierWeb].balancer.PickSession(session)
+	}
+	return a.tiers[TierWeb].balancer.Pick()
+}
+
 // dispatchApp runs the application-tier stage of a request. req is the
 // tracing request ID (0 = untraced); deadline is the request's absolute
-// deadline (0 = none); servlet is nil for the single-class flow; tr is nil
-// unless the request is waterfall-traced.
-func (a *App) dispatchApp(req uint64, deadline sim.Time, servlet *Servlet, tr *RequestTrace, done func(metrics.Disposition)) {
+// deadline (0 = none); servlet and cls are nil for the single-class flow
+// (at most one is set — the mixes are mutually exclusive); critical marks
+// a shed-exempt request; tr is nil unless the request is waterfall-traced.
+func (a *App) dispatchApp(req uint64, deadline sim.Time, servlet *Servlet, cls *RequestClass, critical bool, tr *RequestTrace, done func(metrics.Disposition)) {
 	if deadline > 0 && a.eng.Now() >= deadline {
 		done(metrics.DispositionTimeout)
 		return
@@ -934,9 +1049,11 @@ func (a *App) dispatchApp(req uint64, deadline sim.Time, servlet *Servlet, tr *R
 	appDemand, queries, queryDemand := 1.0, a.cfg.QueriesPerRequest, 1.0
 	if servlet != nil {
 		appDemand, queries, queryDemand = servlet.AppDemand, servlet.Queries, servlet.QueryDemand
+	} else if cls != nil {
+		appDemand, queries, queryDemand = cls.AppDemand, cls.Queries, cls.QueryDemand
 	}
 	appStart := a.eng.Now()
-	app.srv.AcquireDeadline(req, deadline, func(appSess *server.Session, acqDisp metrics.Disposition) {
+	app.srv.AcquireDeadlineCritical(req, deadline, critical, func(appSess *server.Session, acqDisp metrics.Disposition) {
 		if appSess == nil {
 			a.breakerRecord(app, acqDisp)
 			done(acqDisp)
@@ -951,7 +1068,7 @@ func (a *App) dispatchApp(req uint64, deadline sim.Time, servlet *Servlet, tr *R
 				done(metrics.DispositionTimeout)
 				return
 			}
-			a.runQueries(req, deadline, app, tr, 0, queries, queryDemand, func(disp metrics.Disposition) {
+			a.runQueries(req, deadline, app, critical, tr, 0, queries, queryDemand, func(disp metrics.Disposition) {
 				appSess.Release()
 				a.appRes.Observe((a.eng.Now() - appStart).Seconds())
 				a.span(tr, "app", app.Name(), appStart)
@@ -967,7 +1084,7 @@ func (a *App) dispatchApp(req uint64, deadline sim.Time, servlet *Servlet, tr *R
 
 // runQueries issues the request's MySQL queries sequentially through the
 // app member's connection pool, checking the deadline before each query.
-func (a *App) runQueries(req uint64, deadline sim.Time, app *Member, tr *RequestTrace, issued, queries int, queryDemand float64, done func(metrics.Disposition)) {
+func (a *App) runQueries(req uint64, deadline sim.Time, app *Member, critical bool, tr *RequestTrace, issued, queries int, queryDemand float64, done func(metrics.Disposition)) {
 	if issued >= queries {
 		done(metrics.DispositionOK)
 		return
@@ -1003,7 +1120,7 @@ func (a *App) runQueries(req uint64, deadline sim.Time, app *Member, tr *Request
 			done(metrics.DispositionBreakerOpen)
 			return
 		}
-		db.srv.AcquireDeadline(req, deadline, func(dbSess *server.Session, dbDisp metrics.Disposition) {
+		db.srv.AcquireDeadlineCritical(req, deadline, critical, func(dbSess *server.Session, dbDisp metrics.Disposition) {
 			if dbSess == nil {
 				conn.Release()
 				a.breakerRecord(db, dbDisp)
@@ -1026,7 +1143,7 @@ func (a *App) runQueries(req uint64, deadline sim.Time, app *Member, tr *Request
 					done(metrics.DispositionTimeout)
 				default:
 					a.breakerRecord(db, metrics.DispositionOK)
-					a.runQueries(req, deadline, app, tr, issued+1, queries, queryDemand, done)
+					a.runQueries(req, deadline, app, critical, tr, issued+1, queries, queryDemand, done)
 				}
 			})
 		})

@@ -324,6 +324,7 @@ type waiter struct {
 	deadline  sim.Time
 	timer     sim.Timer
 	done      bool
+	critical  bool
 }
 
 // Name returns the server name.
@@ -403,6 +404,20 @@ func (s *Server) AcquireFor(req uint64, fn func(*Session)) {
 // With a zero deadline and admission control off this is exactly
 // AcquireFor.
 func (s *Server) AcquireDeadline(req uint64, deadline sim.Time, fn func(*Session, metrics.Disposition)) {
+	s.AcquireDeadlineCritical(req, deadline, false, fn)
+}
+
+// AcquireDeadlineCritical is AcquireDeadline with a criticality flag:
+// critical requests (high-priority traffic classes) are never shed by the
+// CoDel dequeue check — load shedding sacrifices best-effort traffic
+// first. Criticality is admission priority only: critical requests still
+// queue FIFO behind earlier arrivals, still bounce off a full bounded
+// queue and still time out against their deadline, so a flood of critical
+// traffic degrades like any overload instead of bypassing admission
+// control entirely. With critical == false this is exactly
+// AcquireDeadline, and a critical request never touches the CoDel state,
+// so class-free runs are byte-identical.
+func (s *Server) AcquireDeadlineCritical(req uint64, deadline sim.Time, critical bool, fn func(*Session, metrics.Disposition)) {
 	if fn == nil {
 		return
 	}
@@ -418,7 +433,7 @@ func (s *Server) AcquireDeadline(req uint64, deadline sim.Time, fn func(*Session
 		return
 	}
 	s.queueDepth.Observe(float64(s.QueueLen()))
-	w := &waiter{fn: fn, req: req, enqueueAt: now, deadline: deadline}
+	w := &waiter{fn: fn, req: req, enqueueAt: now, deadline: deadline, critical: critical}
 	if s.active < s.poolSize && s.QueueLen() == 0 {
 		s.tracer.Record(req, trace.EventQueueEnter, s.tier, s.name, now)
 		s.grantWaiter(w)
@@ -538,7 +553,7 @@ func (s *Server) admitWaiters() {
 			s.failWaiter(w, metrics.DispositionTimeout)
 			continue
 		}
-		if s.codel.Enabled() && s.codel.OnDequeue(now, w.enqueueAt) {
+		if !w.critical && s.codel.Enabled() && s.codel.OnDequeue(now, w.enqueueAt) {
 			s.sheds.Inc(1)
 			s.tracer.Record(w.req, trace.EventShed, s.tier, s.name, now)
 			s.failWaiter(w, metrics.DispositionShed)

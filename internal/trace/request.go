@@ -51,6 +51,10 @@ const (
 	EventShed        EventKind = "shed"
 	EventBreakerOpen EventKind = "breaker-open"
 	EventRetry       EventKind = "retry"
+	// EventClass tags a request with its traffic class at injection; the
+	// class name rides in the event's Class field. Class-free flows never
+	// record it.
+	EventClass EventKind = "class"
 )
 
 // Event is one recorded step of one request.
@@ -60,6 +64,8 @@ type Event struct {
 	Kind   EventKind     `json:"kind"`
 	Tier   string        `json:"tier,omitempty"`
 	Server string        `json:"server,omitempty"`
+	// Class is the request's traffic class, set on EventClass events only.
+	Class string `json:"class,omitempty"`
 }
 
 // RequestTracer collects request events up to a configurable limit. All
@@ -107,6 +113,20 @@ func (t *RequestTracer) Record(req uint64, kind EventKind, tier, server string, 
 		return
 	}
 	t.events = append(t.events, Event{Req: req, At: at, Kind: kind, Tier: tier, Server: server})
+}
+
+// RecordClass tags req with its traffic class. Like Record it is nil-safe
+// and free for untraced requests; events past the limit are dropped and
+// counted.
+func (t *RequestTracer) RecordClass(req uint64, class string, at time.Duration) {
+	if t == nil || req == 0 {
+		return
+	}
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{Req: req, At: at, Kind: EventClass, Class: class})
 }
 
 // Len returns the number of retained events.
@@ -238,6 +258,80 @@ func (t *RequestTracer) Breakdown() []TierBreakdown {
 			QueueWait: metrics.Summarize(a.queue),
 			PoolWait:  metrics.Summarize(a.pool),
 			Service:   metrics.Summarize(a.service),
+		})
+	}
+	return out
+}
+
+// ClassBreakdown aggregates end-to-end outcomes of one traffic class.
+type ClassBreakdown struct {
+	Class     string `json:"class"`
+	Requests  int    `json:"requests"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// RT summarizes end-to-end response times (seconds) of requests that
+	// reached a terminal done/fail event.
+	RT metrics.Summary `json:"rt"`
+}
+
+// ClassBreakdowns folds the event stream into per-class end-to-end
+// summaries by pairing each class-tagged request's arrive event with its
+// terminal done or fail event. Classes are returned in sorted order;
+// untagged requests are ignored (the class-free flow records no class
+// events).
+func (t *RequestTracer) ClassBreakdowns() []ClassBreakdown {
+	if t == nil || len(t.events) == 0 {
+		return nil
+	}
+	classOf := map[uint64]string{}
+	arriveAt := map[uint64]time.Duration{}
+	type agg struct {
+		requests, completed, failed int
+		rts                         []float64
+	}
+	classes := map[string]*agg{}
+	for _, ev := range t.events {
+		switch ev.Kind {
+		case EventClass:
+			classOf[ev.Req] = ev.Class
+			a := classes[ev.Class]
+			if a == nil {
+				a = &agg{}
+				classes[ev.Class] = a
+			}
+			a.requests++
+		case EventArrive:
+			arriveAt[ev.Req] = ev.At
+		case EventDone, EventFail:
+			name, ok := classOf[ev.Req]
+			if !ok {
+				continue
+			}
+			a := classes[name]
+			if ev.Kind == EventDone {
+				a.completed++
+			} else {
+				a.failed++
+			}
+			if start, ok := arriveAt[ev.Req]; ok {
+				a.rts = append(a.rts, (ev.At - start).Seconds())
+			}
+		}
+	}
+	names := make([]string, 0, len(classes))
+	for name := range classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ClassBreakdown, 0, len(names))
+	for _, name := range names {
+		a := classes[name]
+		out = append(out, ClassBreakdown{
+			Class:     name,
+			Requests:  a.requests,
+			Completed: a.completed,
+			Failed:    a.failed,
+			RT:        metrics.Summarize(a.rts),
 		})
 	}
 	return out

@@ -155,3 +155,66 @@ func TestRenderBreakdown(t *testing.T) {
 		t.Errorf("empty render = %q", got)
 	}
 }
+
+func TestRecordClassAndBreakdowns(t *testing.T) {
+	var nilTr *RequestTracer
+	nilTr.RecordClass(1, "premium", 0) // must not panic
+	if nilTr.ClassBreakdowns() != nil {
+		t.Fatal("nil tracer must return nil breakdowns")
+	}
+
+	tr := NewRequestTracer(100)
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	// Two premium requests (one fails), one basic, one untagged.
+	r1, r2, r3, r4 := tr.Begin(), tr.Begin(), tr.Begin(), tr.Begin()
+	tr.RecordClass(r1, "premium", ms(0))
+	tr.Record(r1, EventArrive, "", "", ms(0))
+	tr.Record(r1, EventDone, "", "", ms(30))
+	tr.RecordClass(r2, "premium", ms(5))
+	tr.Record(r2, EventArrive, "", "", ms(5))
+	tr.Record(r2, EventFail, "", "", ms(15))
+	tr.RecordClass(r3, "basic", ms(1))
+	tr.Record(r3, EventArrive, "", "", ms(1))
+	tr.Record(r3, EventDone, "", "", ms(51))
+	tr.Record(r4, EventArrive, "", "", ms(2))
+	tr.Record(r4, EventDone, "", "", ms(4))
+
+	tr.RecordClass(0, "premium", 0) // req 0 is the disabled-tracer token
+
+	bds := tr.ClassBreakdowns()
+	if len(bds) != 2 {
+		t.Fatalf("breakdowns = %+v, want 2 classes", bds)
+	}
+	// Sorted class order: basic before premium.
+	basic, premium := bds[0], bds[1]
+	if basic.Class != "basic" || premium.Class != "premium" {
+		t.Fatalf("order: %q, %q", basic.Class, premium.Class)
+	}
+	if premium.Requests != 2 || premium.Completed != 1 || premium.Failed != 1 {
+		t.Fatalf("premium = %+v", premium)
+	}
+	if basic.Requests != 1 || basic.Completed != 1 || basic.Failed != 0 {
+		t.Fatalf("basic = %+v", basic)
+	}
+	if got := premium.RT.Mean; got < 0.019 || got > 0.021 {
+		t.Fatalf("premium mean RT = %v s, want ~0.020", got)
+	}
+	if got := basic.RT.Mean; got < 0.049 || got > 0.051 {
+		t.Fatalf("basic mean RT = %v s, want ~0.050", got)
+	}
+}
+
+func TestRecordClassRespectsLimit(t *testing.T) {
+	tr := NewRequestTracer(2)
+	req := tr.Begin()
+	tr.Record(req, EventArrive, "", "", 0)
+	tr.RecordClass(req, "a", 0)
+	tr.RecordClass(req, "b", 0) // over the cap: dropped, counted
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	if tr.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tr.Dropped())
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dcm/internal/rng"
+)
+
+// sampleMoments draws n samples and returns their mean and coefficient of
+// variation in seconds.
+func sampleMoments(t *testing.T, spec DistSpec, seed uint64, n int) (mean, cv float64) {
+	t.Helper()
+	sampler, err := spec.Sampler()
+	if err != nil {
+		t.Fatalf("Sampler(%+v): %v", spec, err)
+	}
+	r := rng.New(seed).Split("dist")
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := sampler(r).Seconds()
+		sum += x
+		sumSq += x * x
+	}
+	mean = sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if mean > 0 {
+		cv = math.Sqrt(variance) / mean
+	}
+	return mean, cv
+}
+
+// TestDistSpecValidatePinnedErrors pins the validation error texts — the
+// spec is a user-facing file format, so messages are part of the contract.
+func TestDistSpecValidatePinnedErrors(t *testing.T) {
+	cases := []struct {
+		spec DistSpec
+		want string
+	}{
+		{DistSpec{}, "workload: dist is required"},
+		{DistSpec{Dist: "weibull"}, `workload: unknown dist "weibull"`},
+		{DistSpec{Dist: "exponential"}, `workload: dist "exponential": mean must be > 0 (got 0)`},
+		{DistSpec{Dist: "constant", Mean: -2}, `workload: dist "constant": mean must be > 0 (got -2)`},
+		{DistSpec{Dist: "exponential", Mean: 1, Alpha: 2}, `workload: dist "exponential": cv/alpha/min/max do not apply`},
+		{DistSpec{Dist: "lognormal", Mean: 1}, `workload: dist "lognormal": cv must be > 0 (got 0)`},
+		{DistSpec{Dist: "lognormal", Mean: 1, CV: 2, Min: 1}, `workload: dist "lognormal": alpha/min/max do not apply`},
+		{DistSpec{Dist: "pareto"}, `workload: dist "pareto": alpha must be > 0 (got 0)`},
+		{DistSpec{Dist: "pareto", Alpha: 1.5, Min: 2, Max: 1}, `workload: dist "pareto": need 0 < min < max (got 2, 1)`},
+		{DistSpec{Dist: "pareto", Alpha: 1.5, Min: 1, Max: 10, Mean: 3}, `workload: dist "pareto": mean/cv are derived, not set`},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v): want error %q, got nil", tc.spec, tc.want)
+			continue
+		}
+		if err.Error() != tc.want {
+			t.Errorf("Validate(%+v):\n got %q\nwant %q", tc.spec, err.Error(), tc.want)
+		}
+	}
+	good := []DistSpec{
+		{Dist: "constant", Mean: 3},
+		{Dist: "exponential", Mean: 0.5},
+		{Dist: "lognormal", Mean: 3, CV: 2},
+		{Dist: "pareto", Alpha: 1.5, Min: 0.1, Max: 100},
+	}
+	for _, spec := range good {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("Validate(%+v): unexpected error %v", spec, err)
+		}
+	}
+}
+
+// TestConstantSampler pins the degenerate law: every draw is the mean and
+// no randomness is consumed.
+func TestConstantSampler(t *testing.T) {
+	sampler, err := DistSpec{Dist: "constant", Mean: 2.5}.Sampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7).Split("dist")
+	before := *r
+	for i := 0; i < 10; i++ {
+		if got := sampler(r); got != 2500*time.Millisecond {
+			t.Fatalf("draw %d: got %v, want 2.5s", i, got)
+		}
+	}
+	if *r != before {
+		t.Fatal("constant sampler consumed randomness")
+	}
+}
+
+// TestExponentialMoments checks the exponential law's sampled mean and CV
+// against the analytic values at a pinned seed.
+func TestExponentialMoments(t *testing.T) {
+	spec := DistSpec{Dist: "exponential", Mean: 3}
+	mean, cv := sampleMoments(t, spec, 42, 200_000)
+	if math.Abs(mean-3)/3 > 0.02 {
+		t.Errorf("sampled mean %.4f, want 3 within 2%%", mean)
+	}
+	if math.Abs(cv-1) > 0.02 {
+		t.Errorf("sampled cv %.4f, want 1 within 0.02", cv)
+	}
+	if got := spec.MeanSeconds(); got != 3 {
+		t.Errorf("MeanSeconds = %v, want 3", got)
+	}
+	if got := spec.CVValue(); got != 1 {
+		t.Errorf("CVValue = %v, want 1", got)
+	}
+}
+
+// TestLognormalMoments checks the (mean, cv) parameterization: sampling a
+// heavy-bodied lognormal must reproduce the requested calibration targets.
+func TestLognormalMoments(t *testing.T) {
+	spec := DistSpec{Dist: "lognormal", Mean: 3, CV: 2}
+	mean, cv := sampleMoments(t, spec, 42, 400_000)
+	if math.Abs(mean-3)/3 > 0.03 {
+		t.Errorf("sampled mean %.4f, want 3 within 3%%", mean)
+	}
+	// CV converges slowly for heavy tails; 10% at 400k draws.
+	if math.Abs(cv-2)/2 > 0.10 {
+		t.Errorf("sampled cv %.4f, want 2 within 10%%", cv)
+	}
+	if got := spec.MeanSeconds(); got != 3 {
+		t.Errorf("MeanSeconds = %v, want 3", got)
+	}
+	if got := spec.CVValue(); got != 2 {
+		t.Errorf("CVValue = %v, want 2", got)
+	}
+}
+
+// TestParetoMoments cross-validates the sampled bounded-Pareto mean and CV
+// against the analytic formulas the calibration table relies on.
+func TestParetoMoments(t *testing.T) {
+	spec := DistSpec{Dist: "pareto", Alpha: 1.5, Min: 0.2, Max: 50}
+	wantMean := spec.MeanSeconds()
+	wantCV := spec.CVValue()
+	if wantMean <= spec.Min || wantMean >= spec.Max {
+		t.Fatalf("analytic mean %.4f outside support (%v, %v)", wantMean, spec.Min, spec.Max)
+	}
+	mean, cv := sampleMoments(t, spec, 42, 400_000)
+	if math.Abs(mean-wantMean)/wantMean > 0.03 {
+		t.Errorf("sampled mean %.4f, want %.4f within 3%%", mean, wantMean)
+	}
+	if math.Abs(cv-wantCV)/wantCV > 0.10 {
+		t.Errorf("sampled cv %.4f, want %.4f within 10%%", cv, wantCV)
+	}
+	// Support bounds hold exactly.
+	sampler, _ := spec.Sampler()
+	r := rng.New(9).Split("dist")
+	for i := 0; i < 10_000; i++ {
+		x := sampler(r).Seconds()
+		if x < spec.Min-1e-9 || x > spec.Max+1e-9 {
+			t.Fatalf("draw %d: %v outside [%v, %v]", i, x, spec.Min, spec.Max)
+		}
+	}
+}
+
+// TestBoundedParetoAnalyticEdgeCases pins the alpha = 1 and alpha = 2
+// special-case branches against a numeric quadrature of the density.
+func TestBoundedParetoAnalyticEdgeCases(t *testing.T) {
+	for _, alpha := range []float64{1, 2} {
+		lo, hi := 0.5, 20.0
+		// Quadrature of x^k * f(x) with f the bounded-Pareto density.
+		norm := alpha * math.Pow(lo, alpha) / (1 - math.Pow(lo/hi, alpha))
+		integrate := func(k float64) float64 {
+			const steps = 2_000_000
+			h := (hi - lo) / steps
+			sum := 0.0
+			for i := 0; i < steps; i++ {
+				x := lo + (float64(i)+0.5)*h
+				sum += math.Pow(x, k) * norm * math.Pow(x, -alpha-1) * h
+			}
+			return sum
+		}
+		wantMean := integrate(1)
+		gotMean := boundedParetoMean(alpha, lo, hi)
+		if math.Abs(gotMean-wantMean)/wantMean > 1e-4 {
+			t.Errorf("alpha=%v: mean %.6f, quadrature %.6f", alpha, gotMean, wantMean)
+		}
+		wantM2 := integrate(2)
+		gotM2 := boundedParetoMoment2(alpha, lo, hi)
+		if math.Abs(gotM2-wantM2)/wantM2 > 1e-4 {
+			t.Errorf("alpha=%v: E[X^2] %.6f, quadrature %.6f", alpha, gotM2, wantM2)
+		}
+	}
+}
+
+// TestSamplerNeverZero: every positive-parameter law clamps to at least
+// one engine tick (the think-time truncation bug class).
+func TestSamplerNeverZero(t *testing.T) {
+	specs := []DistSpec{
+		{Dist: "exponential", Mean: 1e-12},
+		{Dist: "lognormal", Mean: 1e-12, CV: 3},
+		{Dist: "pareto", Alpha: 2.5, Min: 1e-13, Max: 1e-11},
+	}
+	for _, spec := range specs {
+		sampler, err := spec.Sampler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(3).Split("dist")
+		for i := 0; i < 10_000; i++ {
+			if d := sampler(r); d < 1 {
+				t.Fatalf("%s: draw %d: %v < 1 tick", spec.Dist, i, d)
+			}
+		}
+	}
+}

@@ -89,6 +89,14 @@ type ClosedLoop struct {
 
 	retrier *resilience.Retrier
 
+	// Class-mix state (nil/zero without classes — the class-free cycle is
+	// byte-identical to the original generator).
+	classes  []Class
+	picker   *classPicker
+	ctarget  ClassTarget
+	think    Sampler // think-law override (nil = exponential ThinkTime)
+	sessions uint64  // next session id
+
 	issued    metrics.Counter
 	completed metrics.Counter
 	errored   metrics.Counter
@@ -123,6 +131,33 @@ func (c *ClosedLoop) SetRetrier(r *resilience.Retrier) { c.retrier = r }
 
 // Retrier returns the attached retrier (nil when retries are off).
 func (c *ClosedLoop) Retrier() *resilience.Retrier { return c.retrier }
+
+// SetThinkSampler overrides the exponential think-time law with an
+// arbitrary sampler (heavy-tailed think times). nil (the default) keeps
+// the exponential ThinkTime law. Must be called before Start.
+func (c *ClosedLoop) SetThinkSampler(s Sampler) { c.think = s }
+
+// SetClasses installs a traffic-class mix: each spawned user draws a class
+// by weight and keeps it (and a stable session id, for load-balancer
+// affinity) for life. The target must implement ClassTarget. Must be
+// called before Start.
+func (c *ClosedLoop) SetClasses(classes []Class) error {
+	ct, ok := c.target.(ClassTarget)
+	if !ok {
+		return fmt.Errorf("%w: target does not accept classes", ErrBadWorkload)
+	}
+	picker, err := newClassPicker(classes)
+	if err != nil {
+		return err
+	}
+	c.classes = classes
+	c.picker = picker
+	c.ctarget = ct
+	return nil
+}
+
+// Classes returns the configured class mix (nil without classes).
+func (c *ClosedLoop) Classes() []Class { return c.classes }
 
 // Start launches the initial user population. Start is idempotent.
 func (c *ClosedLoop) Start() {
@@ -166,7 +201,17 @@ func (c *ClosedLoop) SetUsers(n int) {
 	for c.live < c.want {
 		c.live++
 		delay := time.Duration(c.rnd.Uniform(0, float64(c.cfg.Stagger)))
-		c.eng.Schedule(delay, c.userCycle)
+		if c.picker == nil {
+			c.eng.Schedule(delay, c.userCycle)
+			continue
+		}
+		// Class mode: the user draws a class and a session id at spawn and
+		// keeps both for life — a premium user stays premium, and the
+		// session key pins their requests to one backend.
+		cls := c.picker.pick(c.rnd)
+		c.sessions++
+		session := c.sessions
+		c.eng.Schedule(delay, func() { c.classCycle(cls, session) })
 	}
 }
 
@@ -208,8 +253,60 @@ func (c *ClosedLoop) startRequest(attempt int) {
 		} else {
 			c.errored.Inc(1)
 		}
-		think := expDelay(c.rnd, c.cfg.ThinkTime)
+		think := c.thinkDelay(-1)
 		c.eng.Schedule(think, c.userCycle)
+	})
+}
+
+// thinkDelay draws one think time: the class law if the class has one,
+// else the generator-wide sampler override, else the exponential
+// ThinkTime default.
+func (c *ClosedLoop) thinkDelay(cls int) time.Duration {
+	if cls >= 0 && cls < len(c.classes) && c.classes[cls].Think != nil {
+		return c.classes[cls].Think(c.rnd)
+	}
+	if c.think != nil {
+		return c.think(c.rnd)
+	}
+	return expDelay(c.rnd, c.cfg.ThinkTime)
+}
+
+// classCycle is one class-mode user's request loop (the class-mode twin of
+// userCycle).
+func (c *ClosedLoop) classCycle(cls int, session uint64) {
+	if c.stopped || c.live > c.want {
+		c.live--
+		return
+	}
+	c.startClassRequest(cls, session, 1)
+}
+
+// startClassRequest issues one attempt of a class-mode user's request
+// (the class-mode twin of startRequest).
+func (c *ClosedLoop) startClassRequest(cls int, session uint64, attempt int) {
+	c.issued.Inc(1)
+	c.ctarget.InjectClass(cls, session, func(rt time.Duration, ok bool) {
+		if ok {
+			c.completed.Inc(1)
+			c.rts.Observe(rt.Seconds())
+			if c.retrier != nil {
+				c.retrier.OnSuccess()
+			}
+		} else if c.retrier != nil && c.retrier.Allow(attempt) {
+			c.retries.Inc(1)
+			c.eng.Schedule(c.retrier.Backoff(attempt), func() {
+				if c.stopped || c.live > c.want {
+					c.live--
+					return
+				}
+				c.startClassRequest(cls, session, attempt+1)
+			})
+			return
+		} else {
+			c.errored.Inc(1)
+		}
+		think := c.thinkDelay(cls)
+		c.eng.Schedule(think, func() { c.classCycle(cls, session) })
 	})
 }
 
