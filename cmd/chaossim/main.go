@@ -73,6 +73,7 @@ func run(args []string) error {
 		resil          = fs.String("resilience", "off", "data-plane resilience preset: off | timeout | retries | full")
 		reqTimeout     = fs.Duration("timeout", 0, "per-request deadline for the resilience presets (0 = preset default)")
 		retryStorm     = fs.Bool("retrystorm", false, "run the retry-storm resilience ladder (none vs retries vs full) under a degraded-server fault instead of a scaling scenario")
+		degradeArm     = fs.Bool("degrade", false, "with -retrystorm: append the self-healing rung (online detectors + brownout) and fail unless it detects the collapse and recovers >= 80% of pre-fault goodput")
 		invariants     = fs.Bool("invariants", false, "run the runtime invariant checker alongside the simulation and fail on any structural-law violation (results are byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -104,6 +105,9 @@ func run(args []string) error {
 	if *retryStorm && (*seeds != "" || *reqTrace != "" || *auditOut != "") {
 		return fmt.Errorf("-retrystorm is a self-contained experiment: drop -seeds, -trace and -audit")
 	}
+	if *degradeArm && !*retryStorm {
+		return fmt.Errorf("-degrade extends the retry-storm ladder: pass -retrystorm as well")
+	}
 	runner.SetDefaultWorkers(*parallel)
 
 	stopProfile, err := startCPUProfile(*pprofOut)
@@ -116,13 +120,21 @@ func run(args []string) error {
 	// its own fixed topology and degraded-server fault, so the scenario and
 	// controller flags do not apply.
 	if *retryStorm {
-		stormCfg := experiments.RetryStormConfig{Seed: *seed, Timeout: *reqTimeout, Invariants: *invariants}
+		stormCfg := experiments.RetryStormConfig{
+			Seed: *seed, Timeout: *reqTimeout,
+			Invariants: *invariants, Degrade: *degradeArm,
+		}
 		results, err := experiments.RunRetryStorm(stormCfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("retry-storm ladder (seed %d): degraded Tomcat under closed-loop overload\n\n", *seed)
 		fmt.Print(experiments.RenderRetryStorm(results))
+		if *degradeArm {
+			last := results[len(results)-1]
+			fmt.Println()
+			fmt.Print(experiments.RenderDegradeSummary(last))
+		}
 		if *invariants {
 			bad := 0
 			for _, r := range results {
@@ -135,6 +147,16 @@ func run(args []string) error {
 				return fmt.Errorf("%d invariant violation(s)", bad)
 			}
 			fmt.Println("invariants: clean (0 violations)")
+		}
+		if *degradeArm {
+			last := results[len(results)-1]
+			if last.Degrade == nil || len(last.Degrade.Episodes) == 0 {
+				return fmt.Errorf("self-healing rung detected no collapse")
+			}
+			if last.RecoveryRatio < 0.8 {
+				return fmt.Errorf("self-healing rung recovered only %.0f%% of pre-fault goodput (want >= 80%%)",
+					100*last.RecoveryRatio)
+			}
 		}
 		return nil
 	}

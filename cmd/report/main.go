@@ -131,6 +131,26 @@ func appendResilience(b *strings.Builder, seed uint64) error {
 	return nil
 }
 
+// appendDegradation runs the self-healing overload-control evaluation:
+// the degrade rung of the retry-storm ladder (default calibrated knobs)
+// and the flash crowd with the brownout layer armed, rendered as the
+// Degradation section.
+func appendDegradation(b *strings.Builder, seed uint64) error {
+	storm, err := experiments.RunRetryStormVariant(
+		experiments.RetryStormConfig{Seed: seed, Degrade: true},
+		experiments.RetryStormDegradeVariant,
+	)
+	if err != nil {
+		return err
+	}
+	fc, err := experiments.RunFlashCrowd(experiments.OpenLoopConfig{Seed: seed, Degrade: true})
+	if err != nil {
+		return err
+	}
+	b.WriteString(degradationSection(storm, &fc))
+	return nil
+}
+
 // loadAutotuneReport reads a cmd/autotune JSON report, rejecting files
 // that do not match the report schema.
 func loadAutotuneReport(path string) (*autotune.Report, error) {
@@ -254,6 +274,11 @@ func run(args []string) error {
 
 	fmt.Println("running resilience experiments...")
 	if err := appendResilience(&b, *seed); err != nil {
+		return err
+	}
+
+	fmt.Println("running degradation experiments...")
+	if err := appendDegradation(&b, *seed); err != nil {
 		return err
 	}
 

@@ -6,10 +6,12 @@ package main
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dcm/internal/autotune"
 	"dcm/internal/bench"
+	"dcm/internal/degrade"
 	"dcm/internal/experiments"
 	"dcm/internal/metrics"
 	"dcm/internal/trace"
@@ -87,6 +89,103 @@ func benchSection(baseline, current bench.Suite, baselinePath string) string {
 		"comparison (cmd/benchgate): more than %.0f%% ns/op regression or any "+
 		"allocs/op growth on a baselined benchmark fails the bench job.\n\n",
 		baselinePath, bench.DefaultTolerance*100)
+	return b.String()
+}
+
+// detectorStrip renders the degrade supervisor's per-tick state as a
+// one-line strip using the same bucketing as metrics.Chart: each cell is
+// 'B' if any tick in its bucket sat inside a brownout episode, '!' if any
+// detector flagged without a brownout, and '.' when healthy.
+func detectorStrip(tl []degrade.TimelinePoint, width int) string {
+	if len(tl) == 0 {
+		return ""
+	}
+	cells := len(tl)
+	if width > 0 && cells > width {
+		cells = width
+	}
+	var b strings.Builder
+	for i := 0; i < cells; i++ {
+		start := i * len(tl) / cells
+		end := (i + 1) * len(tl) / cells
+		if end <= start {
+			end = start + 1
+		}
+		c := byte('.')
+		for _, pt := range tl[start:end] {
+			if pt.Brownout {
+				c = 'B'
+				break
+			}
+			if pt.Unhealthy {
+				c = '!'
+			}
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// degradationSection renders the self-healing overload-control evaluation:
+// the degrade rung's detector timeline (goodput chart plus the per-tick
+// detector/brownout strip), its episode and recovery summary, and the
+// flash crowd's per-class brownout shed discrimination. Results without a
+// degrade report contribute nothing.
+func degradationSection(storm experiments.RetryStormResult, fc *experiments.OpenLoopResult) string {
+	var b strings.Builder
+	wrote := false
+	if storm.Degrade != nil {
+		wrote = true
+		b.WriteString("## Degradation: self-healing overload control\n\n")
+		b.WriteString("### Retry storm, degrade rung\n\n```\n")
+		good := make([]float64, 0, len(storm.Degrade.Timeline))
+		for _, pt := range storm.Degrade.Timeline {
+			good = append(good, pt.GoodPS)
+		}
+		b.WriteString(metrics.Chart("goodput/s per detector tick", good, 100, 6))
+		if strip := detectorStrip(storm.Degrade.Timeline, 100); strip != "" {
+			fmt.Fprintf(&b, "state: %s\n", strip)
+			b.WriteString("       (. healthy  ! detector flagged  B brownout episode)\n")
+		}
+		b.WriteString("\n")
+		b.WriteString(experiments.RenderDegradeSummary(storm))
+		b.WriteString("```\n\n")
+		b.WriteString("The detectors ride lifetime counters only (goodput-collapse ratio, " +
+			"retry amplification, queue-delay gradient); hysteresis holds each " +
+			"brownout for the configured dwell before restoring, and the recovery " +
+			"criterion is tail goodput at >= 80% of the pre-fault steady state.\n\n")
+	}
+	if fc != nil && fc.Degrade != nil {
+		if !wrote {
+			b.WriteString("## Degradation: self-healing overload control\n\n")
+		}
+		wrote = true
+		b.WriteString("### Flash crowd: brownout class discrimination\n\n```\n")
+		tb := metrics.NewTable("class", "priority", "injected", "completed", "good", "brownout-shed")
+		for _, c := range fc.Classes {
+			tb.AddRow(c.Name, strconv.Itoa(c.Priority),
+				strconv.FormatUint(c.Injected, 10),
+				strconv.FormatUint(c.Completions, 10),
+				strconv.FormatUint(c.Good, 10),
+				strconv.FormatUint(c.BrownoutShed, 10))
+		}
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "detector: %d ticks, %d unhealthy, %d brownout episode(s)\n",
+			fc.Degrade.Ticks, fc.Degrade.UnhealthyTicks, len(fc.Degrade.Episodes))
+		for _, ep := range fc.Degrade.Episodes {
+			exit := "open at horizon"
+			if ep.ExitAt > 0 {
+				exit = fmt.Sprintf("exit t=%v", ep.ExitAt)
+			}
+			fmt.Fprintf(&b, "          enter t=%v  %s  (%s)\n", ep.EnterAt, exit, ep.Reason)
+		}
+		b.WriteString("```\n\n")
+		b.WriteString("Brownout sheds are priority-aware: only Priority 0 (best-effort) " +
+			"classes are dropped at the front door, so the premium class rides " +
+			"through the crowd untouched while the basic class absorbs the " +
+			"degradation.\n\n")
+	}
 	return b.String()
 }
 

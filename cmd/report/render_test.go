@@ -11,6 +11,7 @@ import (
 
 	"dcm/internal/autotune"
 	"dcm/internal/bench"
+	"dcm/internal/degrade"
 	"dcm/internal/experiments"
 	"dcm/internal/policy"
 	"dcm/internal/resilience"
@@ -172,6 +173,48 @@ func TestBenchSectionGolden(t *testing.T) {
 		{Name: "BenchmarkDenseFaultSchedule", Iters: 1000, NsPerOp: 1.1e6},
 	}}
 	golden(t, "bench-section", benchSection(baseline, current, "BENCH_engine.baseline.json"))
+}
+
+// TestDegradationSectionGolden pins the Degradation section against the
+// same default-calibrated runs cmd/report performs: the degrade rung of
+// the retry-storm ladder and the flash crowd with the brownout armed.
+func TestDegradationSectionGolden(t *testing.T) {
+	storm, err := experiments.RunRetryStormVariant(
+		experiments.RetryStormConfig{Seed: 42, Degrade: true},
+		experiments.RetryStormDegradeVariant,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := experiments.RunFlashCrowd(experiments.OpenLoopConfig{Seed: 42, Degrade: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "degradation-section", degradationSection(storm, &fc))
+
+	// Without degrade reports the section disappears entirely.
+	if got := degradationSection(experiments.RetryStormResult{}, &experiments.OpenLoopResult{}); got != "" {
+		t.Fatalf("degradationSection without reports = %q, want empty", got)
+	}
+}
+
+// TestDetectorStrip pins the strip's bucketing and precedence: brownout
+// beats unhealthy beats healthy within a bucket, and long timelines
+// downsample with the chart's bucket arithmetic.
+func TestDetectorStrip(t *testing.T) {
+	tl := []degrade.TimelinePoint{
+		{}, {Unhealthy: true}, {Unhealthy: true, Brownout: true}, {Brownout: true}, {},
+	}
+	if got := detectorStrip(tl, 0); got != ".!BB." {
+		t.Errorf("strip = %q, want .!BB.", got)
+	}
+	// Width 2: buckets [0,2) and [2,5); the second holds a brownout tick.
+	if got := detectorStrip(tl, 2); got != "!B" {
+		t.Errorf("downsampled strip = %q, want !B", got)
+	}
+	if got := detectorStrip(nil, 10); got != "" {
+		t.Errorf("empty strip = %q, want empty", got)
+	}
 }
 
 func TestResilienceSectionGolden(t *testing.T) {

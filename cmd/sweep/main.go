@@ -43,6 +43,7 @@ func run(args []string) error {
 		traceCSV   = fs.String("trace", "", "users-over-time CSV driving the smoke run (default: synthesized sine ramp to -peak)")
 		rate       = fs.Float64("rate", 0, "base arrival rate in req/s for the open-loop experiments (0 = default)")
 		horizon    = fs.Duration("horizon", 0, "virtual run length for the open-loop experiments (0 = default)")
+		degrade    = fs.Bool("degrade", false, "arm the self-healing brownout layer for the open-loop experiments (default policy knobs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,6 +131,7 @@ func run(args []string) error {
 			Rate:       *rate,
 			Horizon:    *horizon,
 			Invariants: *invariants,
+			Degrade:    *degrade,
 		}
 		var res experiments.OpenLoopResult
 		var err error
@@ -148,6 +150,17 @@ func run(args []string) error {
 		}
 		fmt.Println()
 		fmt.Print(experiments.RenderOpenLoop(res))
+		if d := res.Degrade; d != nil {
+			fmt.Printf("\nself-healing: %d ticks, %d unhealthy, %d brownout episode(s), %d brownout sheds\n",
+				d.Ticks, d.UnhealthyTicks, len(d.Episodes), d.BrownoutSheds)
+			for _, ep := range d.Episodes {
+				exit := "open at horizon"
+				if ep.ExitAt > 0 {
+					exit = fmt.Sprintf("exit t=%v", ep.ExitAt)
+				}
+				fmt.Printf("  enter t=%v  %s  (%s)\n", ep.EnterAt, exit, ep.Reason)
+			}
+		}
 		if vs := res.InvariantViolations; len(vs) > 0 {
 			fmt.Println("invariant violations:")
 			fmt.Print(invariant.Render(vs))

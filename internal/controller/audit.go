@@ -40,6 +40,11 @@ const (
 	// CodeRealloc: the model-derived soft-resource optimum differs from
 	// the applied allocation; the APP-agent re-applies it.
 	CodeRealloc ReasonCode = "realloc"
+	// CodeBrownoutEnter / CodeBrownoutExit: the degrade supervisor's
+	// detectors called the system overloaded and the brownout actions
+	// (shed, retry tightening, admission scaling) were applied / restored.
+	CodeBrownoutEnter ReasonCode = "brownout-enter"
+	CodeBrownoutExit  ReasonCode = "brownout-exit"
 )
 
 // Hold codes — decisions not to act, each with an explicit cause.
@@ -120,6 +125,18 @@ func (l *AuditLog) add(d Decision) {
 		return
 	}
 	l.decisions = append(l.decisions, d)
+}
+
+// Note appends an out-of-band annotation from a non-scaling control
+// source (e.g. the degrade supervisor's brownout transitions): a decision
+// record with no view and no scaling actions, just coded holds. Nil-safe
+// like every other method, so callers can thread an optional log without
+// guarding.
+func (l *AuditLog) Note(at time.Duration, source string, holds []Hold) {
+	if l == nil || len(holds) == 0 {
+		return
+	}
+	l.add(Decision{At: at, Controller: source, Holds: holds})
 }
 
 // Len returns the number of recorded decisions.

@@ -1,0 +1,59 @@
+package degrade
+
+import "time"
+
+// The hysteresis band is what keeps brownout from flapping: entering
+// takes EnterTicks consecutive unhealthy ticks, exiting takes ExitTicks
+// consecutive healthy ticks AND at least MinDwell since entry. The
+// asymmetry (fast-ish in, slow out) mirrors the paper's "quick start,
+// slow turn off" scaling thresholds; the dwell floor guarantees a bound
+// on oscillation frequency no adversarial load pattern can beat (pinned
+// by the property test).
+
+// transition is the outcome of one hysteresis step.
+type transition int
+
+const (
+	transitionNone transition = iota
+	transitionEnter
+	transitionExit
+)
+
+// hysteresis is the pure enter/exit state machine — no clocks, no side
+// effects; the caller feeds it (now, unhealthy) once per tick.
+type hysteresis struct {
+	EnterTicks int
+	ExitTicks  int
+	MinDwell   time.Duration
+
+	active       bool
+	unhealthyRun int
+	healthyRun   int
+	enteredAt    time.Duration
+}
+
+// step advances the machine one tick and reports any transition.
+func (h *hysteresis) step(now time.Duration, unhealthy bool) transition {
+	if unhealthy {
+		h.unhealthyRun++
+		h.healthyRun = 0
+	} else {
+		h.healthyRun++
+		h.unhealthyRun = 0
+	}
+	if !h.active {
+		if h.unhealthyRun >= h.EnterTicks {
+			h.active = true
+			h.enteredAt = now
+			h.healthyRun = 0
+			return transitionEnter
+		}
+		return transitionNone
+	}
+	if h.healthyRun >= h.ExitTicks && now-h.enteredAt >= h.MinDwell {
+		h.active = false
+		h.unhealthyRun = 0
+		return transitionExit
+	}
+	return transitionNone
+}

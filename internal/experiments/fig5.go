@@ -127,6 +127,13 @@ type ScenarioConfig struct {
 	// end of the run, and any violations land on the result. Checking is
 	// read-only — an Invariants run is byte-identical to a plain one.
 	Invariants bool
+	// Sensor, when non-nil, installs the control-plane sensor guard
+	// (monitor.Guard) in front of view aggregation: stale samples are
+	// rejected, non-monotonic timestamps clamped and flagged, outlying
+	// CPU readings median-filtered, and short monitor blackouts bridged
+	// with Smoothed aggregates the model trainers skip. nil keeps the
+	// pipeline byte-identical to the unguarded one.
+	Sensor *monitor.GuardConfig
 }
 
 // ScenarioResult holds the per-second series Fig. 5 plots plus the
@@ -189,6 +196,9 @@ type ScenarioResult struct {
 	// checker), so enabling the checker never changes the marshaled bytes
 	// of a correct run.
 	InvariantViolations []invariant.Violation `json:"invariantViolations,omitempty"`
+	// SensorStats is the sensor guard's filtering tally (Sensor runs
+	// only; nil otherwise).
+	SensorStats *monitor.GuardStats `json:"sensorStats,omitempty"`
 
 	tracer  *trace.RequestTracer
 	audit   *controller.AuditLog
@@ -309,6 +319,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		ControlPeriod:   cfg.ControlPeriod,
 		MonitorInterval: time.Second,
 		PrepDelay:       cfg.PrepDelay,
+		Guard:           cfg.Sensor,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: scenario framework: %w", err)
@@ -435,6 +446,10 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if auditLog != nil {
 		res.audit = auditLog
 		res.Decisions = auditLog.Decisions()
+	}
+	if cfg.Sensor != nil {
+		stats := fw.GuardStats()
+		res.SensorStats = &stats
 	}
 	if chk != nil {
 		app.CheckInvariants()

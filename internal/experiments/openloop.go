@@ -5,9 +5,11 @@ import (
 	"strings"
 	"time"
 
+	"dcm/internal/degrade"
 	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
+	"dcm/internal/policy"
 	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/sim"
@@ -48,6 +50,14 @@ type OpenLoopConfig struct {
 	// Invariants attaches the runtime invariant checker (including the
 	// per-class conservation laws) and sweeps once at the end.
 	Invariants bool
+	// Degrade attaches the self-healing overload layer: on detected
+	// collapse the brownout sheds best-effort arrivals at the front door
+	// (premium stays exempt) and lowers admission caps, restoring through
+	// hysteresis. Off (the default) leaves the run byte-identical.
+	Degrade bool
+	// DegradeRules overrides the degrade policy knobs (nil selects
+	// policy.Default().Degrade).
+	DegradeRules *policy.DegradeRules
 }
 
 func (c *OpenLoopConfig) defaults(flash bool) {
@@ -124,6 +134,8 @@ type OpenLoopResult struct {
 	Wall    time.Duration     `json:"wall"`
 
 	InvariantViolations []invariant.Violation `json:"invariantViolations,omitempty"`
+	// Degrade is the self-healing supervisor's record (Degrade runs only).
+	Degrade *degrade.Report `json:"degrade,omitempty"`
 }
 
 // RunOpenLoop runs the constant-rate open-loop experiment.
@@ -182,6 +194,25 @@ func runOpenLoop(cfg OpenLoopConfig, flash bool) (OpenLoopResult, error) {
 	}
 	ol := gen.(*workload.OpenLoopGen)
 
+	// The degrade supervisor rides on top of the open-loop run: no rng
+	// draws, no effect until its detectors fire.
+	var sup *degrade.Supervisor
+	if cfg.Degrade {
+		rules := policy.Default().Degrade
+		if cfg.DegradeRules != nil {
+			rules = *cfg.DegradeRules
+		}
+		if err := rules.Validate(); err != nil {
+			return OpenLoopResult{}, fmt.Errorf("experiments: open loop degrade rules: %w", err)
+		}
+		sup, err = degrade.ForApp(eng, app, nil, nil, degrade.FromRules(rules))
+		if err != nil {
+			return OpenLoopResult{}, fmt.Errorf("experiments: open loop degrade: %w", err)
+		}
+		sup.CaptureTimeline(cfg.Horizon)
+		sup.Start()
+	}
+
 	ol.Start()
 	start := time.Now()
 	if err := eng.Run(cfg.Horizon); err != nil {
@@ -205,6 +236,12 @@ func runOpenLoop(cfg OpenLoopConfig, flash bool) (OpenLoopResult, error) {
 	}
 	if flash {
 		out.PeakRate = cfg.PeakRate
+	}
+	if sup != nil {
+		sup.Stop()
+		rep := sup.Report()
+		rep.BrownoutSheds = app.BrownoutSheds()
+		out.Degrade = &rep
 	}
 	if chk != nil {
 		app.CheckInvariants()

@@ -2,13 +2,17 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"dcm/internal/chaos"
 	"dcm/internal/cloud"
+	"dcm/internal/controller"
+	"dcm/internal/degrade"
 	"dcm/internal/invariant"
 	"dcm/internal/metrics"
 	"dcm/internal/ntier"
+	"dcm/internal/policy"
 	"dcm/internal/resilience"
 	"dcm/internal/rng"
 	"dcm/internal/runner"
@@ -59,6 +63,16 @@ type RetryStormConfig struct {
 	// The checker is read-only and draws no randomness, so results are
 	// byte-identical to a plain run.
 	Invariants bool
+	// Degrade appends a fourth rung to the ladder: the metastable
+	// *retries* preset plus the self-healing overload layer
+	// (internal/degrade) — detectors on a 1 s tick, brownout shed / retry
+	// tightening / admission scaling on detection, hysteresis restore on
+	// recovery. The classic three rungs are untouched, so a Degrade run's
+	// first three results stay byte-identical to a plain run's.
+	Degrade bool
+	// DegradeRules overrides the degrade policy knobs (nil selects
+	// policy.Default().Degrade).
+	DegradeRules *policy.DegradeRules
 }
 
 func (c *RetryStormConfig) defaults() {
@@ -88,14 +102,22 @@ func (c *RetryStormConfig) defaults() {
 // RetryStormVariants is the escalation ladder, weakest first.
 func RetryStormVariants() []string { return []string{"none", "retries", "full"} }
 
+// RetryStormDegradeVariant is the optional fourth rung: the full ladder
+// plus the self-healing overload layer.
+const RetryStormDegradeVariant = "degrade"
+
 // retryStormResilience maps a ladder rung to its resilience config. The
 // "none" rung enables SLA accounting only — zero data-plane features —
-// so the baseline's goodput is measured on the same yardstick.
+// so the baseline's goodput is measured on the same yardstick. The
+// "degrade" rung deliberately shares the *retries* preset — the
+// metastable configuration — so the run demonstrates the self-healing
+// layer rescuing a collapse that static defenses were not armed against,
+// rather than riding on a stack that never collapses in the first place.
 func retryStormResilience(variant string, timeout time.Duration) (*resilience.Config, error) {
 	switch variant {
 	case "none":
 		return &resilience.Config{SLA: timeout}, nil
-	case "retries":
+	case "retries", RetryStormDegradeVariant:
 		return resilience.Preset("retries", timeout)
 	case "full":
 		return resilience.Preset("full", timeout)
@@ -124,6 +146,18 @@ type RetryStormResult struct {
 	// checker recorded (only populated when RetryStormConfig.Invariants is
 	// set; omitted when the run was clean).
 	InvariantViolations []invariant.Violation `json:"invariantViolations,omitempty"`
+
+	// The degrade rung's extras (absent from the classic rungs, so their
+	// JSON stays byte-identical). Degrade is the supervisor's full record;
+	// PreFaultGoodputPS and TailGoodputPS are the detector timeline's mean
+	// goodput before the fault and over the final 10 s, and RecoveryRatio
+	// is their quotient — the ">= 0.8 of pre-fault steady state" recovery
+	// criterion. AuditCodes tallies the brownout reason codes.
+	Degrade           *degrade.Report        `json:"degrade,omitempty"`
+	PreFaultGoodputPS float64                `json:"preFaultGoodputPS,omitempty"`
+	TailGoodputPS     float64                `json:"tailGoodputPS,omitempty"`
+	RecoveryRatio     float64                `json:"recoveryRatio,omitempty"`
+	AuditCodes        []controller.CodeCount `json:"auditCodes,omitempty"`
 }
 
 // RunRetryStormVariant executes one rung of the ladder.
@@ -175,12 +209,34 @@ func RunRetryStormVariant(cfg RetryStormConfig, variant string) (RetryStormResul
 	if err != nil {
 		return RetryStormResult{}, fmt.Errorf("experiments: retry storm workload: %w", err)
 	}
+	var ret *resilience.Retrier
 	if res.Retry.Enabled() {
-		ret, err := resilience.NewRetrier(res.Retry, root.Split("retry"))
+		ret, err = resilience.NewRetrier(res.Retry, root.Split("retry"))
 		if err != nil {
 			return RetryStormResult{}, fmt.Errorf("experiments: retry storm retrier: %w", err)
 		}
 		wl.SetRetrier(ret)
+	}
+	// The degrade rung attaches the self-healing supervisor on top of the
+	// full preset. The supervisor draws no randomness, so the rng split
+	// order of every other rung is untouched.
+	var sup *degrade.Supervisor
+	var audit *controller.AuditLog
+	if variant == RetryStormDegradeVariant {
+		rules := policy.Default().Degrade
+		if cfg.DegradeRules != nil {
+			rules = *cfg.DegradeRules
+		}
+		if err := rules.Validate(); err != nil {
+			return RetryStormResult{}, fmt.Errorf("experiments: retry storm degrade rules: %w", err)
+		}
+		audit = controller.NewAuditLog()
+		sup, err = degrade.ForApp(eng, app, ret, audit, degrade.FromRules(rules))
+		if err != nil {
+			return RetryStormResult{}, fmt.Errorf("experiments: retry storm degrade: %w", err)
+		}
+		sup.CaptureTimeline(cfg.Horizon)
+		sup.Start()
 	}
 	wl.Start()
 
@@ -198,6 +254,15 @@ func RunRetryStormVariant(cfg RetryStormConfig, variant string) (RetryStormResul
 		Retries:          wl.TotalRetries(),
 		Dispositions:     app.Dispositions(),
 	}
+	if sup != nil {
+		sup.Stop()
+		rep := sup.Report()
+		rep.BrownoutSheds = app.BrownoutSheds()
+		out.Degrade = &rep
+		out.PreFaultGoodputPS, out.TailGoodputPS, out.RecoveryRatio =
+			recoveryMetrics(rep.Timeline, cfg.DegradeAt, cfg.Horizon)
+		out.AuditCodes = audit.CodeCounts()
+	}
 	if chk != nil {
 		app.CheckInvariants()
 		invariant.CheckEngine(chk, eng)
@@ -206,10 +271,44 @@ func RunRetryStormVariant(cfg RetryStormConfig, variant string) (RetryStormResul
 	return out, nil
 }
 
+// recoveryMetrics condenses the detector timeline into the recovery
+// criterion: mean goodput per second over the pre-fault ticks, over the
+// final 10 s tail, and the tail/pre-fault quotient.
+func recoveryMetrics(tl []degrade.TimelinePoint, degradeAt, horizon time.Duration) (pre, tail, ratio float64) {
+	tailStart := horizon - 10*time.Second
+	var preSum, tailSum float64
+	var preN, tailN int
+	for _, pt := range tl {
+		if pt.At <= degradeAt {
+			preSum += pt.GoodPS
+			preN++
+		}
+		if pt.At > tailStart {
+			tailSum += pt.GoodPS
+			tailN++
+		}
+	}
+	if preN > 0 {
+		pre = preSum / float64(preN)
+	}
+	if tailN > 0 {
+		tail = tailSum / float64(tailN)
+	}
+	if pre > 0 {
+		ratio = tail / pre
+	}
+	return pre, tail, ratio
+}
+
 // RunRetryStorm runs the whole ladder concurrently (each rung has its own
-// engine and rng) and returns results in ladder order.
+// engine and rng) and returns results in ladder order. With cfg.Degrade
+// the self-healing rung is appended after the classic three.
 func RunRetryStorm(cfg RetryStormConfig) ([]RetryStormResult, error) {
-	return runner.Map(RetryStormVariants(), 0, func(_ int, variant string) (RetryStormResult, error) {
+	variants := RetryStormVariants()
+	if cfg.Degrade {
+		variants = append(variants, RetryStormDegradeVariant)
+	}
+	return runner.Map(variants, 0, func(_ int, variant string) (RetryStormResult, error) {
 		return RunRetryStormVariant(cfg, variant)
 	})
 }
@@ -238,6 +337,36 @@ func RenderRetryStorm(results []RetryStormResult) string {
 			fmt.Sprintf("%d", r.Dispositions.BreakerOpen))
 	}
 	return tb.String()
+}
+
+// RenderDegradeSummary renders the self-healing rung's degradation
+// report: detector activity, every brownout episode with its trigger,
+// the applied actions and the recovery criterion. Empty when the result
+// carries no degrade report.
+func RenderDegradeSummary(r RetryStormResult) string {
+	if r.Degrade == nil {
+		return ""
+	}
+	var sb strings.Builder
+	d := r.Degrade
+	fmt.Fprintf(&sb, "self-healing (%s rung):\n", r.Variant)
+	fmt.Fprintf(&sb, "  detector   %d ticks, %d unhealthy\n", d.Ticks, d.UnhealthyTicks)
+	if len(d.Episodes) == 0 {
+		sb.WriteString("  episodes   none (no collapse detected)\n")
+	} else {
+		fmt.Fprintf(&sb, "  episodes   %d brownout episode(s)\n", len(d.Episodes))
+		for _, ep := range d.Episodes {
+			exit := "open at horizon"
+			if ep.ExitAt > 0 {
+				exit = fmt.Sprintf("exit t=%v", ep.ExitAt)
+			}
+			fmt.Fprintf(&sb, "             enter t=%v  %s  (%s)\n", ep.EnterAt, exit, ep.Reason)
+		}
+	}
+	fmt.Fprintf(&sb, "  actions    %d brownout sheds\n", d.BrownoutSheds)
+	fmt.Fprintf(&sb, "  recovery   pre-fault %.1f good/s -> tail %.1f good/s (ratio %.2f)\n",
+		r.PreFaultGoodputPS, r.TailGoodputPS, r.RecoveryRatio)
+	return sb.String()
 }
 
 // RenderDispositionSummary renders one row per resilience-enabled result:

@@ -1,0 +1,141 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+)
+
+func sample(vm string, at time.Duration, cpu float64) ServerSample {
+	return ServerSample{At: at, VM: vm, Tier: "app", CPUUtil: cpu, Throughput: 100}
+}
+
+func TestGuardRejectsStaleSamples(t *testing.T) {
+	g := NewGuard(GuardConfig{MaxStaleness: 3 * time.Second})
+	s := sample("app-0", 10*time.Second, 0.5)
+	if !g.AdmitServer(12*time.Second, &s) {
+		t.Fatal("fresh sample rejected")
+	}
+	old := sample("app-0", 10*time.Second, 0.5)
+	if g.AdmitServer(14*time.Second, &old) {
+		t.Fatal("stale sample admitted")
+	}
+	if got := g.Stats().Stale; got != 1 {
+		t.Fatalf("stale count = %d, want 1", got)
+	}
+}
+
+// TestGuardClampsNonMonotonicTimestamps pins the bugfix: a sample whose
+// timestamp runs backwards (clock step, replayed message) is clamped to
+// the VM's previous instant and counted — never silently averaged at its
+// bogus position, never dropped.
+func TestGuardClampsNonMonotonicTimestamps(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	s1 := sample("app-0", 10*time.Second, 0.5)
+	if !g.AdmitServer(10*time.Second, &s1) {
+		t.Fatal("first sample rejected")
+	}
+	back := sample("app-0", 8*time.Second, 0.6)
+	if !g.AdmitServer(10*time.Second, &back) {
+		t.Fatal("non-monotonic sample dropped; want clamp+flag")
+	}
+	if back.At != 10*time.Second {
+		t.Fatalf("timestamp = %v, want clamped to 10s", back.At)
+	}
+	if got := g.Stats().NonMonotonic; got != 1 {
+		t.Fatalf("nonMonotonic count = %d, want 1", got)
+	}
+	// Another VM's clock is independent: no flag.
+	other := sample("app-1", 8*time.Second, 0.6)
+	if !g.AdmitServer(10*time.Second, &other) || g.Stats().NonMonotonic != 1 {
+		t.Fatal("independent VM tripped the monotonic check")
+	}
+}
+
+func TestGuardReplacesOutliersWithWindowMedian(t *testing.T) {
+	g := NewGuard(GuardConfig{OutlierWindow: 3, OutlierFactor: 4})
+	at := time.Second
+	for i := 0; i < 3; i++ {
+		s := sample("app-0", at, 0.5)
+		if !g.AdmitServer(at, &s) {
+			t.Fatal("warm-up sample rejected")
+		}
+		at += time.Second
+	}
+	// A 4x+ excursion from the 0.5 median is a glitch: replaced.
+	glitch := sample("app-0", at, 9.0)
+	if !g.AdmitServer(at, &glitch) {
+		t.Fatal("outlier sample dropped; want repair")
+	}
+	if glitch.CPUUtil != 0.5 {
+		t.Fatalf("CPU = %v, want median 0.5", glitch.CPUUtil)
+	}
+	if got := g.Stats().Outliers; got != 1 {
+		t.Fatalf("outlier count = %d, want 1", got)
+	}
+	// A sane reading inside the band passes untouched.
+	at += time.Second
+	ok := sample("app-0", at, 0.9)
+	if !g.AdmitServer(at, &ok) || ok.CPUUtil != 0.9 {
+		t.Fatalf("in-band reading mangled: %+v", ok)
+	}
+	// Near-idle absolute allowance: median 0.5 / 4 - 0.05 = 0.075, so
+	// 0.08 survives even though it is far from the median relatively.
+	at += time.Second
+	idle := sample("app-0", at, 0.08)
+	if !g.AdmitServer(at, &idle) || idle.CPUUtil != 0.08 {
+		t.Fatalf("near-idle reading mangled: %+v", idle)
+	}
+}
+
+func TestGuardOutlierFilterWaitsForWindow(t *testing.T) {
+	g := NewGuard(GuardConfig{OutlierWindow: 5, OutlierFactor: 4})
+	// Before the window fills there is no median to trust: admit as-is.
+	s := sample("app-0", time.Second, 9.0)
+	if !g.AdmitServer(time.Second, &s) || s.CPUUtil != 9.0 {
+		t.Fatalf("pre-window sample mangled: %+v", s)
+	}
+	if g.Stats().Outliers != 0 {
+		t.Fatal("outlier counted before the window filled")
+	}
+}
+
+func TestGuardBridgesBlackoutsThenConcedes(t *testing.T) {
+	g := NewGuard(GuardConfig{SmoothPeriods: 2})
+	agg := TierAggregate{MeanCPU: 0.6, MaxCPU: 0.7, MeanActive: 12, Throughput: 340}
+	g.RecordTier("app", agg)
+
+	for i := 0; i < 2; i++ {
+		got, ok := g.FillDark("app")
+		if !ok || got != agg {
+			t.Fatalf("dark period %d: got %+v ok=%v, want held aggregate", i, got, ok)
+		}
+	}
+	if _, ok := g.FillDark("app"); ok {
+		t.Fatal("guard bridged past SmoothPeriods; want NoData concession")
+	}
+	if got := g.Stats().Smoothed; got != 2 {
+		t.Fatalf("smoothed count = %d, want 2", got)
+	}
+
+	// A live period resets the streak.
+	g.RecordTier("app", agg)
+	if _, ok := g.FillDark("app"); !ok {
+		t.Fatal("streak not reset by a live aggregate")
+	}
+
+	// A tier never seen live has nothing to hold.
+	if _, ok := g.FillDark("db"); ok {
+		t.Fatal("guard invented an aggregate for a never-seen tier")
+	}
+}
+
+func TestGuardStatsAny(t *testing.T) {
+	if (GuardStats{}).Any() {
+		t.Fatal("zero stats reported Any")
+	}
+	for _, s := range []GuardStats{{Stale: 1}, {NonMonotonic: 1}, {Outliers: 1}, {Smoothed: 1}} {
+		if !s.Any() {
+			t.Fatalf("%+v did not report Any", s)
+		}
+	}
+}

@@ -81,6 +81,9 @@ type classState struct {
 	errored     uint64
 	good        uint64
 	rtSum       float64
+	// bshed counts the class's brownout front-door sheds (a subset of the
+	// class's Shed dispositions).
+	bshed uint64
 }
 
 // ClassStat summarizes one traffic class's lifetime traffic.
@@ -98,6 +101,9 @@ type ClassStat struct {
 	MeanRTms    float64 `json:"meanRTms"`
 	// Dispositions is the class's full outcome taxonomy.
 	Dispositions metrics.DispositionCounts `json:"dispositions"`
+	// BrownoutShed is the subset of Dispositions.Shed dropped at the
+	// front door by the degrade controller (0 and absent without it).
+	BrownoutShed uint64 `json:"brownoutShed,omitempty"`
 }
 
 // ClassStats returns cumulative per-class statistics in class order
@@ -116,6 +122,7 @@ func (a *App) ClassStats() []ClassStat {
 			Errors:       st.errored,
 			Good:         st.good,
 			Dispositions: a.classDisp.Counts(i),
+			BrownoutShed: st.bshed,
 		}
 		if st.completions > 0 {
 			out[i].MeanRTms = st.rtSum / float64(st.completions) * 1000

@@ -215,12 +215,22 @@ type App struct {
 	// tally and inFlight it forms the request-conservation law
 	// injected = dispositions + in-flight that CheckInvariants asserts.
 	injected uint64
-	chk      *invariant.Checker
-	timedOut metrics.Counter
-	rejected metrics.Counter
-	shed     metrics.Counter
-	brkOpen  metrics.Counter
-	good     metrics.Counter
+	// Brownout state (driven by internal/degrade). brownoutShed is the
+	// live front-door shed ratio for best-effort requests; brownoutAcc is
+	// the error-diffusion accumulator that spreads the shed
+	// deterministically across arrivals without an rng draw;
+	// brownoutSheds counts lifetime brownout sheds. admissionScale is the
+	// live bounded-queue cap multiplier (1 = nominal).
+	brownoutShed   float64
+	brownoutAcc    float64
+	brownoutSheds  uint64
+	admissionScale float64
+	chk            *invariant.Checker
+	timedOut       metrics.Counter
+	rejected       metrics.Counter
+	shed           metrics.Counter
+	brkOpen        metrics.Counter
+	good           metrics.Counter
 }
 
 // New builds the application with cfg's initial topology. rnd must be a
@@ -283,6 +293,8 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
 		servletStats:  make(map[string]*servletAccum, len(cfg.Servlets)),
 		res:           cfg.Resilience,
 		breakers:      make(map[string]*resilience.Breaker),
+
+		admissionScale: 1,
 	}
 	for i := range cfg.Servlets {
 		a.servletStats[cfg.Servlets[i].Name] = &servletAccum{}
@@ -364,8 +376,13 @@ func (a *App) AddServer(tierName, name string) (*Member, error) {
 		NoiseSigma: a.cfg.NoiseSigma,
 	}
 	if a.res.Enabled() {
-		// Admission control applies uniformly at every tier boundary.
+		// Admission control applies uniformly at every tier boundary. A
+		// server added during a brownout starts at the scaled-down cap,
+		// not the configured one.
 		srvCfg.MaxQueue = a.res.MaxQueue
+		if a.res.MaxQueue > 0 && a.admissionScale < 1 {
+			srvCfg.MaxQueue = a.scaledMaxQueue()
+		}
 		srvCfg.CoDelTarget = a.res.CoDelTarget
 		srvCfg.CoDelInterval = a.res.CoDelInterval
 	}
@@ -961,6 +978,22 @@ func (a *App) InjectClass(class int, session uint64, done func(rt time.Duration,
 		if done != nil {
 			done(rt, ok)
 		}
+	}
+
+	// Brownout front-door shed: while the degrade controller holds a shed
+	// ratio, best-effort arrivals are dropped before they touch the web
+	// tier. Critical (Priority > 0) classes are never brownout-shed. The
+	// error-diffusion accumulator spreads the ratio exactly across
+	// arrivals with no rng draw, so enabling the layer perturbs no other
+	// stream and disabling it is byte-identical.
+	if a.brownoutShed > 0 && !critical && a.brownoutTake() {
+		a.brownoutSheds++
+		if cls != nil {
+			a.classes[class].bshed++
+		}
+		a.reqTracer.Record(req, trace.EventShed, "", "", a.eng.Now())
+		finish(metrics.DispositionShed)
+		return
 	}
 
 	webBackend, err := a.pickWeb(session)

@@ -42,6 +42,10 @@ type Rules struct {
 	Target TargetRules `json:"targetTracking"`
 	// Retry adjusts the client retry policy on resilience-enabled runs.
 	Retry RetryRules `json:"retry"`
+	// Degrade parameterizes the self-healing overload controller
+	// (internal/degrade): detector thresholds, hysteresis bands and
+	// brownout actions. The zero value disables the layer entirely.
+	Degrade DegradeRules `json:"degrade"`
 }
 
 // ScalingRules is the VM-level capacity rule set of §V-B: "quick start,
@@ -114,6 +118,51 @@ type RetryRules struct {
 // Override reports whether the rules replace a preset's retry knobs.
 func (r RetryRules) Override() bool { return r.MaxAttempts > 0 }
 
+// DegradeRules parameterizes the self-healing overload controller: when
+// the online detectors call the system overloaded, how hard the brownout
+// sheds, and how sticky the enter/exit hysteresis is. The zero value
+// disables the layer (Enabled reports false) and is valid.
+type DegradeRules struct {
+	// PeriodSeconds is the detector tick interval (default 1 s).
+	PeriodSeconds float64 `json:"periodSeconds,omitempty"`
+	// WarmupSeconds suppresses detection for the run's first stretch so a
+	// closed-loop startup burst is not mistaken for collapse (default 10 s).
+	WarmupSeconds float64 `json:"warmupSeconds,omitempty"`
+	// CollapseRatio is the goodput-vs-offered-load collapse threshold: a
+	// tick is unhealthy when good/offered falls below it while at least
+	// MinOfferedPerSecond requests were offered (guards the ratio against
+	// idle-period noise).
+	CollapseRatio       float64 `json:"collapseRatio,omitempty"`
+	MinOfferedPerSecond float64 `json:"minOfferedPerSecond,omitempty"`
+	// RetryAmplification flags a tick when retry attempts per completion
+	// exceed it — the storm's load-multiplication signature.
+	RetryAmplification float64 `json:"retryAmplification,omitempty"`
+	// QueueGradient flags a tick when the mean queue depth grew by more
+	// than this factor across the detector window — the metastable
+	// backlog build-up.
+	QueueGradient float64 `json:"queueGradient,omitempty"`
+	// EnterTicks consecutive unhealthy ticks enter brownout; ExitTicks
+	// consecutive healthy ticks (and at least MinDwellSeconds since entry)
+	// exit it. The asymmetry plus the dwell floor is the anti-flap band.
+	EnterTicks      int     `json:"enterTicks,omitempty"`
+	ExitTicks       int     `json:"exitTicks,omitempty"`
+	MinDwellSeconds float64 `json:"minDwellSeconds,omitempty"`
+	// ShedRatio is the fraction of best-effort arrivals the brownout
+	// sheds at the front door (critical classes are never shed).
+	ShedRatio float64 `json:"shedRatio,omitempty"`
+	// RetryBudgetScale multiplies the retry budget during brownout
+	// (e.g. 0.25 quarters it); AdmissionScale multiplies every bounded
+	// queue's admission cap. Both restore to 1.0 on exit.
+	RetryBudgetScale float64 `json:"retryBudgetScale,omitempty"`
+	AdmissionScale   float64 `json:"admissionScale,omitempty"`
+}
+
+// Enabled reports whether the rules turn the degrade layer on. Any
+// detector threshold set makes the layer live; the zero value is off.
+func (d DegradeRules) Enabled() bool {
+	return d.CollapseRatio > 0 || d.RetryAmplification > 0 || d.QueueGradient > 0
+}
+
 // Default returns the rule set matching the paper's §V-B parameters and
 // the planner's historical clamps — the policy the hand-coded controllers
 // implemented before this package existed. ScalableTiers names the app
@@ -136,6 +185,20 @@ func Default() Rules {
 			DBConnsFloor:    1,
 		},
 		Target: TargetRules{TargetCPU: 0.6},
+		Degrade: DegradeRules{
+			PeriodSeconds:       1,
+			WarmupSeconds:       10,
+			CollapseRatio:       0.6,
+			MinOfferedPerSecond: 20,
+			RetryAmplification:  1.5,
+			QueueGradient:       2,
+			EnterTicks:          3,
+			ExitTicks:           5,
+			MinDwellSeconds:     30,
+			ShedRatio:           0.3,
+			RetryBudgetScale:    0.25,
+			AdmissionScale:      0.25,
+		},
 	}
 }
 
@@ -151,7 +214,10 @@ func (r Rules) Validate() error {
 	if err := r.Target.Validate(); err != nil {
 		return err
 	}
-	return r.Retry.Validate()
+	if err := r.Retry.Validate(); err != nil {
+		return err
+	}
+	return r.Degrade.Validate()
 }
 
 // Validate checks the VM-level thresholds and bounds.
@@ -223,6 +289,50 @@ func (r RetryRules) Validate() error {
 		return fmt.Errorf("%w: retry.budgetBurst %d must be >= 0", ErrBadRules, r.BudgetBurst)
 	case r.Jitter < 0 || r.Jitter >= 1:
 		return fmt.Errorf("%w: retry.jitter %v outside [0, 1)", ErrBadRules, r.Jitter)
+	}
+	return nil
+}
+
+// Validate checks the degrade knobs. The zero value (layer disabled) is
+// valid; once any detector is armed the hysteresis and action knobs must
+// be coherent.
+func (d DegradeRules) Validate() error {
+	switch {
+	case d.PeriodSeconds < 0:
+		return fmt.Errorf("%w: degrade.periodSeconds %v must be >= 0", ErrBadRules, d.PeriodSeconds)
+	case d.WarmupSeconds < 0:
+		return fmt.Errorf("%w: degrade.warmupSeconds %v must be >= 0", ErrBadRules, d.WarmupSeconds)
+	case d.CollapseRatio < 0 || d.CollapseRatio > 1:
+		return fmt.Errorf("%w: degrade.collapseRatio %v outside [0, 1]", ErrBadRules, d.CollapseRatio)
+	case d.MinOfferedPerSecond < 0:
+		return fmt.Errorf("%w: degrade.minOfferedPerSecond %v must be >= 0", ErrBadRules, d.MinOfferedPerSecond)
+	case d.RetryAmplification < 0:
+		return fmt.Errorf("%w: degrade.retryAmplification %v must be >= 0", ErrBadRules, d.RetryAmplification)
+	case d.QueueGradient < 0:
+		return fmt.Errorf("%w: degrade.queueGradient %v must be >= 0", ErrBadRules, d.QueueGradient)
+	case d.EnterTicks < 0:
+		return fmt.Errorf("%w: degrade.enterTicks %d must be >= 0", ErrBadRules, d.EnterTicks)
+	case d.ExitTicks < 0:
+		return fmt.Errorf("%w: degrade.exitTicks %d must be >= 0", ErrBadRules, d.ExitTicks)
+	case d.MinDwellSeconds < 0:
+		return fmt.Errorf("%w: degrade.minDwellSeconds %v must be >= 0", ErrBadRules, d.MinDwellSeconds)
+	case d.ShedRatio < 0 || d.ShedRatio > 1:
+		return fmt.Errorf("%w: degrade.shedRatio %v outside [0, 1]", ErrBadRules, d.ShedRatio)
+	case d.RetryBudgetScale < 0 || d.RetryBudgetScale > 1:
+		return fmt.Errorf("%w: degrade.retryBudgetScale %v outside [0, 1]", ErrBadRules, d.RetryBudgetScale)
+	case d.AdmissionScale < 0 || d.AdmissionScale > 1:
+		return fmt.Errorf("%w: degrade.admissionScale %v outside [0, 1]", ErrBadRules, d.AdmissionScale)
+	}
+	if !d.Enabled() {
+		return nil
+	}
+	switch {
+	case d.PeriodSeconds == 0:
+		return fmt.Errorf("%w: degrade.periodSeconds must be > 0 when a detector is armed", ErrBadRules)
+	case d.EnterTicks == 0:
+		return fmt.Errorf("%w: degrade.enterTicks must be >= 1 when a detector is armed", ErrBadRules)
+	case d.ExitTicks == 0:
+		return fmt.Errorf("%w: degrade.exitTicks must be >= 1 when a detector is armed", ErrBadRules)
 	}
 	return nil
 }

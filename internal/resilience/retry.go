@@ -72,6 +72,21 @@ type Retrier struct {
 	rnd    *rng.Rand
 	tokens float64
 	stats  RetryStats
+	// scale is the brownout budget multiplier (1 = nominal). It shrinks
+	// the bucket's effective burst cap; multiplying by exactly 1.0 is a
+	// float no-op, so an untouched retrier is bit-identical to one that
+	// never heard of scaling.
+	scale float64
+	// classAware splits the budget into critical/best-effort sub-buckets
+	// so a storm of best-effort retries cannot starve the critical
+	// classes' share (and vice versa). Debits are audited per class even
+	// when the shared bucket is in force.
+	classAware bool
+	critShare  float64
+	critTokens float64
+	beTokens   float64
+	critDebits uint64
+	beDebits   uint64
 }
 
 // NewRetrier builds a retrier. rnd must be a dedicated split (may be nil
@@ -89,7 +104,7 @@ func NewRetrier(pol RetryPolicy, rnd *rng.Rand) (*Retrier, error) {
 	if pol.BudgetRatio > 0 && pol.BudgetBurst <= 0 {
 		pol.BudgetBurst = 10
 	}
-	return &Retrier{pol: pol, rnd: rnd, tokens: pol.BudgetBurst}, nil
+	return &Retrier{pol: pol, rnd: rnd, tokens: pol.BudgetBurst, scale: 1}, nil
 }
 
 // Policy returns the retrier's policy.
@@ -149,7 +164,137 @@ func (r *Retrier) OnSuccess() {
 		return
 	}
 	r.tokens += r.pol.BudgetRatio
-	if r.tokens > r.pol.BudgetBurst {
-		r.tokens = r.pol.BudgetBurst
+	if cap := r.burstCap(); r.tokens > cap {
+		r.tokens = cap
 	}
+}
+
+// burstCap is the effective bucket capacity under the current brownout
+// scale. scale is exactly 1 outside brownout, so the untouched path
+// computes exactly BudgetBurst.
+func (r *Retrier) burstCap() float64 { return r.pol.BudgetBurst * r.scale }
+
+// critCap and beCap are the per-class capacities of the split budget.
+func (r *Retrier) critCap() float64 { return r.critShare * r.burstCap() }
+func (r *Retrier) beCap() float64   { return (1 - r.critShare) * r.burstCap() }
+
+// SetBudgetScale sets the brownout budget multiplier in [0, 1] and clamps
+// every bucket to its shrunken capacity immediately — tightening must bite
+// now, not after the storm drains the old balance. Restoring to 1 raises
+// the caps but never refunds tokens; they are earned back by successes.
+func (r *Retrier) SetBudgetScale(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	if s > 1 {
+		s = 1
+	}
+	r.scale = s
+	if cap := r.burstCap(); r.tokens > cap {
+		r.tokens = cap
+	}
+	if cap := r.critCap(); r.critTokens > cap {
+		r.critTokens = cap
+	}
+	if cap := r.beCap(); r.beTokens > cap {
+		r.beTokens = cap
+	}
+}
+
+// BudgetScale returns the current brownout budget multiplier.
+func (r *Retrier) BudgetScale() float64 { return r.scale }
+
+// EnableClassAccounting splits the retry budget into a critical bucket
+// holding critShare of the capacity and a best-effort bucket holding the
+// rest. Once split, a best-effort retry storm can at worst drain its own
+// bucket — the critical share stays reserved. The current balance is
+// divided proportionally at the moment of the split.
+func (r *Retrier) EnableClassAccounting(critShare float64) {
+	if critShare < 0 {
+		critShare = 0
+	}
+	if critShare > 1 {
+		critShare = 1
+	}
+	r.classAware = true
+	r.critShare = critShare
+	r.critTokens = r.tokens * critShare
+	r.beTokens = r.tokens - r.critTokens
+}
+
+// ClassAware reports whether the budget is split per class.
+func (r *Retrier) ClassAware() bool { return r.classAware }
+
+// AllowClass is Allow with class attribution: critical requests debit the
+// critical bucket, best-effort ones the best-effort bucket. Without
+// EnableClassAccounting it behaves exactly like Allow against the shared
+// bucket, but still audits which class each debit came from.
+func (r *Retrier) AllowClass(attempts int, critical bool) bool {
+	if !r.classAware {
+		before := r.tokens
+		ok := r.Allow(attempts)
+		if ok && r.tokens < before {
+			r.debit(critical)
+		}
+		return ok
+	}
+	if !r.pol.Enabled() || attempts < 1 {
+		return false
+	}
+	if attempts >= r.pol.MaxAttempts {
+		r.stats.Suppressed++
+		return false
+	}
+	if r.pol.BudgetRatio > 0 {
+		bucket := &r.beTokens
+		if critical {
+			bucket = &r.critTokens
+		}
+		if *bucket < 1 {
+			r.stats.Suppressed++
+			return false
+		}
+		*bucket--
+		r.debit(critical)
+	}
+	r.stats.Retries++
+	return true
+}
+
+func (r *Retrier) debit(critical bool) {
+	if critical {
+		r.critDebits++
+	} else {
+		r.beDebits++
+	}
+}
+
+// OnSuccessClass earns budget back into the succeeding class's bucket,
+// capped at that class's share of the (possibly brownout-scaled) burst.
+func (r *Retrier) OnSuccessClass(critical bool) {
+	if !r.classAware {
+		r.OnSuccess()
+		return
+	}
+	if r.pol.BudgetRatio <= 0 {
+		return
+	}
+	if critical {
+		r.critTokens += r.pol.BudgetRatio
+		if cap := r.critCap(); r.critTokens > cap {
+			r.critTokens = cap
+		}
+		return
+	}
+	r.beTokens += r.pol.BudgetRatio
+	if cap := r.beCap(); r.beTokens > cap {
+		r.beTokens = cap
+	}
+}
+
+// ClassDebits returns the audited per-class budget debits (critical,
+// best-effort). The sum equals every budget token ever consumed through
+// Allow/AllowClass on a class-attributed path.
+func (r *Retrier) ClassDebits() (critical, bestEffort uint64) {
+	return r.critDebits, r.beDebits
 }

@@ -135,7 +135,12 @@ type Server struct {
 	queue     []*waiter
 	queueDead int // timed-out waiters still occupying queue slots
 	maxQueue  int
-	codel     *resilience.CoDel
+	// queueGrace grandfathers requests already queued when SetMaxQueue
+	// shrinks the cap below the live backlog: they were admitted legally,
+	// so the invariant allows the old depth until the queue drains back
+	// under the new cap. New arrivals are judged against maxQueue alone.
+	queueGrace int
+	codel      *resilience.CoDel
 
 	thrashKnee int
 	thrashCoef float64
@@ -257,8 +262,8 @@ func (s *Server) CheckInvariant() error {
 		return fmt.Errorf("server %s: grants %d != releases %d + active %d",
 			s.name, s.granted, s.released, s.active)
 	}
-	if s.maxQueue > 0 && s.QueueLen() > s.maxQueue {
-		return fmt.Errorf("server %s: queue length %d exceeds cap %d", s.name, s.QueueLen(), s.maxQueue)
+	if cap := s.queueCap(); cap > 0 && s.QueueLen() > cap {
+		return fmt.Errorf("server %s: queue length %d exceeds cap %d", s.name, s.QueueLen(), cap)
 	}
 	// Note active > poolSize is legal after a pool shrink (in-flight
 	// requests drain down to the new size), so it is checked at grant
@@ -573,6 +578,41 @@ func (s *Server) SetPoolSize(n int) {
 	}
 	s.poolSize = n
 	s.admitWaiters()
+}
+
+// queueCap is the bound CheckInvariant holds the queue to: the admission
+// cap, or the grandfathered backlog while a SetMaxQueue shrink drains.
+// The grace expires the moment the queue is back under the cap.
+func (s *Server) queueCap() int {
+	if s.queueGrace > 0 && s.QueueLen() <= s.maxQueue {
+		s.queueGrace = 0
+	}
+	if s.queueGrace > s.maxQueue {
+		return s.queueGrace
+	}
+	return s.maxQueue
+}
+
+// MaxQueue returns the current admission cap (0 = unbounded).
+func (s *Server) MaxQueue() int { return s.maxQueue }
+
+// SetMaxQueue changes the bounded queue's admission cap at runtime
+// (0 = unbounded). Shrinking below the live backlog never evicts queued
+// requests — they were admitted legally and are grandfathered until the
+// queue drains under the new cap — but new arrivals are rejected against
+// the new cap immediately.
+func (s *Server) SetMaxQueue(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > 0 && s.QueueLen() > n {
+		if s.QueueLen() > s.queueGrace {
+			s.queueGrace = s.QueueLen()
+		}
+	} else {
+		s.queueGrace = 0
+	}
+	s.maxQueue = n
 }
 
 // Exec runs one CPU burst on the session's thread and invokes onDone when

@@ -26,6 +26,10 @@ type Class struct {
 	Name string
 	// Weight is the class's share of traffic (normalized over the mix).
 	Weight float64
+	// Priority > 0 marks the class critical: its retries debit the
+	// critical share of a class-aware retry budget and the brownout
+	// front door never sheds it (mirrors ntier.RequestClass.Priority).
+	Priority int
 	// Think overrides the generator think-time law for this class
 	// (closed-loop only; nil = the generator default).
 	Think Sampler

@@ -353,7 +353,7 @@ func (s WorkloadSpec) BuildClasses() ([]Class, error) {
 	}
 	out := make([]Class, len(s.Classes))
 	for i, c := range s.Classes {
-		out[i] = Class{Name: c.Name, Weight: c.Weight}
+		out[i] = Class{Name: c.Name, Weight: c.Weight, Priority: c.Priority}
 		if c.Think != nil {
 			sampler, err := c.Think.Sampler()
 			if err != nil {

@@ -164,10 +164,34 @@ func (c *ClosedLoop) Start() {
 	if c.started {
 		return
 	}
+	// A class mix with critical classes splits the retry budget by the
+	// mix's weight shares, so a best-effort retry storm can at worst
+	// drain its own share (see resilience.Retrier.EnableClassAccounting).
+	if c.picker != nil && c.retrier != nil && !c.retrier.ClassAware() {
+		if share := criticalShare(c.classes); share > 0 {
+			c.retrier.EnableClassAccounting(share)
+		}
+	}
 	c.started = true
 	n := c.want
 	c.want = 0
 	c.SetUsers(n)
+}
+
+// criticalShare is the critical (Priority > 0) classes' weight share of
+// the mix — the fraction of the retry budget reserved for them.
+func criticalShare(classes []Class) float64 {
+	var crit, total float64
+	for _, c := range classes {
+		total += c.Weight
+		if c.Priority > 0 {
+			crit += c.Weight
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return crit / total
 }
 
 // Stop retires all users; in-flight requests complete but no new requests
@@ -282,17 +306,21 @@ func (c *ClosedLoop) classCycle(cls int, session uint64) {
 }
 
 // startClassRequest issues one attempt of a class-mode user's request
-// (the class-mode twin of startRequest).
+// (the class-mode twin of startRequest). Retry-budget traffic is
+// class-attributed: critical (Priority > 0) classes debit and refill
+// their own share of a class-aware budget so neither class can starve
+// the other's retries during a storm.
 func (c *ClosedLoop) startClassRequest(cls int, session uint64, attempt int) {
+	critical := cls >= 0 && cls < len(c.classes) && c.classes[cls].Priority > 0
 	c.issued.Inc(1)
 	c.ctarget.InjectClass(cls, session, func(rt time.Duration, ok bool) {
 		if ok {
 			c.completed.Inc(1)
 			c.rts.Observe(rt.Seconds())
 			if c.retrier != nil {
-				c.retrier.OnSuccess()
+				c.retrier.OnSuccessClass(critical)
 			}
-		} else if c.retrier != nil && c.retrier.Allow(attempt) {
+		} else if c.retrier != nil && c.retrier.AllowClass(attempt, critical) {
 			c.retries.Inc(1)
 			c.eng.Schedule(c.retrier.Backoff(attempt), func() {
 				if c.stopped || c.live > c.want {
