@@ -151,6 +151,29 @@ func appendDegradation(b *strings.Builder, seed uint64) error {
 	return nil
 }
 
+// appendTopology runs the service-graph experiment — the built-in fanout5
+// DAG with chaos, per-node controllers and invariants armed — and appends
+// the topology section.
+func appendTopology(b *strings.Builder, seed uint64) error {
+	res, err := experiments.RunGraph(experiments.GraphConfig{
+		Seed:        seed,
+		Rate:        80,
+		Horizon:     40 * time.Second,
+		Chaos:       true,
+		Controllers: true,
+		Invariants:  true,
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.InvariantViolations) > 0 {
+		return fmt.Errorf("graph run recorded %d invariant violation(s)",
+			len(res.InvariantViolations))
+	}
+	b.WriteString(topologySection(res))
+	return nil
+}
+
 // loadAutotuneReport reads a cmd/autotune JSON report, rejecting files
 // that do not match the report schema.
 func loadAutotuneReport(path string) (*autotune.Report, error) {
@@ -279,6 +302,11 @@ func run(args []string) error {
 
 	fmt.Println("running degradation experiments...")
 	if err := appendDegradation(&b, *seed); err != nil {
+		return err
+	}
+
+	fmt.Println("running service-graph topology...")
+	if err := appendTopology(&b, *seed); err != nil {
 		return err
 	}
 

@@ -19,7 +19,7 @@ func TestRunQuickReport(t *testing.T) {
 	report := string(data)
 	for _, want := range []string{
 		"Figure 2(a)", "Figure 2(b)", "Table I", "Figure 4(a)",
-		"Figure 4(b)", "Figure 5", "N_b",
+		"Figure 4(b)", "Figure 5", "N_b", "Service graph",
 	} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q", want)

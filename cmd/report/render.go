@@ -189,6 +189,25 @@ func degradationSection(storm experiments.RetryStormResult, fc *experiments.Open
 	return b.String()
 }
 
+// topologySection renders the service-graph topology run: the fanout5
+// DAG under bursty arrivals with chaos and the per-node DCM controllers
+// armed, summarized by the per-node visit ledger. RenderGraph is
+// deterministic for a fixed seed (wall time is JSON-only), so the section
+// goldens cleanly.
+func topologySection(res experiments.GraphResult) string {
+	var b strings.Builder
+	b.WriteString("## Service graph: DCM on a DAG topology\n\n```\n")
+	b.WriteString(experiments.RenderGraph(res))
+	b.WriteString("```\n\n")
+	b.WriteString("The 5-node fan-out app (gateway -> search/catalog -> shared DB, plus an " +
+		"async audit sink) rides a flash-crowd arrival curve while one replica " +
+		"is crashed mid-run and later replaced; the per-node controllers steer " +
+		"each armed tier's thread pool to its Equation 7 optimum. Other " +
+		"topologies live in `topologies/` and run via " +
+		"`sweep -experiment graph -topology <file>`.\n\n")
+	return b.String()
+}
+
 // resilienceSection renders the data-plane resilience evaluation: the
 // Fig. 5 scenario per controller under the "full" preset with the request
 // disposition taxonomy, and the retry-storm ladder showing goodput

@@ -217,6 +217,27 @@ func TestDetectorStrip(t *testing.T) {
 	}
 }
 
+// TestTopologySectionGolden pins the service-graph section against the
+// same deterministic run cmd/report performs (RenderGraph excludes wall
+// time, so the section is stable for a fixed seed).
+func TestTopologySectionGolden(t *testing.T) {
+	res, err := experiments.RunGraph(experiments.GraphConfig{
+		Seed:        42,
+		Rate:        80,
+		Horizon:     40 * time.Second,
+		Chaos:       true,
+		Controllers: true,
+		Invariants:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) > 0 {
+		t.Fatalf("graph run recorded %d invariant violation(s)", len(res.InvariantViolations))
+	}
+	golden(t, "topology-section", topologySection(res))
+}
+
 func TestResilienceSectionGolden(t *testing.T) {
 	res, err := resilience.Preset("full", 0)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	sweep -experiment smoke      million-user event-core smoke (see -peak, -trace)
 //	sweep -experiment openloop   open-loop two-class saturation run (see -rate)
 //	sweep -experiment flashcrowd open-loop flash-crowd spike (see -rate)
+//	sweep -experiment graph      service-graph topology run (see -topology, -chaos)
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "fig2a", "fig2a | fig2b | fig4a | fig4b | smoke | openloop | flashcrowd")
+		experiment = fs.String("experiment", "fig2a", "fig2a | fig2b | fig4a | fig4b | smoke | openloop | flashcrowd | graph")
 		seed       = fs.Uint64("seed", 42, "random seed")
 		measure    = fs.Duration("measure", 20*time.Second, "measurement window per point")
 		users      = fs.Int("users", 3000, "sustained user population (fig2b)")
@@ -44,6 +45,8 @@ func run(args []string) error {
 		rate       = fs.Float64("rate", 0, "base arrival rate in req/s for the open-loop experiments (0 = default)")
 		horizon    = fs.Duration("horizon", 0, "virtual run length for the open-loop experiments (0 = default)")
 		degrade    = fs.Bool("degrade", false, "arm the self-healing brownout layer for the open-loop experiments (default policy knobs)")
+		topology   = fs.String("topology", "", "topology spec file for the graph experiment (empty = built-in fanout5)")
+		chaos      = fs.Bool("chaos", false, "inject a mid-run replica crash and later replacement (graph experiment)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,6 +164,27 @@ func run(args []string) error {
 				fmt.Printf("  enter t=%v  %s  (%s)\n", ep.EnterAt, exit, ep.Reason)
 			}
 		}
+		if vs := res.InvariantViolations; len(vs) > 0 {
+			fmt.Println("invariant violations:")
+			fmt.Print(invariant.Render(vs))
+			return fmt.Errorf("%d invariant violation(s)", len(vs))
+		}
+	case "graph":
+		res, err := experiments.RunGraph(experiments.GraphConfig{
+			Seed:        *seed,
+			Topology:    *topology,
+			Rate:        *rate,
+			Horizon:     *horizon,
+			Chaos:       *chaos,
+			Controllers: true,
+			Invariants:  *invariants,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Service graph: bursty open-loop arrivals against a DAG topology")
+		fmt.Println()
+		fmt.Print(experiments.RenderGraph(res))
 		if vs := res.InvariantViolations; len(vs) > 0 {
 			fmt.Println("invariant violations:")
 			fmt.Print(invariant.Render(vs))

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dcm/internal/graph"
+	"dcm/internal/invariant"
+	"dcm/internal/ntier"
+)
+
+// TestRunGraphSmoke exercises the full graph experiment — fan-out,
+// parallel join, async audit edge, chaos, per-node controllers — and
+// requires a structurally clean run with real traffic on every node.
+func TestRunGraphSmoke(t *testing.T) {
+	t.Parallel()
+	res, err := RunGraph(GraphConfig{
+		Seed:        7,
+		Rate:        80,
+		Horizon:     40 * time.Second,
+		Chaos:       true,
+		Controllers: true,
+		Invariants:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) > 0 {
+		t.Fatalf("%d invariant violation(s):\n%s", len(res.InvariantViolations),
+			invariant.Render(res.InvariantViolations))
+	}
+	if res.Completed == 0 || res.Goodput == 0 {
+		t.Fatalf("no traffic completed: %+v", res)
+	}
+	if res.AsyncSpawned == 0 || res.AsyncDone.OK == 0 {
+		t.Fatalf("async audit edge carried no traffic: spawned %d done %+v",
+			res.AsyncSpawned, res.AsyncDone)
+	}
+	if len(res.ChaosLog) != 2 {
+		t.Fatalf("chaos log %v, want a fail and an add", res.ChaosLog)
+	}
+	if len(res.ControllerTargets) != 2 {
+		t.Fatalf("controller targets %v, want search and catalog steered", res.ControllerTargets)
+	}
+	for _, n := range res.Nodes {
+		if n.Started == 0 {
+			t.Errorf("node %s saw no visits", n.Name)
+		}
+	}
+	out := RenderGraph(res)
+	for _, want := range []string{"fanout5", "async", "chaos", "dcm", "gateway"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunGraphDeterminism pins the experiment to its seed: two runs with
+// the same config must agree exactly, and a different seed must diverge.
+func TestRunGraphDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg := GraphConfig{Seed: 11, Rate: 60, Horizon: 30 * time.Second, Invariants: true}
+	a, err := RunGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Wall, b.Wall = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	cfg.Seed = 12
+	c, err := RunGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scheduled == a.Scheduled && c.Dispositions == a.Dispositions {
+		t.Fatal("different seed produced an identical run")
+	}
+}
+
+// TestRunGraphTopologyFiles loads every checked-in topology and runs a
+// short invariant-checked scenario against it — the same sweep the CI
+// topology-smoke job performs.
+func TestRunGraphTopologyFiles(t *testing.T) {
+	t.Parallel()
+	paths, err := filepath.Glob("../../topologies/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("expected >= 4 checked-in topologies, found %v", paths)
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			res, err := RunGraph(GraphConfig{
+				Seed:       3,
+				Topology:   path,
+				Rate:       50,
+				Horizon:    20 * time.Second,
+				Invariants: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.InvariantViolations) > 0 {
+				t.Fatalf("%d invariant violation(s):\n%s", len(res.InvariantViolations),
+					invariant.Render(res.InvariantViolations))
+			}
+			if res.Completed == 0 {
+				t.Fatalf("no traffic completed on %s", path)
+			}
+		})
+	}
+}
+
+// TestChain3TopologyMatchesDefaultConfig pins topologies/chain3.json to
+// the calibrated chain: the checked-in file must decode to exactly the
+// spec internal/ntier assembles from DefaultConfig, so the file cannot
+// drift from the code.
+func TestChain3TopologyMatchesDefaultConfig(t *testing.T) {
+	t.Parallel()
+	disk, err := graph.LoadSpec("../../topologies/chain3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ntier.DefaultConfig()
+	want := graph.ChainSpec(
+		cfg.WebModel, cfg.AppModel, cfg.DBModel,
+		cfg.WebThreads, cfg.AppThreads, cfg.DBConnsPerApp, cfg.DBMaxConns,
+		cfg.QueriesPerRequest,
+		cfg.WebServers, cfg.AppServers, cfg.DBServers,
+		cfg.DBThrashKnee, cfg.DBThrashCoef, cfg.DBThrashCap)
+	if !reflect.DeepEqual(disk, want) {
+		t.Fatalf("topologies/chain3.json = %+v\nwant the DefaultConfig chain %+v", disk, want)
+	}
+}
+
+// TestGraphCacheTopology runs the cache3 topology and checks the LRU
+// tier actually works: hits and misses both occur, and the hit ratio is
+// in the neighborhood the LRU sizing implies (cacheSize/keySpace = 0.25
+// of the key population resident, so a uniform reference stream hits
+// about a quarter of the time once warm).
+func TestGraphCacheTopology(t *testing.T) {
+	t.Parallel()
+	res, err := RunGraph(GraphConfig{
+		Seed:       5,
+		Topology:   "../../topologies/cache3.json",
+		Rate:       100,
+		Horizon:    60 * time.Second,
+		Invariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) > 0 {
+		t.Fatalf("violations:\n%s", invariant.Render(res.InvariantViolations))
+	}
+	var hits, misses uint64
+	for _, n := range res.Nodes {
+		if n.Name == "memcache" {
+			if n.Kind != graph.KindCache {
+				t.Fatalf("memcache kind %q", n.Kind)
+			}
+			hits, misses = n.CacheHits, n.CacheMisses
+		}
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("degenerate cache behaviour: %d hits, %d misses", hits, misses)
+	}
+	ratio := float64(hits) / float64(hits+misses)
+	if ratio < 0.10 || ratio > 0.45 {
+		t.Fatalf("LRU hit ratio %.2f outside the plausible band for 4096/16384", ratio)
+	}
+}

@@ -1,0 +1,229 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"dcm/internal/graph"
+	"dcm/internal/invariant"
+	"dcm/internal/metrics"
+	"dcm/internal/model"
+	"dcm/internal/mva"
+	"dcm/internal/rng"
+	"dcm/internal/sim"
+)
+
+// The graph-MVA conformance suite cross-validates the service-graph
+// engine against exact closed-network MVA, the same way the single
+// station is checked — but now with visit-ratio weighting across a DAG.
+//
+// Exactness requires product form, so the generated topologies keep the
+// layering honest: pass-through nodes (the entry, the cache front) carry
+// constant service laws (α = β = 0) and thread pools at least the
+// population size, so holding a thread across downstream calls never
+// queues upstream; all queueing happens at leaf stations with exponential
+// service (BCMP). Serial edges keep a request at one station at a time —
+// parallel fork-join has no exact MVA and is excluded here (its join
+// accounting is pinned by internal/graph's own tests).
+
+// passThrough returns a constant-service law: S(n) = s0 at any
+// concurrency, so thread-holding cannot distort the station.
+func passThrough(s0 float64) model.Params {
+	return model.Params{S0: s0, Gamma: 1}
+}
+
+// graphClosedRun drives users closed-loop clients against the topology
+// and returns steady-state system throughput, checking invariants for the
+// whole run.
+func graphClosedRun(t *testing.T, spec graph.Spec, users int, think time.Duration) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	chk := invariant.New()
+	invariant.AttachEngine(chk, eng)
+	app, err := graph.New(eng, rng.New(23).Split("app"), graph.Config{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SetInvariantChecker(chk)
+	r := rng.New(23).Split("think")
+	var done metrics.Counter
+	var cycle func()
+	cycle = func() {
+		app.Inject(func(rt time.Duration, ok bool) {
+			if !ok {
+				t.Error("closed-loop request failed in a resilience-free run")
+			}
+			done.Inc(1)
+			if think <= 0 {
+				cycle()
+				return
+			}
+			z := time.Duration(r.Exp(think.Seconds()) * float64(time.Second))
+			eng.Schedule(z, cycle)
+		})
+	}
+	for i := 0; i < users; i++ {
+		delay := time.Duration(r.Uniform(0, float64(time.Second)))
+		eng.Schedule(delay, cycle)
+	}
+	warmup := 10 * time.Second
+	if err := eng.Run(warmup); err != nil {
+		t.Fatal(err)
+	}
+	done.TakeDelta()
+	const measure = 120 * time.Second
+	if err := eng.Run(warmup + measure); err != nil {
+		t.Fatal(err)
+	}
+	app.CheckInvariants()
+	invariant.CheckEngine(chk, eng)
+	requireClean(t, chk)
+	return float64(done.TakeDelta()) / measure.Seconds()
+}
+
+// randomLaw draws a Table I-range Equation 5 law, as the single-station
+// sweep does.
+func randomLaw(r *rng.Rand) model.Params {
+	s0 := math.Exp(r.Uniform(math.Log(1e-4), math.Log(3e-3)))
+	return model.Params{
+		S0:    s0,
+		Alpha: r.Uniform(0, 0.8) * s0,
+		Beta:  math.Exp(r.Uniform(math.Log(1e-8), math.Log(1e-5))),
+		Gamma: 1,
+	}
+}
+
+// TestGraphMVAFanoutConformance sweeps randomized fan-out topologies —
+// an entry calling two leaf services with independent laws, pools and
+// visit ratios — against the exact MVA solution of the equivalent
+// three-station closed network. Agreement within 10% is required.
+func TestGraphMVAFanoutConformance(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("long steady-state sweeps")
+	}
+	thinks := []time.Duration{0, 200 * time.Millisecond, time.Second}
+	for i := 0; i < 6; i++ {
+		i := i
+		t.Run(fmt.Sprintf("case-%d", i), func(t *testing.T) {
+			t.Parallel()
+			r := rng.New(uint64(2000 + i)).Split("graph-conformance")
+			lawA, lawB := randomLaw(r), randomLaw(r)
+			poolA, poolB := 4+r.Intn(33), 4+r.Intn(33) // 4..36
+			visitsA, visitsB := 1+r.Intn(3), 1+r.Intn(3)
+			users := 4 + r.Intn(2*(poolA+poolB))
+			think := thinks[r.Intn(len(thinks))]
+			const frontS0 = 1e-4
+
+			spec := graph.Spec{
+				Name:  "mva-fanout",
+				Entry: "front",
+				Nodes: []graph.NodeSpec{
+					{Name: "front", Model: passThrough(frontS0), Threads: users},
+					{Name: "svcA", Model: lawA, Threads: poolA,
+						Distribution: graph.DistExponential},
+					{Name: "svcB", Model: lawB, Threads: poolB,
+						Distribution: graph.DistExponential},
+				},
+				Edges: []graph.EdgeSpec{
+					{From: "front", To: "svcA", Visits: visitsA},
+					{From: "front", To: "svcB", Visits: visitsB},
+				},
+			}
+			got := graphClosedRun(t, spec, users, think)
+
+			results, err := mva.Solve(mva.Network{
+				ThinkTime: think.Seconds(),
+				Stations: []mva.Station{
+					mva.PooledStation("front", 1, users,
+						func(j int) float64 { return frontS0 }),
+					mva.PooledStation("svcA", float64(visitsA), poolA,
+						func(j int) float64 { return lawA.ServiceTime(float64(j)) }),
+					mva.PooledStation("svcB", float64(visitsB), poolB,
+						func(j int) float64 { return lawB.ServiceTime(float64(j)) }),
+				},
+			}, users)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := results[len(results)-1].Throughput
+			if err := relErr(got, want); err > 0.10 {
+				t.Fatalf("fanout vA=%d vB=%d poolA=%d poolB=%d users=%d think=%v: "+
+					"sim %.2f vs MVA %.2f (err %.1f%%, want <= 10%%)",
+					visitsA, visitsB, poolA, poolB, users, think, got, want, err*100)
+			}
+		})
+	}
+}
+
+// TestGraphMVACacheConformance sweeps randomized cache-tier topologies:
+// a fixed-hit-ratio cache in front of a database, where a hit
+// short-circuits the downstream visits. The equivalent closed network
+// weights the db station's visit ratio by the miss probability —
+// V_db = (1−h)·v — which is exactly how caches earn their keep in MVA
+// capacity models. Agreement within 10% required.
+func TestGraphMVACacheConformance(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("long steady-state sweeps")
+	}
+	thinks := []time.Duration{0, 200 * time.Millisecond, time.Second}
+	for i := 0; i < 6; i++ {
+		i := i
+		t.Run(fmt.Sprintf("case-%d", i), func(t *testing.T) {
+			t.Parallel()
+			r := rng.New(uint64(3000 + i)).Split("graph-conformance")
+			law := randomLaw(r)
+			pool := 4 + r.Intn(61) // 4..64
+			visits := 1 + r.Intn(3)
+			hit := r.Uniform(0.1, 0.9)
+			users := pool/2 + r.Intn(2*pool)
+			if users < 1 {
+				users = 1
+			}
+			think := thinks[r.Intn(len(thinks))]
+			const frontS0, cacheS0 = 1e-4, 5e-5
+
+			spec := graph.Spec{
+				Name:  "mva-cache",
+				Entry: "front",
+				Nodes: []graph.NodeSpec{
+					{Name: "front", Model: passThrough(frontS0), Threads: users},
+					{Name: "cache", Kind: graph.KindCache, HitRatio: hit,
+						Model: passThrough(cacheS0), Threads: users},
+					{Name: "db", Model: law, Threads: pool,
+						Distribution: graph.DistExponential},
+				},
+				Edges: []graph.EdgeSpec{
+					{From: "front", To: "cache", Visits: 1},
+					{From: "cache", To: "db", Visits: visits},
+				},
+			}
+			got := graphClosedRun(t, spec, users, think)
+
+			vdb := (1 - hit) * float64(visits)
+			results, err := mva.Solve(mva.Network{
+				ThinkTime: think.Seconds(),
+				Stations: []mva.Station{
+					mva.PooledStation("front", 1, users,
+						func(j int) float64 { return frontS0 }),
+					mva.PooledStation("cache", 1, users,
+						func(j int) float64 { return cacheS0 }),
+					mva.PooledStation("db", vdb, pool,
+						func(j int) float64 { return law.ServiceTime(float64(j)) }),
+				},
+			}, users)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := results[len(results)-1].Throughput
+			if err := relErr(got, want); err > 0.10 {
+				t.Fatalf("cache h=%.2f v=%d (V_db=%.2f) pool=%d users=%d think=%v: "+
+					"sim %.2f vs MVA %.2f (err %.1f%%, want <= 10%%)",
+					hit, visits, vdb, pool, users, think, got, want, err*100)
+			}
+		})
+	}
+}

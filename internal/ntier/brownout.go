@@ -1,51 +1,26 @@
 package ntier
 
-import "math"
-
 // Brownout hooks: the actuation surface internal/degrade drives. All of
-// it is deterministic and rng-free — the shed decision uses an
-// error-diffusion accumulator, the admission scaling rounds up — so a
-// supervisor that never fires leaves a run byte-identical to one that was
-// never attached.
+// it lives in the graph engine and is deterministic and rng-free — the
+// shed decision uses an error-diffusion accumulator, the admission
+// scaling rounds up — so a supervisor that never fires leaves a run
+// byte-identical to one that was never attached.
 
 // SetBrownoutShed sets the front-door shed ratio in [0, 1] applied to
 // best-effort (non-critical) arrivals. Zero disables the shed and resets
 // the diffusion accumulator so a later brownout starts from a clean
 // phase.
-func (a *App) SetBrownoutShed(ratio float64) {
-	if ratio < 0 {
-		ratio = 0
-	}
-	if ratio > 1 {
-		ratio = 1
-	}
-	a.brownoutShed = ratio
-	if ratio == 0 {
-		a.brownoutAcc = 0
-	}
-}
+func (a *App) SetBrownoutShed(ratio float64) { a.g.SetBrownoutShed(ratio) }
 
 // BrownoutShed returns the live front-door shed ratio.
-func (a *App) BrownoutShed() float64 { return a.brownoutShed }
-
-// brownoutTake decides one arrival: the accumulator gains the shed ratio
-// per arrival and sheds on every whole token, so a ratio of 0.5 sheds
-// exactly every second best-effort request — deterministic, no rng.
-func (a *App) brownoutTake() bool {
-	a.brownoutAcc += a.brownoutShed
-	if a.brownoutAcc >= 1 {
-		a.brownoutAcc--
-		return true
-	}
-	return false
-}
+func (a *App) BrownoutShed() float64 { return a.g.BrownoutShed() }
 
 // BrownoutSheds returns the lifetime count of brownout front-door sheds
 // (a subset of the Shed disposition tally).
-func (a *App) BrownoutSheds() uint64 { return a.brownoutSheds }
+func (a *App) BrownoutSheds() uint64 { return a.g.BrownoutSheds() }
 
 // TotalInjected returns the lifetime count of injected requests.
-func (a *App) TotalInjected() uint64 { return a.injected }
+func (a *App) TotalInjected() uint64 { return a.g.TotalInjected() }
 
 // ScaleAdmission multiplies every bounded queue's admission cap by f
 // (clamped to [0, 1]; 1 restores the configured cap). Servers keep at
@@ -53,33 +28,7 @@ func (a *App) TotalInjected() uint64 { return a.injected }
 // requests already queued above a shrunken cap are grandfathered by the
 // server until the backlog drains. A no-op when the resilience config has
 // no bounded queues.
-func (a *App) ScaleAdmission(f float64) {
-	if f < 0 {
-		f = 0
-	}
-	if f > 1 {
-		f = 1
-	}
-	a.admissionScale = f
-	if a.res.MaxQueue <= 0 {
-		return
-	}
-	cap := a.scaledMaxQueue()
-	for _, tierName := range []string{TierWeb, TierApp, TierDB} {
-		for _, m := range a.Members(tierName) {
-			m.srv.SetMaxQueue(cap)
-		}
-	}
-}
-
-// scaledMaxQueue is the admission cap under the live scale, never below 1.
-func (a *App) scaledMaxQueue() int {
-	cap := int(math.Ceil(float64(a.res.MaxQueue) * a.admissionScale))
-	if cap < 1 {
-		cap = 1
-	}
-	return cap
-}
+func (a *App) ScaleAdmission(f float64) { a.g.ScaleAdmission(f) }
 
 // TierQueueDepthTotals returns the lifetime sum and count of queue-depth
 // observations across the tier's current members, in balancer order. The
@@ -87,10 +36,5 @@ func (a *App) scaledMaxQueue() int {
 // queue-depth gradient without touching the monitor's interval
 // accumulators.
 func (a *App) TierQueueDepthTotals(tierName string) (sum float64, count uint64) {
-	for _, m := range a.Members(tierName) {
-		h := m.srv.QueueDepthHistogram()
-		sum += h.Sum()
-		count += h.Count()
-	}
-	return sum, count
+	return a.g.NodeQueueDepthTotals(tierName)
 }

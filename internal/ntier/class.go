@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"dcm/internal/graph"
 	"dcm/internal/metrics"
 )
 
@@ -73,64 +74,14 @@ func validateClasses(classes []RequestClass, queriesDefault int) error {
 	return nil
 }
 
-// classState is the mutable per-class accumulator.
-type classState struct {
-	injected    uint64
-	inFlight    int
-	completions uint64
-	errored     uint64
-	good        uint64
-	rtSum       float64
-	// bshed counts the class's brownout front-door sheds (a subset of the
-	// class's Shed dispositions).
-	bshed uint64
-}
-
-// ClassStat summarizes one traffic class's lifetime traffic.
-type ClassStat struct {
-	Name     string `json:"name"`
-	Priority int    `json:"priority"`
-	// Injected counts arrivals; InFlight is the instantaneous population.
-	Injected uint64 `json:"injected"`
-	InFlight int    `json:"inFlight"`
-	// Completions/Errors partition finished requests; Good is the subset
-	// of completions within the class SLO.
-	Completions uint64  `json:"completions"`
-	Errors      uint64  `json:"errors"`
-	Good        uint64  `json:"good"`
-	MeanRTms    float64 `json:"meanRTms"`
-	// Dispositions is the class's full outcome taxonomy.
-	Dispositions metrics.DispositionCounts `json:"dispositions"`
-	// BrownoutShed is the subset of Dispositions.Shed dropped at the
-	// front door by the degrade controller (0 and absent without it).
-	BrownoutShed uint64 `json:"brownoutShed,omitempty"`
-}
+// ClassStat summarizes one traffic class's lifetime traffic (the graph
+// engine's record, with identical JSON).
+type ClassStat = graph.ClassStat
 
 // ClassStats returns cumulative per-class statistics in class order
 // (empty when no classes are configured).
-func (a *App) ClassStats() []ClassStat {
-	out := make([]ClassStat, len(a.cfg.Classes))
-	for i := range a.cfg.Classes {
-		c := &a.cfg.Classes[i]
-		st := &a.classes[i]
-		out[i] = ClassStat{
-			Name:         c.Name,
-			Priority:     c.Priority,
-			Injected:     st.injected,
-			InFlight:     st.inFlight,
-			Completions:  st.completions,
-			Errors:       st.errored,
-			Good:         st.good,
-			Dispositions: a.classDisp.Counts(i),
-			BrownoutShed: st.bshed,
-		}
-		if st.completions > 0 {
-			out[i].MeanRTms = st.rtSum / float64(st.completions) * 1000
-		}
-	}
-	return out
-}
+func (a *App) ClassStats() []ClassStat { return a.g.ClassStats() }
 
 // ClassDispositions returns the per-class disposition tally (nil when no
 // classes are configured).
-func (a *App) ClassDispositions() *metrics.ClassDispositions { return a.classDisp }
+func (a *App) ClassDispositions() *metrics.ClassDispositions { return a.g.ClassDispositions() }

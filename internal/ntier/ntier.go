@@ -10,6 +10,13 @@
 // queries, each through the Tomcat's DB connection pool — the pool that
 // bounds MySQL's request-processing concurrency from upstream (§IV-B).
 // Threads are held across downstream calls, exactly as in the real stack.
+//
+// Since the service-graph generalization the package is a facade: it
+// assembles the paper's chain as a 3-node linear graph (internal/graph's
+// ChainSpec) and forwards every operation to the graph engine. The facade
+// preserves the historical API and — bit for bit — the historical event
+// and rng stream: the chain walk is the 3-node special case of the graph
+// walk, which the sha256 digest regressions in internal/experiments pin.
 package ntier
 
 import (
@@ -17,14 +24,13 @@ import (
 	"fmt"
 	"time"
 
-	"dcm/internal/connpool"
+	"dcm/internal/graph"
 	"dcm/internal/invariant"
 	"dcm/internal/lb"
 	"dcm/internal/metrics"
 	"dcm/internal/model"
 	"dcm/internal/resilience"
 	"dcm/internal/rng"
-	"dcm/internal/server"
 	"dcm/internal/sim"
 	"dcm/internal/trace"
 )
@@ -132,105 +138,77 @@ func DefaultConfig() Config {
 	}
 }
 
-// Errors returned by the application.
+// Errors returned by the application. The tier/server/last-server errors
+// are the graph engine's own sentinels, re-exported under their historical
+// names so errors.Is keeps working across the facade.
 var (
 	ErrBadConfig     = errors.New("ntier: invalid config")
-	ErrUnknownTier   = errors.New("ntier: unknown tier")
-	ErrUnknownServer = errors.New("ntier: unknown server")
-	ErrLastServer    = errors.New("ntier: cannot remove the last server of a tier")
+	ErrUnknownTier   = graph.ErrUnknownNode
+	ErrUnknownServer = graph.ErrUnknownMember
+	ErrLastServer    = graph.ErrLastMember
 )
 
 // Member is one server of a tier, together with its tier-specific soft
-// resources (app members own a DB connection pool).
-type Member struct {
-	srv  *server.Server
-	pool *connpool.Pool // non-nil for app members only
-}
+// resources (app members own a DB connection pool). It is the graph
+// engine's member type: Pool returns the member's first pooled out-edge —
+// for the chain, exactly the app tier's DB connection pool.
+type Member = graph.Member
 
-// Name returns the member's server name.
-func (m *Member) Name() string { return m.srv.Name() }
+// TierHistogramSet is the merged always-on histogram view of one tier.
+type TierHistogramSet = graph.NodeHistogramSet
 
-// Accepting reports whether the member takes new work (lb.Backend).
-func (m *Member) Accepting() bool { return m.srv.Accepting() }
-
-// Load returns queued plus active requests (lb.Backend).
-func (m *Member) Load() int { return m.srv.Active() + m.srv.QueueLen() }
-
-// Server returns the underlying simulated server.
-func (m *Member) Server() *server.Server { return m.srv }
-
-// Pool returns the member's DB connection pool (nil except for app
-// members).
-func (m *Member) Pool() *connpool.Pool { return m.pool }
-
-var _ lb.Backend = (*Member)(nil)
-
-// tier groups a balancer with its members.
-type tier struct {
-	name     string
-	balancer *lb.Balancer
-	members  map[string]*Member
-}
-
-// App is the assembled n-tier application.
+// App is the assembled n-tier application: a thin facade over the 3-node
+// linear service graph.
 type App struct {
-	eng *sim.Engine
-	rnd *rng.Rand
+	g   *graph.App
 	cfg Config
+}
 
-	tiers map[string]*tier
+// chainSpec translates the chain config into the graph topology.
+func chainSpec(cfg Config) graph.Spec {
+	return graph.ChainSpec(
+		cfg.WebModel, cfg.AppModel, cfg.DBModel,
+		cfg.WebThreads, cfg.AppThreads, cfg.DBConnsPerApp, cfg.DBMaxConns,
+		cfg.QueriesPerRequest,
+		cfg.WebServers, cfg.AppServers, cfg.DBServers,
+		cfg.DBThrashKnee, cfg.DBThrashCoef, cfg.DBThrashCap)
+}
 
-	completions metrics.Counter
-	errored     metrics.Counter
-	rts         metrics.MeanAccumulator
-	appRes      metrics.MeanAccumulator
-	dbRes       metrics.MeanAccumulator
-	rtWindow    []float64
-	inFlight    int
-	nameSeq     map[string]int
+// servletProfiles translates the servlet mix into graph demand profiles:
+// a servlet's app demand scales the app node, its query demand the db
+// node, and its query count the app→db visit ratio.
+func servletProfiles(servlets []Servlet) []graph.Profile {
+	out := make([]graph.Profile, len(servlets))
+	for i, s := range servlets {
+		nd := map[string]float64{TierApp: s.AppDemand}
+		if s.QueryDemand > 0 {
+			nd[TierDB] = s.QueryDemand
+		}
+		out[i] = graph.Profile{
+			Name:       s.Name,
+			Weight:     s.Weight,
+			NodeDemand: nd,
+			EdgeVisits: map[string]int{TierApp + "->" + TierDB: s.Queries},
+		}
+	}
+	return out
+}
 
-	servletWeight float64
-	servletStats  map[string]*servletAccum
-
-	traceRemaining int
-	traces         []*RequestTrace
-
-	reqTracer *trace.RequestTracer
-
-	// Resilience state. breakers is keyed by server name and empty unless
-	// the breaker feature is on; the interval counters feed Stats and stay
-	// zero (absent from JSON) when resilience is disabled.
-	res      resilience.Config
-	breakers map[string]*resilience.Breaker
-	disp     metrics.DispositionCounts
-
-	// Per-class accounting (empty / nil without Classes). unclassedDisp
-	// tallies requests injected without a class so the per-class split
-	// plus the unclassed remainder always reconciles against disp.
-	classes       []classState
-	classDisp     *metrics.ClassDispositions
-	unclassedDisp metrics.DispositionCounts
-
-	// injected counts lifetime request arrivals; with the disposition
-	// tally and inFlight it forms the request-conservation law
-	// injected = dispositions + in-flight that CheckInvariants asserts.
-	injected uint64
-	// Brownout state (driven by internal/degrade). brownoutShed is the
-	// live front-door shed ratio for best-effort requests; brownoutAcc is
-	// the error-diffusion accumulator that spreads the shed
-	// deterministically across arrivals without an rng draw;
-	// brownoutSheds counts lifetime brownout sheds. admissionScale is the
-	// live bounded-queue cap multiplier (1 = nominal).
-	brownoutShed   float64
-	brownoutAcc    float64
-	brownoutSheds  uint64
-	admissionScale float64
-	chk            *invariant.Checker
-	timedOut       metrics.Counter
-	rejected       metrics.Counter
-	shed           metrics.Counter
-	brkOpen        metrics.Counter
-	good           metrics.Counter
+// classProfiles translates validated (default-filled) traffic classes.
+func classProfiles(classes []RequestClass) []graph.Class {
+	out := make([]graph.Class, len(classes))
+	for i, c := range classes {
+		out[i] = graph.Class{
+			Name:     c.Name,
+			Priority: c.Priority,
+			SLO:      c.SLO,
+			Profile: graph.Profile{
+				NodeDemand: map[string]float64{TierApp: c.AppDemand, TierDB: c.QueryDemand},
+				EdgeVisits: map[string]int{TierApp + "->" + TierDB: c.Queries},
+			},
+		}
+	}
+	return out
 }
 
 // New builds the application with cfg's initial topology. rnd must be a
@@ -271,441 +249,99 @@ func New(eng *sim.Engine, rnd *rng.Rand, cfg Config) (*App, error) {
 			return nil, err
 		}
 	}
-	servletWeight := 0.0
 	if len(cfg.Servlets) > 0 {
 		// Copy the mix so later caller mutations cannot skew the weights.
 		servlets := make([]Servlet, len(cfg.Servlets))
 		copy(servlets, cfg.Servlets)
 		cfg.Servlets = servlets
-		var err error
-		if servletWeight, err = validateServlets(cfg.Servlets); err != nil {
+		if _, err := validateServlets(cfg.Servlets); err != nil {
 			return nil, err
 		}
 	}
 
-	a := &App{
-		eng:           eng,
-		rnd:           rnd,
-		cfg:           cfg,
-		tiers:         make(map[string]*tier, 3),
-		nameSeq:       make(map[string]int, 3),
-		servletWeight: servletWeight,
-		servletStats:  make(map[string]*servletAccum, len(cfg.Servlets)),
-		res:           cfg.Resilience,
-		breakers:      make(map[string]*resilience.Breaker),
-
-		admissionScale: 1,
+	g, err := graph.New(eng, rnd, graph.Config{
+		Spec:       chainSpec(cfg),
+		NoiseSigma: cfg.NoiseSigma,
+		Policy:     cfg.Policy,
+		Resilience: cfg.Resilience,
+		Mix:        servletProfiles(cfg.Servlets),
+		Classes:    classProfiles(cfg.Classes),
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range cfg.Servlets {
-		a.servletStats[cfg.Servlets[i].Name] = &servletAccum{}
-	}
-	if len(cfg.Classes) > 0 {
-		a.classes = make([]classState, len(cfg.Classes))
-		names := make([]string, len(cfg.Classes))
-		for i := range cfg.Classes {
-			names[i] = cfg.Classes[i].Name
-		}
-		a.classDisp = metrics.NewClassDispositions(names)
-	}
-	for _, name := range Tiers() {
-		a.tiers[name] = &tier{
-			name:     name,
-			balancer: lb.New(cfg.Policy),
-			members:  make(map[string]*Member),
-		}
-		if a.res.Breaker.Enabled() {
-			// Breaker guard: a backend whose breaker is open (and not yet
-			// cooled down) is skipped like a draining one. Ready is the
-			// non-mutating check; the probe is consumed by Attempt at
-			// dispatch time.
-			a.tiers[name].balancer.SetGuard(func(be lb.Backend) bool {
-				br := a.breakers[be.Name()]
-				return br == nil || br.Ready(a.eng.Now())
-			})
-		}
-	}
-	for i := 0; i < cfg.WebServers; i++ {
-		if _, err := a.AddServer(TierWeb, ""); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < cfg.AppServers; i++ {
-		if _, err := a.AddServer(TierApp, ""); err != nil {
-			return nil, err
-		}
-	}
-	for i := 0; i < cfg.DBServers; i++ {
-		if _, err := a.AddServer(TierDB, ""); err != nil {
-			return nil, err
-		}
-	}
-	return a, nil
+	return &App{g: g, cfg: cfg}, nil
 }
 
 // Config returns the application's current configuration (soft-resource
 // fields reflect runtime adjustments).
 func (a *App) Config() Config { return a.cfg }
 
-// tierOf resolves a tier by name.
-func (a *App) tierOf(name string) (*tier, error) {
-	t, ok := a.tiers[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownTier, name)
-	}
-	return t, nil
-}
+// Graph returns the underlying service-graph engine the facade drives —
+// the 3-node chain. It exists for callers that speak the graph API
+// (topology experiments, conservation tests); chain-shaped code should
+// stay on the facade.
+func (a *App) Graph() *graph.App { return a.g }
 
 // AddServer creates a new server in the tier with the tier's current
 // per-server soft allocation and registers it with the load balancer. An
 // empty name auto-generates one ("app-2"). It returns the new member.
 func (a *App) AddServer(tierName, name string) (*Member, error) {
-	t, err := a.tierOf(tierName)
-	if err != nil {
-		return nil, err
-	}
-	if name == "" {
-		a.nameSeq[tierName]++
-		name = fmt.Sprintf("%s-%d", tierName, a.nameSeq[tierName])
-	}
-	if _, exists := t.members[name]; exists {
-		return nil, fmt.Errorf("ntier: server %q already exists in %s", name, tierName)
-	}
-
-	srvCfg := server.Config{
-		Name:       name,
-		NoiseSigma: a.cfg.NoiseSigma,
-	}
-	if a.res.Enabled() {
-		// Admission control applies uniformly at every tier boundary. A
-		// server added during a brownout starts at the scaled-down cap,
-		// not the configured one.
-		srvCfg.MaxQueue = a.res.MaxQueue
-		if a.res.MaxQueue > 0 && a.admissionScale < 1 {
-			srvCfg.MaxQueue = a.scaledMaxQueue()
-		}
-		srvCfg.CoDelTarget = a.res.CoDelTarget
-		srvCfg.CoDelInterval = a.res.CoDelInterval
-	}
-	switch tierName {
-	case TierWeb:
-		srvCfg.Model, srvCfg.PoolSize = a.cfg.WebModel, a.cfg.WebThreads
-	case TierApp:
-		// Held threads (including those blocked on the DB) contend: a
-		// Tomcat thread pins memory, sockets and scheduler state whether
-		// or not it is runnable, which is why oversized Tomcat pools hurt
-		// even when most threads wait on MySQL (§II).
-		srvCfg.Model, srvCfg.PoolSize = a.cfg.AppModel, a.cfg.AppThreads
-	case TierDB:
-		srvCfg.Model, srvCfg.PoolSize = a.cfg.DBModel, a.cfg.DBMaxConns
-		srvCfg.ThrashKnee, srvCfg.ThrashCoef = a.cfg.DBThrashKnee, a.cfg.DBThrashCoef
-		srvCfg.ThrashCap = a.cfg.DBThrashCap
-		// Every open upstream connection costs coherency work whether or
-		// not a query is in flight (§II's point that #A_C × #A bounds and
-		// burdens MySQL's concurrency).
-		srvCfg.BetaOnConfigured = true
-	}
-	srv, err := server.New(a.eng, a.rnd.Split("server/"+name), srvCfg)
-	if err != nil {
-		return nil, fmt.Errorf("ntier: add %s server: %w", tierName, err)
-	}
-	m := &Member{srv: srv}
-	if tierName == TierApp {
-		p, err := connpool.New(a.eng, name+"/dbpool", a.cfg.DBConnsPerApp)
-		if err != nil {
-			return nil, fmt.Errorf("ntier: add app server: %w", err)
-		}
-		if a.res.Enabled() && a.res.MaxPoolWaiters > 0 {
-			p.SetMaxWaiters(a.res.MaxPoolWaiters)
-		}
-		m.pool = p
-	}
-	// Breakers guard calls *into* downstream tiers (web→app, app→db). The
-	// web tier is the system's front door: opening a breaker there is a
-	// self-inflicted outage, so the entry tier relies on admission control
-	// (bounded queue + CoDel) instead.
-	if a.res.Breaker.Enabled() && tierName != TierWeb {
-		a.breakers[name] = resilience.NewBreaker(a.res.Breaker)
-	}
-	if err := t.balancer.Add(m); err != nil {
-		return nil, fmt.Errorf("ntier: register %q: %w", name, err)
-	}
-	t.members[name] = m
-	if a.reqTracer != nil {
-		m.srv.SetTracer(a.reqTracer, tierName)
-		if m.pool != nil {
-			m.pool.SetTracer(a.reqTracer, tierName)
-		}
-	}
-	if a.chk != nil {
-		m.srv.SetInvariantChecker(a.chk)
-		if m.pool != nil {
-			m.pool.SetInvariantChecker(a.chk)
-		}
-		if br := a.breakers[name]; br != nil {
-			br.SetStateHook(a.breakerTransitionHook(name))
-		}
-	}
-	a.refreshDBConfigured()
-	return m, nil
+	return a.g.AddMember(tierName, name)
 }
 
 // SetRequestTracer attaches a request tracer to every current and future
 // server and connection pool of the application (nil detaches). Requests
 // injected afterwards carry tracer-assigned IDs through every tier hop.
-func (a *App) SetRequestTracer(tr *trace.RequestTracer) {
-	a.reqTracer = tr
-	for tierName, t := range a.tiers {
-		for _, m := range t.members {
-			m.srv.SetTracer(tr, tierName)
-			if m.pool != nil {
-				m.pool.SetTracer(tr, tierName)
-			}
-		}
-	}
-}
-
-// breakerTransitionHook returns the state-change observer validating the
-// named server's breaker transitions against the legal state machine.
-func (a *App) breakerTransitionHook(name string) func(from, to resilience.BreakerState) {
-	return func(from, to resilience.BreakerState) {
-		a.chk.BreakerTransition(a.eng.Now(), "breaker "+name, from.String(), to.String())
-	}
-}
+func (a *App) SetRequestTracer(tr *trace.RequestTracer) { a.g.SetRequestTracer(tr) }
 
 // SetInvariantChecker attaches an invariant checker to the application
 // and every current and future server, connection pool and circuit
 // breaker (nil detaches). Like tracing, checking is read-only: it draws
 // no randomness and schedules no events, so checked and unchecked runs
 // are byte-identical.
-func (a *App) SetInvariantChecker(c *invariant.Checker) {
-	a.chk = c
-	for _, t := range a.tiers {
-		for _, m := range t.members {
-			m.srv.SetInvariantChecker(c)
-			if m.pool != nil {
-				m.pool.SetInvariantChecker(c)
-			}
-		}
-	}
-	for name, br := range a.breakers {
-		if c == nil {
-			br.SetStateHook(nil)
-		} else {
-			br.SetStateHook(a.breakerTransitionHook(name))
-		}
-	}
-}
+func (a *App) SetInvariantChecker(c *invariant.Checker) { a.g.SetInvariantChecker(c) }
 
 // CheckInvariants sweeps the application's structural laws into the
 // attached checker (no-op without one): request conservation (arrivals =
 // dispositions + in-flight), agreement between the disposition taxonomy
-// and the completion/error counters, and every current member's pool
-// accounting. Removed or crashed members are no longer swept; their
-// accounting froze when they left the tier.
-func (a *App) CheckInvariants() {
-	if a.chk == nil {
-		return
-	}
-	now := a.eng.Now()
-	if a.inFlight < 0 {
-		a.chk.Violatef(now, invariant.RuleConservation, "app", 0,
-			"in-flight count negative (%d)", a.inFlight)
-	}
-	if total := a.disp.Total(); a.injected != total+uint64(a.inFlight) {
-		a.chk.Violatef(now, invariant.RuleConservation, "app", 0,
-			"injected %d != %d finished dispositions + %d in-flight",
-			a.injected, total, a.inFlight)
-	}
-	a.chk.Check(now, invariant.RuleMetrics, "app",
-		a.disp.CheckConsistent(a.completions.Total(), a.errored.Total()))
-	if len(a.classes) > 0 {
-		// Per-class conservation plus the cross-class split: each class's
-		// arrivals reconcile against its dispositions and in-flight count,
-		// and the per-class tallies (with the unclassed remainder) sum to
-		// the whole-system taxonomy — no classified request is lost or
-		// double-counted.
-		for i := range a.classes {
-			st := &a.classes[i]
-			name := "app/class/" + a.cfg.Classes[i].Name
-			if st.inFlight < 0 {
-				a.chk.Violatef(now, invariant.RuleConservation, name, 0,
-					"in-flight count negative (%d)", st.inFlight)
-			}
-			if total := a.classDisp.Counts(i).Total(); st.injected != total+uint64(st.inFlight) {
-				a.chk.Violatef(now, invariant.RuleConservation, name, 0,
-					"injected %d != %d finished dispositions + %d in-flight",
-					st.injected, total, st.inFlight)
-			}
-			a.chk.Check(now, invariant.RuleMetrics, name,
-				a.classDisp.Counts(i).CheckConsistent(st.completions, st.errored))
-		}
-		a.chk.Check(now, invariant.RuleMetrics, "app/classes",
-			a.classDisp.CheckConservation(a.unclassedDisp, a.disp))
-	}
-	for _, tierName := range Tiers() {
-		for _, m := range a.Members(tierName) {
-			a.chk.Check(now, invariant.RulePoolAccounting, tierName+"/"+m.Name(),
-				m.srv.CheckInvariant())
-			if m.pool != nil {
-				a.chk.Check(now, invariant.RulePoolAccounting, tierName+"/"+m.pool.Name(),
-					m.pool.CheckInvariant())
-			}
-		}
-	}
-}
-
-// TierHistogramSet is the merged always-on histogram view of one tier.
-type TierHistogramSet struct {
-	QueueDepth  *metrics.Histogram
-	ServiceTime *metrics.Histogram
-	PoolWait    *metrics.Histogram // nil except for the app tier
-}
+// and the completion/error counters, per-node visit ledgers, and every
+// current member's pool accounting. Removed or crashed members are no
+// longer swept; their accounting froze when they left the tier.
+func (a *App) CheckInvariants() { a.g.CheckInvariants() }
 
 // TierHistograms merges every current member's lifetime histograms into
 // one per-tier view. Members removed earlier (drained or crashed) are not
 // included.
 func (a *App) TierHistograms(tierName string) (TierHistogramSet, error) {
-	if _, err := a.tierOf(tierName); err != nil {
-		return TierHistogramSet{}, err
-	}
-	var out TierHistogramSet
-	for _, m := range a.Members(tierName) {
-		if out.QueueDepth == nil {
-			out.QueueDepth = m.srv.QueueDepthHistogram().CloneEmpty()
-			out.ServiceTime = m.srv.ServiceTimeHistogram().CloneEmpty()
-		}
-		out.QueueDepth.Merge(m.srv.QueueDepthHistogram())
-		out.ServiceTime.Merge(m.srv.ServiceTimeHistogram())
-		if m.pool != nil {
-			if out.PoolWait == nil {
-				out.PoolWait = m.pool.WaitHistogram().CloneEmpty()
-			}
-			out.PoolWait.Merge(m.pool.WaitHistogram())
-		}
-	}
-	return out, nil
-}
-
-// refreshDBConfigured re-derives each DB server's configured concurrency:
-// the total allocated upstream connections divided over the accepting DB
-// servers. Called on every topology or connection-pool change.
-func (a *App) refreshDBConfigured() {
-	apps := 0
-	for _, m := range a.tiers[TierApp].members {
-		if m.srv.Accepting() {
-			apps++
-		}
-	}
-	dbs := 0
-	for _, m := range a.tiers[TierDB].members {
-		if m.srv.Accepting() {
-			dbs++
-		}
-	}
-	if dbs == 0 {
-		return
-	}
-	perDB := (a.cfg.DBConnsPerApp*apps + dbs - 1) / dbs
-	for _, m := range a.tiers[TierDB].members {
-		m.srv.SetConfiguredConcurrency(perDB)
-	}
+	return a.g.NodeHistograms(tierName)
 }
 
 // Member returns the named server of a tier.
 func (a *App) Member(tierName, name string) (*Member, error) {
-	t, err := a.tierOf(tierName)
-	if err != nil {
-		return nil, err
-	}
-	m, ok := t.members[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
-	}
-	return m, nil
+	return a.g.Member(tierName, name)
 }
 
 // Members returns the tier's members in balancer registration order.
-func (a *App) Members(tierName string) []*Member {
-	t, err := a.tierOf(tierName)
-	if err != nil {
-		return nil
-	}
-	backends := t.balancer.Backends()
-	out := make([]*Member, 0, len(backends))
-	for _, b := range backends {
-		if m, ok := t.members[b.Name()]; ok {
-			out = append(out, m)
-		}
-	}
-	return out
-}
+func (a *App) Members(tierName string) []*Member { return a.g.Members(tierName) }
 
 // ServerCount returns the number of servers in the tier (including
 // draining ones still attached).
-func (a *App) ServerCount(tierName string) int {
-	t, err := a.tierOf(tierName)
-	if err != nil {
-		return 0
-	}
-	return len(t.members)
-}
+func (a *App) ServerCount(tierName string) int { return a.g.MemberCount(tierName) }
 
 // StartDrain marks a server as draining (no new work) and invokes
 // onDrained once it is idle, after which the server may be removed.
 // Draining the last accepting server of a tier is rejected — it would
 // black-hole all traffic.
 func (a *App) StartDrain(tierName, name string, onDrained func()) error {
-	t, err := a.tierOf(tierName)
-	if err != nil {
-		return err
-	}
-	m, ok := t.members[name]
-	if !ok {
-		return fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
-	}
-	if m.srv.Accepting() && t.balancer.ReadyCount() <= 1 {
-		return fmt.Errorf("%w: %s", ErrLastServer, tierName)
-	}
-	m.srv.SetAccepting(false)
-	var poll func()
-	poll = func() {
-		if m.srv.Active() == 0 && m.srv.QueueLen() == 0 && (m.pool == nil || m.pool.InUse() == 0) {
-			if onDrained != nil {
-				onDrained()
-			}
-			return
-		}
-		a.eng.Schedule(100*time.Millisecond, poll)
-	}
-	a.eng.Schedule(0, poll)
-	return nil
+	return a.g.StartDrain(tierName, name, onDrained)
 }
 
 // RemoveServer detaches a drained server from the tier. Removing a server
 // that is still accepting or busy is an error; callers should StartDrain
 // first.
 func (a *App) RemoveServer(tierName, name string) error {
-	t, err := a.tierOf(tierName)
-	if err != nil {
-		return err
-	}
-	m, ok := t.members[name]
-	if !ok {
-		return fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
-	}
-	if m.srv.Accepting() {
-		return fmt.Errorf("ntier: remove %s/%s: still accepting (drain first)", tierName, name)
-	}
-	if m.srv.Active() > 0 || m.srv.QueueLen() > 0 {
-		return fmt.Errorf("ntier: remove %s/%s: still busy", tierName, name)
-	}
-	if err := t.balancer.Remove(name); err != nil {
-		return fmt.Errorf("ntier: remove %s/%s: %w", tierName, name, err)
-	}
-	delete(t.members, name)
-	delete(a.breakers, name)
-	a.refreshDBConfigured()
-	return nil
+	return a.g.RemoveMember(tierName, name)
 }
 
 // FailServer crashes a server abruptly (failure injection): it is removed
@@ -714,22 +350,7 @@ func (a *App) RemoveServer(tierName, name string) error {
 // tier is allowed — crashes do not ask permission — after which requests
 // needing that tier fail until a replacement joins.
 func (a *App) FailServer(tierName, name string) error {
-	t, err := a.tierOf(tierName)
-	if err != nil {
-		return err
-	}
-	m, ok := t.members[name]
-	if !ok {
-		return fmt.Errorf("%w: %s/%s", ErrUnknownServer, tierName, name)
-	}
-	if err := t.balancer.Remove(name); err != nil {
-		return fmt.Errorf("ntier: fail %s/%s: %w", tierName, name, err)
-	}
-	delete(t.members, name)
-	delete(a.breakers, name)
-	m.srv.Kill()
-	a.refreshDBConfigured()
-	return nil
+	return a.g.FailMember(tierName, name)
 }
 
 // SetWebThreads resizes every web server's thread pool and updates the
@@ -739,9 +360,7 @@ func (a *App) SetWebThreads(n int) {
 		n = 1
 	}
 	a.cfg.WebThreads = n
-	for _, m := range a.tiers[TierWeb].members {
-		m.srv.SetPoolSize(n)
-	}
+	_ = a.g.SetNodeThreads(TierWeb, n)
 }
 
 // SetAppThreads resizes every app server's thread pool (the APP-agent's
@@ -751,9 +370,7 @@ func (a *App) SetAppThreads(n int) {
 		n = 1
 	}
 	a.cfg.AppThreads = n
-	for _, m := range a.tiers[TierApp].members {
-		m.srv.SetPoolSize(n)
-	}
+	_ = a.g.SetNodeThreads(TierApp, n)
 }
 
 // SetDBConnsPerApp resizes every app server's DB connection pool (the
@@ -764,12 +381,7 @@ func (a *App) SetDBConnsPerApp(n int) {
 		n = 1
 	}
 	a.cfg.DBConnsPerApp = n
-	for _, m := range a.tiers[TierApp].members {
-		if m.pool != nil {
-			m.pool.Resize(n)
-		}
-	}
-	a.refreshDBConfigured()
+	_ = a.g.SetEdgePoolSize(TierApp, TierDB, n)
 }
 
 // Allocation returns the current soft-resource allocation in the paper's
@@ -783,92 +395,27 @@ func (a *App) Allocation() model.Allocation {
 }
 
 // InFlight returns the number of requests currently inside the system.
-func (a *App) InFlight() int { return a.inFlight }
+func (a *App) InFlight() int { return a.g.InFlight() }
 
 // TotalCompletions returns the lifetime number of completed requests.
-func (a *App) TotalCompletions() uint64 { return a.completions.Total() }
+func (a *App) TotalCompletions() uint64 { return a.g.TotalCompletions() }
 
 // TotalErrors returns the lifetime number of failed requests (no backend
 // available).
-func (a *App) TotalErrors() uint64 { return a.errored.Total() }
+func (a *App) TotalErrors() uint64 { return a.g.TotalErrors() }
 
 // TotalGood returns the lifetime number of good completions — requests
 // that finished within the resilience config's goodput SLA. Zero when
 // resilience is disabled (every completion is then merely "completed").
-func (a *App) TotalGood() uint64 { return a.good.Total() }
+func (a *App) TotalGood() uint64 { return a.g.TotalGood() }
 
 // Dispositions returns the lifetime disposition tally of finished
 // requests (ok, error, timeout, rejected, shed, breaker-open).
-func (a *App) Dispositions() metrics.DispositionCounts { return a.disp }
+func (a *App) Dispositions() metrics.DispositionCounts { return a.g.Dispositions() }
 
 // Breaker returns the named server's circuit breaker, nil when breakers
 // are disabled or the server is unknown.
-func (a *App) Breaker(name string) *resilience.Breaker { return a.breakers[name] }
-
-// deadlineFor computes the absolute deadline for a request arriving at
-// start (zero when request timeouts are off).
-func (a *App) deadlineFor(start sim.Time) sim.Time {
-	if a.res.RequestTimeout <= 0 {
-		return 0
-	}
-	return start + a.res.RequestTimeout
-}
-
-// pickDisposition classifies a balancer Pick error: a guard refusal is a
-// breaker-open outcome, anything else a plain error (tier down).
-func pickDisposition(err error) metrics.Disposition {
-	if errors.Is(err, lb.ErrGuarded) {
-		return metrics.DispositionBreakerOpen
-	}
-	return metrics.DispositionError
-}
-
-// breakerAttempt consumes a breaker admission for the member (half-open
-// probe accounting); true when the call may proceed. Always true when
-// breakers are off.
-func (a *App) breakerAttempt(m *Member) bool {
-	br := a.breakers[m.Name()]
-	return br == nil || br.Attempt(a.eng.Now())
-}
-
-// breakerRecord feeds a call outcome to the member's breaker. Only
-// genuine backend verdicts count: OK is a success, errors and timeouts
-// are failures. Backpressure verdicts (rejected, shed, a downstream
-// breaker refusing) bypass the failure window — shedding is the admission
-// layer doing its job, not evidence this backend is sick, and counting it
-// would let a load spike open every breaker and escalate backpressure
-// into a full outage.
-func (a *App) breakerRecord(m *Member, disp metrics.Disposition) {
-	br := a.breakers[m.Name()]
-	if br == nil {
-		return
-	}
-	switch disp {
-	case metrics.DispositionOK:
-		br.Record(a.eng.Now(), true)
-	case metrics.DispositionError, metrics.DispositionTimeout:
-		br.Record(a.eng.Now(), false)
-	default:
-		br.RecordNeutral()
-	}
-}
-
-// tally folds one finished request's disposition into the app counters
-// (the per-disposition interval counters feed Stats; each counts finished
-// requests, wherever in the tier graph the outcome was decided).
-func (a *App) tally(d metrics.Disposition) {
-	a.disp.Observe(d)
-	switch d {
-	case metrics.DispositionTimeout:
-		a.timedOut.Inc(1)
-	case metrics.DispositionRejected:
-		a.rejected.Inc(1)
-	case metrics.DispositionShed:
-		a.shed.Inc(1)
-	case metrics.DispositionBreakerOpen:
-		a.brkOpen.Inc(1)
-	}
-}
+func (a *App) Breaker(name string) *resilience.Breaker { return a.g.Breaker(name) }
 
 // Inject sends one HTTP request through the system. done (optional) is
 // invoked on completion with the end-to-end response time and whether the
@@ -877,9 +424,7 @@ func (a *App) tally(d metrics.Disposition) {
 // absolute deadline across every tier hop; its outcome is tallied as a
 // disposition (Dispositions) and, when it completes within the goodput
 // SLA, as a good completion (TotalGood).
-func (a *App) Inject(done func(rt time.Duration, ok bool)) {
-	a.InjectClass(-1, 0, done)
-}
+func (a *App) Inject(done func(rt time.Duration, ok bool)) { a.g.Inject(done) }
 
 // InjectClass is Inject for class-mixed workloads: class indexes the
 // configured Classes (any out-of-range value, canonically -1, injects the
@@ -891,296 +436,7 @@ func (a *App) Inject(done func(rt time.Duration, ok bool)) {
 // every tier, and its outcome lands in the per-class disposition tally.
 // A classless, sessionless call is byte-identical to Inject.
 func (a *App) InjectClass(class int, session uint64, done func(rt time.Duration, ok bool)) {
-	start := a.eng.Now()
-	deadline := a.deadlineFor(start)
-	a.inFlight++
-	a.injected++
-	var servlet *Servlet
-	if len(a.cfg.Servlets) > 0 {
-		servlet = a.pickServlet()
-	}
-	var cls *RequestClass
-	if class >= 0 && class < len(a.cfg.Classes) {
-		cls = &a.cfg.Classes[class]
-		a.classes[class].injected++
-		a.classes[class].inFlight++
-	} else {
-		class = -1
-	}
-	critical := cls != nil && cls.Priority > 0
-	tr := a.beginTrace(servlet)
-	req := a.reqTracer.Begin()
-	a.reqTracer.Record(req, trace.EventArrive, "", "", start)
-	if cls != nil {
-		a.reqTracer.RecordClass(req, cls.Name, start)
-	}
-	finish := func(disp metrics.Disposition) {
-		ok := disp == metrics.DispositionOK
-		a.inFlight--
-		if a.chk != nil && a.inFlight < 0 {
-			a.chk.Violatef(a.eng.Now(), invariant.RuleConservation, "app", req,
-				"request finish drove in-flight negative (%d)", a.inFlight)
-		}
-		rt := a.eng.Now() - start
-		kind := trace.EventDone
-		if !ok {
-			kind = trace.EventFail
-		}
-		a.reqTracer.Record(req, kind, "", "", a.eng.Now())
-		a.tally(disp)
-		if ok {
-			a.completions.Inc(1)
-			a.rts.Observe(rt.Seconds())
-			a.rtWindow = append(a.rtWindow, rt.Seconds())
-			if a.res.Enabled() {
-				if sla := a.res.GoodputSLA(); sla <= 0 || rt <= sla {
-					a.good.Inc(1)
-				}
-			}
-		} else {
-			a.errored.Inc(1)
-		}
-		if cls != nil {
-			st := &a.classes[class]
-			st.inFlight--
-			a.classDisp.Observe(class, disp)
-			if ok {
-				st.completions++
-				st.rtSum += rt.Seconds()
-				// The class SLO overrides the global goodput SLA; without
-				// one, fall back to the resilience-wide threshold.
-				sla := cls.SLO
-				if sla <= 0 {
-					sla = a.res.GoodputSLA()
-				}
-				if sla <= 0 || rt <= sla {
-					st.good++
-				}
-			} else {
-				st.errored++
-			}
-		} else {
-			a.unclassedDisp.Observe(disp)
-		}
-		if servlet != nil {
-			acc := a.servletStats[servlet.Name]
-			if ok {
-				acc.completions.Inc(1)
-				acc.rtSum += rt.Seconds()
-			} else {
-				acc.errored.Inc(1)
-			}
-		}
-		if tr != nil {
-			tr.Total = rt
-			tr.OK = ok
-		}
-		if done != nil {
-			done(rt, ok)
-		}
-	}
-
-	// Brownout front-door shed: while the degrade controller holds a shed
-	// ratio, best-effort arrivals are dropped before they touch the web
-	// tier. Critical (Priority > 0) classes are never brownout-shed. The
-	// error-diffusion accumulator spreads the ratio exactly across
-	// arrivals with no rng draw, so enabling the layer perturbs no other
-	// stream and disabling it is byte-identical.
-	if a.brownoutShed > 0 && !critical && a.brownoutTake() {
-		a.brownoutSheds++
-		if cls != nil {
-			a.classes[class].bshed++
-		}
-		a.reqTracer.Record(req, trace.EventShed, "", "", a.eng.Now())
-		finish(metrics.DispositionShed)
-		return
-	}
-
-	webBackend, err := a.pickWeb(session)
-	if err != nil {
-		if errors.Is(err, lb.ErrGuarded) {
-			a.reqTracer.Record(req, trace.EventBreakerOpen, TierWeb, "", a.eng.Now())
-		}
-		finish(pickDisposition(err))
-		return
-	}
-	web, ok := a.tiers[TierWeb].members[webBackend.Name()]
-	if !ok {
-		finish(metrics.DispositionError)
-		return
-	}
-	if !a.breakerAttempt(web) {
-		a.reqTracer.Record(req, trace.EventBreakerOpen, TierWeb, web.Name(), a.eng.Now())
-		finish(metrics.DispositionBreakerOpen)
-		return
-	}
-	webStart := a.eng.Now()
-	web.srv.AcquireDeadlineCritical(req, deadline, critical, func(webSess *server.Session, acqDisp metrics.Disposition) {
-		if webSess == nil {
-			a.breakerRecord(web, acqDisp)
-			finish(acqDisp)
-			return
-		}
-		webSess.Exec(func() {
-			if webSess.TimedOut() {
-				webSess.Release()
-				a.span(tr, "web", web.Name(), webStart)
-				a.breakerRecord(web, metrics.DispositionTimeout)
-				finish(metrics.DispositionTimeout)
-				return
-			}
-			a.dispatchApp(req, deadline, servlet, cls, critical, tr, func(disp metrics.Disposition) {
-				webSess.Release()
-				a.span(tr, "web", web.Name(), webStart)
-				if disp == metrics.DispositionOK && webSess.Killed() {
-					disp = metrics.DispositionError
-				}
-				a.breakerRecord(web, disp)
-				finish(disp)
-			})
-		})
-	})
-}
-
-// pickWeb selects the front-door backend: the session's sticky backend
-// for session-keyed requests, the tier policy's pick otherwise.
-func (a *App) pickWeb(session uint64) (lb.Backend, error) {
-	if session != 0 {
-		return a.tiers[TierWeb].balancer.PickSession(session)
-	}
-	return a.tiers[TierWeb].balancer.Pick()
-}
-
-// dispatchApp runs the application-tier stage of a request. req is the
-// tracing request ID (0 = untraced); deadline is the request's absolute
-// deadline (0 = none); servlet and cls are nil for the single-class flow
-// (at most one is set — the mixes are mutually exclusive); critical marks
-// a shed-exempt request; tr is nil unless the request is waterfall-traced.
-func (a *App) dispatchApp(req uint64, deadline sim.Time, servlet *Servlet, cls *RequestClass, critical bool, tr *RequestTrace, done func(metrics.Disposition)) {
-	if deadline > 0 && a.eng.Now() >= deadline {
-		done(metrics.DispositionTimeout)
-		return
-	}
-	appBackend, err := a.tiers[TierApp].balancer.Pick()
-	if err != nil {
-		if errors.Is(err, lb.ErrGuarded) {
-			a.reqTracer.Record(req, trace.EventBreakerOpen, TierApp, "", a.eng.Now())
-		}
-		done(pickDisposition(err))
-		return
-	}
-	app, ok := a.tiers[TierApp].members[appBackend.Name()]
-	if !ok {
-		done(metrics.DispositionError)
-		return
-	}
-	if !a.breakerAttempt(app) {
-		a.reqTracer.Record(req, trace.EventBreakerOpen, TierApp, app.Name(), a.eng.Now())
-		done(metrics.DispositionBreakerOpen)
-		return
-	}
-	appDemand, queries, queryDemand := 1.0, a.cfg.QueriesPerRequest, 1.0
-	if servlet != nil {
-		appDemand, queries, queryDemand = servlet.AppDemand, servlet.Queries, servlet.QueryDemand
-	} else if cls != nil {
-		appDemand, queries, queryDemand = cls.AppDemand, cls.Queries, cls.QueryDemand
-	}
-	appStart := a.eng.Now()
-	app.srv.AcquireDeadlineCritical(req, deadline, critical, func(appSess *server.Session, acqDisp metrics.Disposition) {
-		if appSess == nil {
-			a.breakerRecord(app, acqDisp)
-			done(acqDisp)
-			return
-		}
-		appSess.ExecDemand(appDemand, func() {
-			if appSess.TimedOut() {
-				appSess.Release()
-				a.appRes.Observe((a.eng.Now() - appStart).Seconds())
-				a.span(tr, "app", app.Name(), appStart)
-				a.breakerRecord(app, metrics.DispositionTimeout)
-				done(metrics.DispositionTimeout)
-				return
-			}
-			a.runQueries(req, deadline, app, critical, tr, 0, queries, queryDemand, func(disp metrics.Disposition) {
-				appSess.Release()
-				a.appRes.Observe((a.eng.Now() - appStart).Seconds())
-				a.span(tr, "app", app.Name(), appStart)
-				if disp == metrics.DispositionOK && appSess.Killed() {
-					disp = metrics.DispositionError
-				}
-				a.breakerRecord(app, disp)
-				done(disp)
-			})
-		})
-	})
-}
-
-// runQueries issues the request's MySQL queries sequentially through the
-// app member's connection pool, checking the deadline before each query.
-func (a *App) runQueries(req uint64, deadline sim.Time, app *Member, critical bool, tr *RequestTrace, issued, queries int, queryDemand float64, done func(metrics.Disposition)) {
-	if issued >= queries {
-		done(metrics.DispositionOK)
-		return
-	}
-	if deadline > 0 && a.eng.Now() >= deadline {
-		done(metrics.DispositionTimeout)
-		return
-	}
-	queryStart := a.eng.Now()
-	app.pool.AcquireDeadline(req, deadline, func(conn *connpool.Conn, acqDisp metrics.Disposition) {
-		if conn == nil {
-			done(acqDisp)
-			return
-		}
-		dbBackend, err := a.tiers[TierDB].balancer.Pick()
-		if err != nil {
-			conn.Release()
-			if errors.Is(err, lb.ErrGuarded) {
-				a.reqTracer.Record(req, trace.EventBreakerOpen, TierDB, "", a.eng.Now())
-			}
-			done(pickDisposition(err))
-			return
-		}
-		db, ok := a.tiers[TierDB].members[dbBackend.Name()]
-		if !ok {
-			conn.Release()
-			done(metrics.DispositionError)
-			return
-		}
-		if !a.breakerAttempt(db) {
-			conn.Release()
-			a.reqTracer.Record(req, trace.EventBreakerOpen, TierDB, db.Name(), a.eng.Now())
-			done(metrics.DispositionBreakerOpen)
-			return
-		}
-		db.srv.AcquireDeadlineCritical(req, deadline, critical, func(dbSess *server.Session, dbDisp metrics.Disposition) {
-			if dbSess == nil {
-				conn.Release()
-				a.breakerRecord(db, dbDisp)
-				done(dbDisp)
-				return
-			}
-			dbSess.ExecDemand(queryDemand, func() {
-				killed := dbSess.Killed()
-				timedOut := dbSess.TimedOut()
-				dbSess.Release()
-				conn.Release()
-				a.dbRes.Observe((a.eng.Now() - queryStart).Seconds())
-				a.span(tr, fmt.Sprintf("db-query-%d", issued+1), db.Name(), queryStart)
-				switch {
-				case killed:
-					a.breakerRecord(db, metrics.DispositionError)
-					done(metrics.DispositionError)
-				case timedOut:
-					a.breakerRecord(db, metrics.DispositionTimeout)
-					done(metrics.DispositionTimeout)
-				default:
-					a.breakerRecord(db, metrics.DispositionOK)
-					a.runQueries(req, deadline, app, critical, tr, issued+1, queries, queryDemand, done)
-				}
-			})
-		})
-	})
+	a.g.InjectClass(class, session, done)
 }
 
 // Stats is one monitoring interval of whole-system metrics.
@@ -1215,23 +471,19 @@ type Stats struct {
 // TakeStats returns system metrics accumulated since the previous call and
 // starts a new interval.
 func (a *App) TakeStats() Stats {
-	mean, _ := a.rts.TakeMean()
-	appMean, _ := a.appRes.TakeMean()
-	dbMean, _ := a.dbRes.TakeMean()
-	st := Stats{
-		Completions:      a.completions.TakeDelta(),
-		Errors:           a.errored.TakeDelta(),
-		MeanRTSeconds:    mean,
-		MeanAppResidence: appMean,
-		MeanDBResidence:  dbMean,
-		RT:               metrics.Summarize(a.rtWindow),
-		InFlight:         a.inFlight,
-		Good:             a.good.TakeDelta(),
-		TimedOut:         a.timedOut.TakeDelta(),
-		Rejected:         a.rejected.TakeDelta(),
-		Shed:             a.shed.TakeDelta(),
-		BreakerOpen:      a.brkOpen.TakeDelta(),
+	gs := a.g.TakeStats()
+	return Stats{
+		Completions:      gs.Completions,
+		Errors:           gs.Errors,
+		MeanRTSeconds:    gs.MeanRTSeconds,
+		MeanAppResidence: gs.NodeResidence[TierApp],
+		MeanDBResidence:  gs.NodeResidence[TierDB],
+		RT:               gs.RT,
+		InFlight:         gs.InFlight,
+		Good:             gs.Good,
+		TimedOut:         gs.TimedOut,
+		Rejected:         gs.Rejected,
+		Shed:             gs.Shed,
+		BreakerOpen:      gs.BreakerOpen,
 	}
-	a.rtWindow = a.rtWindow[:0]
-	return st
 }

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"dcm/internal/metrics"
+	"dcm/internal/graph"
 )
 
 // Servlet is one request class of the application. RUBBoS provides 24
@@ -87,46 +87,10 @@ func MixMeans(servlets []Servlet) (meanAppDemand, meanQueries float64) {
 	return meanAppDemand, meanQueries
 }
 
-// pickServlet selects a class by weight. It requires a validated mix.
-func (a *App) pickServlet() *Servlet {
-	u := a.rnd.Float64() * a.servletWeight
-	acc := 0.0
-	for i := range a.cfg.Servlets {
-		acc += a.cfg.Servlets[i].Weight
-		if u < acc {
-			return &a.cfg.Servlets[i]
-		}
-	}
-	return &a.cfg.Servlets[len(a.cfg.Servlets)-1]
-}
-
-// ServletStat summarizes one request class's traffic.
-type ServletStat struct {
-	Completions uint64  `json:"completions"`
-	Errors      uint64  `json:"errors"`
-	MeanRTms    float64 `json:"meanRTms"`
-}
-
-// servletAccum is the mutable per-class accumulator.
-type servletAccum struct {
-	completions metrics.Counter
-	errored     metrics.Counter
-	rtSum       float64
-}
+// ServletStat summarizes one request class's traffic (the graph engine's
+// per-profile statistic, with identical JSON).
+type ServletStat = graph.ProfileStat
 
 // ServletStats returns cumulative per-class statistics (empty when the
 // single-class flow is active).
-func (a *App) ServletStats() map[string]ServletStat {
-	out := make(map[string]ServletStat, len(a.servletStats))
-	for name, acc := range a.servletStats {
-		st := ServletStat{
-			Completions: acc.completions.Total(),
-			Errors:      acc.errored.Total(),
-		}
-		if st.Completions > 0 {
-			st.MeanRTms = acc.rtSum / float64(st.Completions) * 1000
-		}
-		out[name] = st
-	}
-	return out
-}
+func (a *App) ServletStats() map[string]ServletStat { return a.g.ProfileStats() }
